@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 7) and prints the corresponding rows/series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the full set of reproduction artifacts.  The GPU counts and
+problem sizes default to a reduced sweep that completes in a few minutes
+of wall-clock time; set ``REPRO_FULL_SWEEP=1`` in the environment to run
+the paper's full 1-128 GPU x-axis.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.weak_scaling import DEFAULT_GPU_COUNTS, PAPER_GPU_COUNTS
+
+
+def benchmark_gpu_counts():
+    """GPU counts used by the weak-scaling benchmarks."""
+    if os.environ.get("REPRO_FULL_SWEEP"):
+        return PAPER_GPU_COUNTS
+    return DEFAULT_GPU_COUNTS
+
+
+@pytest.fixture
+def gpu_counts():
+    """The GPU-count sweep for weak-scaling benchmarks."""
+    return benchmark_gpu_counts()

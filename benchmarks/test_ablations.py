@@ -1,0 +1,96 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+The paper argues (Section 7, overview) that task fusion alone gives no
+speedup at these task granularities, that temporary elimination is
+essential for the benefit of kernel fusion, and that memoization is a
+requirement for a practical implementation.  These benchmarks measure each
+claim on the Black-Scholes and CG workloads.
+"""
+
+from repro.experiments.harness import ExperimentScale, run_application_experiment
+from repro.fusion.engine import FusionConfig
+
+SCALE = ExperimentScale({"elements_per_gpu": 8192}, 2e-5, 3, 3)
+
+
+def _run(fusion_config=None, fusion=True):
+    return run_application_experiment(
+        "black-scholes", num_gpus=2, fusion=fusion, scale=SCALE, fusion_config=fusion_config
+    )
+
+
+def test_ablation_task_fusion_only(benchmark):
+    """Task fusion without kernel fusion only removes launch overheads."""
+
+    def run():
+        full = _run()
+        task_only = _run(FusionConfig(enable_kernel_fusion=False, enable_temporary_elimination=False))
+        unfused = _run(fusion=False)
+        return full, task_only, unfused
+
+    full, task_only, unfused = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation: task fusion only (Black-Scholes, 2 GPUs)")
+    print(f"  full Diffuse      : {full.throughput:10.2f} it/s")
+    print(f"  task fusion only  : {task_only.throughput:10.2f} it/s")
+    print(f"  unfused           : {unfused.throughput:10.2f} it/s")
+    # Task fusion alone helps a little (overhead removal) but kernel fusion
+    # provides the bulk of the speedup, as the paper reports.
+    assert full.throughput > 1.5 * task_only.throughput
+    assert task_only.throughput > 0.9 * unfused.throughput
+
+
+def test_ablation_temporary_elimination(benchmark):
+    """Disabling temporary elimination forfeits most of the memory-traffic win."""
+
+    def run():
+        full = _run()
+        no_temporaries = _run(FusionConfig(enable_temporary_elimination=False))
+        return full, no_temporaries
+
+    full, no_temporaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation: temporary store elimination (Black-Scholes, 2 GPUs)")
+    print(f"  with elimination   : {full.throughput:10.2f} it/s")
+    print(f"  without elimination: {no_temporaries.throughput:10.2f} it/s")
+    assert full.throughput > no_temporaries.throughput
+
+
+def test_ablation_memoization(benchmark):
+    """Without memoization the fusion analysis and compilation repeat every window."""
+
+    def run():
+        with_memo = _run()
+        without_memo = _run(FusionConfig(enable_memoization=False))
+        return with_memo, without_memo
+
+    with_memo, without_memo = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation: memoization of the fusion analysis (Black-Scholes, 2 GPUs)")
+    print(f"  with memoization   : {with_memo.throughput:10.2f} it/s "
+          f"(compile {with_memo.compile_seconds:.3f}s)")
+    print(f"  without memoization: {without_memo.throughput:10.2f} it/s "
+          f"(compile {without_memo.compile_seconds:.3f}s)")
+    assert without_memo.compile_seconds > with_memo.compile_seconds
+    assert with_memo.throughput >= 0.95 * without_memo.throughput
+
+
+def test_ablation_window_size(benchmark):
+    """A window too small to hold the fusible chain limits the speedup."""
+
+    def run():
+        adaptive = _run()
+        tiny_window = _run(FusionConfig(initial_window_size=4, max_window_size=4, adaptive_window=False))
+        return adaptive, tiny_window
+
+    adaptive, tiny_window = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation: task-window size (Black-Scholes, 2 GPUs)")
+    print(f"  adaptive window    : {adaptive.throughput:10.2f} it/s "
+          f"(window {adaptive.window_size})")
+    print(f"  fixed window of 4  : {tiny_window.throughput:10.2f} it/s "
+          f"(window {tiny_window.window_size})")
+    print(f"  launched tasks/iter: {adaptive.launched_tasks_per_iteration:.1f} vs "
+          f"{tiny_window.launched_tasks_per_iteration:.1f}")
+    assert adaptive.throughput > tiny_window.throughput
+    assert adaptive.launched_tasks_per_iteration < tiny_window.launched_tasks_per_iteration

@@ -1,0 +1,28 @@
+"""Figure 9: index tasks per iteration with and without fusion.
+
+Regenerates the table's four data columns — tasks per iteration, tasks per
+iteration after fusion, average task length, and the adaptively-chosen
+window size — for every benchmark application on one GPU.
+"""
+
+from repro.experiments.figures import FIGURE9_APPS, figure9_task_counts, format_figure9
+
+
+def test_figure9_task_counts(benchmark):
+    """Regenerate the Figure 9 table and check the fusion reductions."""
+
+    def run():
+        return figure9_task_counts(num_gpus=1, apps=FIGURE9_APPS)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_figure9(rows))
+
+    by_name = {row.benchmark: row for row in rows}
+    # Black-Scholes collapses to a handful of fused launches (paper: 67 -> 1).
+    assert by_name["black-scholes"].fused_tasks_per_iteration <= 3
+    # Every application launches no more tasks than it did without fusion.
+    for row in rows:
+        assert row.fused_tasks_per_iteration <= row.tasks_per_iteration
+    # The applications with long fusible chains get larger adaptive windows.
+    assert by_name["black-scholes"].window_size > by_name["jacobi"].window_size

@@ -1,0 +1,19 @@
+"""Figure 10a: Black-Scholes weak scaling (Fused vs Unfused)."""
+
+from repro.experiments.figures import figure10a_black_scholes
+from repro.experiments.weak_scaling import format_series_table, geo_mean
+
+
+def test_figure10a_black_scholes(benchmark, gpu_counts):
+    """The fully-fusible micro-benchmark: fusion wins by a large factor."""
+
+    def run():
+        return figure10a_black_scholes(gpu_counts=gpu_counts)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series_table(series, "Figure 10a: Black-Scholes (iterations / second)"))
+    speedups = series["Fused"].speedup_over(series["Unfused"])
+    print(f"speedups: {[round(s, 2) for s in speedups]} (geo-mean {geo_mean(speedups):.2f})")
+    # Paper: up to 10.7x; the shape requirement is a large (>3x) win everywhere.
+    assert all(speedup > 3.0 for speedup in speedups)

@@ -1,0 +1,20 @@
+"""Figure 10b: dense Jacobi iteration weak scaling (Fused vs Unfused)."""
+
+from repro.experiments.figures import figure10b_jacobi
+from repro.experiments.weak_scaling import format_series_table, geo_mean
+
+
+def test_figure10b_jacobi(benchmark, gpu_counts):
+    """Jacobi has almost nothing to fuse: Diffuse must not hurt."""
+
+    def run():
+        return figure10b_jacobi(gpu_counts=gpu_counts)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series_table(series, "Figure 10b: Jacobi iteration (iterations / second)"))
+    speedups = series["Fused"].speedup_over(series["Unfused"])
+    print(f"speedups: {[round(s, 2) for s in speedups]} (geo-mean {geo_mean(speedups):.2f})")
+    # Paper: 0.93x - 1.08x.  Allow a slightly wider band for the simulator,
+    # but fusion must stay roughly performance neutral.
+    assert all(0.8 < speedup < 1.6 for speedup in speedups)

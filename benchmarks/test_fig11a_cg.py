@@ -1,0 +1,24 @@
+"""Figure 11a: CG weak scaling (Fused / PETSc / Manually Fused / Unfused)."""
+
+from repro.experiments.figures import figure11a_cg
+from repro.experiments.weak_scaling import format_series_table, geo_mean
+
+
+def test_figure11a_cg(benchmark, gpu_counts):
+    """Diffuse lets naturally-written CG match hand-optimised baselines."""
+
+    def run():
+        return figure11a_cg(gpu_counts=gpu_counts)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series_table(series, "Figure 11a: Conjugate Gradient (iterations / second)"))
+    vs_unfused = geo_mean(series["Fused"].speedup_over(series["Unfused"]))
+    vs_manual = geo_mean(series["Fused"].speedup_over(series["Manually Fused"]))
+    vs_petsc = geo_mean(series["Fused"].speedup_over(series["PETSc"]))
+    print(f"geo-mean speedups: vs unfused {vs_unfused:.2f}, vs manual {vs_manual:.2f}, vs PETSc {vs_petsc:.2f}")
+    # Shape requirements: fused beats unfused, and is at least competitive
+    # with the hand-optimised and PETSc baselines (paper: slightly ahead).
+    assert vs_unfused > 1.05
+    assert vs_manual > 0.9
+    assert vs_petsc > 0.85

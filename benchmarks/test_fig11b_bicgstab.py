@@ -1,0 +1,20 @@
+"""Figure 11b: BiCGSTAB weak scaling (Fused / PETSc / Unfused)."""
+
+from repro.experiments.figures import figure11b_bicgstab
+from repro.experiments.weak_scaling import format_series_table, geo_mean
+
+
+def test_figure11b_bicgstab(benchmark, gpu_counts):
+    """Diffuse accelerates naturally-written BiCGSTAB (paper: 1.31x geo-mean)."""
+
+    def run():
+        return figure11b_bicgstab(gpu_counts=gpu_counts)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series_table(series, "Figure 11b: BiCGSTAB (iterations / second)"))
+    vs_unfused = geo_mean(series["Fused"].speedup_over(series["Unfused"]))
+    vs_petsc = geo_mean(series["Fused"].speedup_over(series["PETSc"]))
+    print(f"geo-mean speedups: vs unfused {vs_unfused:.2f}, vs PETSc {vs_petsc:.2f}")
+    assert vs_unfused > 1.1
+    assert vs_petsc > 0.8

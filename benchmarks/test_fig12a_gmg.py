@@ -1,0 +1,18 @@
+"""Figure 12a: geometric multigrid weak scaling (Fused vs Unfused)."""
+
+from repro.experiments.figures import figure12a_gmg
+from repro.experiments.weak_scaling import format_series_table, geo_mean
+
+
+def test_figure12a_gmg(benchmark, gpu_counts):
+    """The V-cycle preconditioned CG gains about 1.2x from fusion (paper)."""
+
+    def run():
+        return figure12a_gmg(gpu_counts=gpu_counts)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series_table(series, "Figure 12a: Geometric Multigrid (iterations / second)"))
+    speedups = series["Fused"].speedup_over(series["Unfused"])
+    print(f"speedups: {[round(s, 2) for s in speedups]} (geo-mean {geo_mean(speedups):.2f})")
+    assert geo_mean(speedups) > 1.05

@@ -1,0 +1,21 @@
+"""Figure 12b: Navier-Stokes channel flow weak scaling (Fused vs Unfused)."""
+
+from repro.experiments.figures import figure12b_cfd
+from repro.experiments.weak_scaling import format_series_table, geo_mean
+
+
+def test_figure12b_cfd(benchmark, gpu_counts):
+    """Element-wise updates over aliasing views: fusion wins 1.8x-2.3x (paper)."""
+
+    def run():
+        return figure12b_cfd(gpu_counts=gpu_counts)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series_table(series, "Figure 12b: CFD channel flow (iterations / second)"))
+    speedups = series["Fused"].speedup_over(series["Unfused"])
+    print(f"speedups: {[round(s, 2) for s in speedups]} (geo-mean {geo_mean(speedups):.2f})")
+    assert geo_mean(speedups) > 1.2
+    # Single-GPU fusion is at least as effective as multi-GPU fusion, since
+    # partitioned aliasing views reduce fusion opportunities (paper Sec 7.1).
+    assert speedups[0] >= 0.9 * max(speedups)

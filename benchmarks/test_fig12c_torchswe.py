@@ -1,0 +1,21 @@
+"""Figure 12c: TorchSWE weak scaling (Fused / Manually Fused / Unfused)."""
+
+from repro.experiments.figures import figure12c_torchswe
+from repro.experiments.weak_scaling import format_series_table, geo_mean
+
+
+def test_figure12c_torchswe(benchmark, gpu_counts):
+    """Diffuse beats both the natural and the hand-vectorised TorchSWE."""
+
+    def run():
+        return figure12c_torchswe(gpu_counts=gpu_counts)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series_table(series, "Figure 12c: TorchSWE (iterations / second)"))
+    vs_unfused = geo_mean(series["Fused"].speedup_over(series["Unfused"]))
+    vs_manual = geo_mean(series["Fused"].speedup_over(series["Manually Fused"]))
+    print(f"geo-mean speedups: vs unfused {vs_unfused:.2f}, vs manually fused {vs_manual:.2f}")
+    # Paper: 1.61x over unfused and 1.35x over the manually vectorised port.
+    assert vs_unfused > 1.2
+    assert vs_manual > 1.05

@@ -1,0 +1,27 @@
+"""Figure 13: warm-up times with and without compilation, break-even counts."""
+
+from repro.experiments.figures import FIGURE9_APPS, figure13_compile_time, format_figure13
+
+
+def test_figure13_compile_time(benchmark):
+    """JIT compilation is amortised after a modest number of iterations."""
+
+    def run():
+        return figure13_compile_time(num_gpus=8, apps=FIGURE9_APPS)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_figure13(rows))
+
+    by_name = {row.benchmark: row for row in rows}
+    # Compilation adds warm-up time to every application.
+    for row in rows:
+        assert row.compiled_seconds >= row.standard_seconds * 0.9
+    # Applications that benefit from fusion amortise the compile overhead in
+    # a bounded number of iterations (paper: between 1 and ~120 iterations).
+    for name in ("black-scholes", "cg", "bicgstab", "gmg", "cfd", "torchswe"):
+        row = by_name[name]
+        if row.breakeven_iterations is not None:
+            assert row.breakeven_iterations < 1000
+    assert by_name["black-scholes"].breakeven_iterations is not None
+    assert by_name["black-scholes"].breakeven_iterations < 20

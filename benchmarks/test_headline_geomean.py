@@ -1,0 +1,28 @@
+"""Headline claims: geo-mean speedups over unfused, PETSc and hand-optimised code.
+
+Paper abstract: 1.86x geo-mean over unmodified applications, 1.4x over
+PETSc for the Krylov solvers, and 1.23x over already hand-optimised code.
+"""
+
+from repro.experiments.figures import headline_summary
+
+
+def test_headline_geomeans(benchmark):
+    """The three headline geo-means point in the paper's direction."""
+
+    def run():
+        return headline_summary(num_gpus=4)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Headline geo-mean speedups (paper -> measured):")
+    print(f"  vs unfused applications: 1.86x -> {summary.speedup_vs_unfused:.2f}x")
+    print(f"  vs PETSc (CG, BiCGSTAB): 1.40x -> {summary.speedup_vs_petsc:.2f}x")
+    print(f"  vs hand-optimised code:  1.23x -> {summary.speedup_vs_manual:.2f}x")
+    print("  per-application speedups vs unfused:")
+    for app, speedup in sorted(summary.per_app_speedups.items()):
+        print(f"    {app:>14}: {speedup:.2f}x")
+
+    assert summary.speedup_vs_unfused > 1.2
+    assert summary.speedup_vs_manual > 1.0
+    assert summary.speedup_vs_petsc > 0.85

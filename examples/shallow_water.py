@@ -1,0 +1,75 @@
+"""Full application example: the TorchSWE-style shallow-water solver.
+
+Runs the naturally-written solver, the developer-optimised ("manually
+fused") variant and the Diffuse-fused execution, and prints the task
+counts and modelled throughputs side by side — a miniature version of the
+paper's Figure 12c experiment, plus a look inside the fused kernels that
+Diffuse generated.
+
+Run with:  python examples/shallow_water.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import ManuallyFusedShallowWater, ShallowWater
+from repro.experiments.harness import scaled_machine
+from repro.frontend.legate.context import RuntimeContext, set_context
+
+NUM_GPUS = 4
+POINTS_PER_GPU = 48
+ITERATIONS = 3
+WARMUP = 3
+BANDWIDTH_SCALE = 1e-5
+
+
+def run(app_cls, fusion: bool):
+    """Run one solver variant and return (checksum, context)."""
+    machine = scaled_machine(NUM_GPUS, BANDWIDTH_SCALE)
+    context = RuntimeContext(num_gpus=NUM_GPUS, fusion=fusion, machine=machine)
+    set_context(context)
+    try:
+        app = app_cls(points_per_gpu=POINTS_PER_GPU, context=context)
+        app.run(WARMUP + ITERATIONS)
+        return app.checksum(), context
+    finally:
+        set_context(None)
+
+
+def main() -> None:
+    natural_fused, ctx_fused = run(ShallowWater, fusion=True)
+    natural_plain, ctx_plain = run(ShallowWater, fusion=False)
+    manual_plain, ctx_manual = run(ManuallyFusedShallowWater, fusion=False)
+
+    assert np.isclose(natural_fused, natural_plain)
+
+    def describe(label, context):
+        profiler = context.profiler
+        print(f"  {label:<22} tasks/iter {profiler.tasks_per_iteration(WARMUP, fused_view=False):7.1f}"
+              f"  launched/iter {profiler.tasks_per_iteration(WARMUP, fused_view=True):6.1f}"
+              f"  throughput {profiler.throughput(skip_warmup=WARMUP):8.2f} it/s")
+
+    print(f"TorchSWE-style shallow water, {NUM_GPUS} simulated GPUs, "
+          f"{POINTS_PER_GPU}^2 cells per GPU")
+    describe("unfused (natural)", ctx_plain)
+    describe("manually vectorised", ctx_manual)
+    describe("Diffuse (fused)", ctx_fused)
+
+    fused_tp = ctx_fused.profiler.throughput(skip_warmup=WARMUP)
+    plain_tp = ctx_plain.profiler.throughput(skip_warmup=WARMUP)
+    manual_tp = ctx_manual.profiler.throughput(skip_warmup=WARMUP)
+    print(f"\n  Diffuse speedup over the natural port   : {fused_tp / plain_tp:.2f}x")
+    print(f"  Diffuse speedup over the manual variant : {fused_tp / manual_tp:.2f}x")
+
+    # Peek at one of the fused kernels Diffuse compiled.
+    kernels = list(ctx_fused.diffuse.compiler._cache.values())
+    if kernels:
+        biggest = max(kernels, key=lambda kernel: kernel.fused_count)
+        print(f"\n  largest fused kernel combines {biggest.fused_count} library tasks "
+              f"into {biggest.launches} loop(s);")
+        print(f"  it reads/writes {len(biggest.function.buffer_params)} distinct distributed views.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is configured through ``pyproject.toml``; this file only
+exists so that ``pip install -e . --no-use-pep517`` (a legacy editable
+install) works in offline environments where PEP 517 build isolation
+cannot download its build requirements.
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

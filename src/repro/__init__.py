@@ -1,0 +1,34 @@
+"""Reproduction of Diffuse (ASPLOS 2025).
+
+Diffuse is a middle layer between high-level distributed libraries
+(cuPyNumeric, Legate Sparse) and a task-based runtime (Legion).  It fuses
+distributed index tasks using a scale-free intermediate representation and
+then fuses the kernels inside fused tasks with a JIT compiler.
+
+The top-level package exposes the major subsystems:
+
+``repro.ir``
+    The scale-free intermediate representation (stores, partitions,
+    privileges, index tasks).
+``repro.fusion``
+    The distributed task fusion engine (constraints, fusible-prefix
+    algorithm, temporary elimination, memoization).
+``repro.kernel``
+    The kernel IR and JIT compilation pipeline (loop fusion, temporary
+    allocation elimination, lowering, cost model).
+``repro.runtime``
+    The Legion-like runtime substrate (machine model, regions, coherence,
+    functional execution, profiling).
+``repro.frontend``
+    cuPyNumeric-like and Legate-Sparse-like user-facing libraries.
+``repro.baselines``
+    The PETSc-like hand-fused MPI baseline.
+``repro.apps``
+    The applications used in the paper's evaluation.
+``repro.experiments``
+    Weak-scaling and warm-up experiment harnesses for every table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

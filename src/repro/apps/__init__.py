@@ -1,0 +1,37 @@
+"""The applications of the paper's evaluation (Section 7).
+
+Each module defines one benchmark application written against the
+cuPyNumeric / Legate Sparse frontends exactly as an end user would write
+it.  Applications expose a uniform interface (:class:`~repro.apps.base.
+Application`): a constructor taking the per-GPU problem size, a ``step``
+method emitting one iteration's tasks, and a ``checksum`` used by the
+correctness tests.
+
+Applications never import the fusion machinery — whether they run fused or
+unfused is decided entirely by the runtime context they are instantiated
+under, mirroring the paper's claim that no application changes are needed
+to benefit from Diffuse.
+"""
+
+from repro.apps.base import Application, build_application
+from repro.apps.black_scholes import BlackScholes
+from repro.apps.jacobi import JacobiIteration
+from repro.apps.cg import ConjugateGradient, ManuallyFusedConjugateGradient
+from repro.apps.bicgstab import BiCGSTAB
+from repro.apps.gmg import GeometricMultigrid
+from repro.apps.cfd import ChannelFlow
+from repro.apps.torchswe import ManuallyFusedShallowWater, ShallowWater
+
+__all__ = [
+    "Application",
+    "build_application",
+    "BlackScholes",
+    "JacobiIteration",
+    "ConjugateGradient",
+    "ManuallyFusedConjugateGradient",
+    "BiCGSTAB",
+    "GeometricMultigrid",
+    "ChannelFlow",
+    "ShallowWater",
+    "ManuallyFusedShallowWater",
+]

@@ -1,0 +1,78 @@
+"""Common interface shared by all benchmark applications."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+from repro.frontend.legate.context import RuntimeContext, get_context
+
+
+class Application:
+    """Base class of the paper's benchmark applications.
+
+    Subclasses build their distributed state in ``__init__`` (set-up is
+    never timed), emit one iteration's worth of index tasks in ``step``,
+    and return a scalar ``checksum`` that the correctness tests compare
+    against a NumPy reference implementation.
+    """
+
+    #: Short name used by the experiment harness and in reports.
+    name: str = "application"
+
+    def __init__(self, context: Optional[RuntimeContext] = None) -> None:
+        self.context = context or get_context()
+
+    def step(self) -> None:
+        """Emit the index tasks of one application iteration."""
+        raise NotImplementedError
+
+    def run(self, iterations: int, mark_iterations: bool = True) -> None:
+        """Run several iterations, marking iteration boundaries for profiling.
+
+        The task window is flushed at every iteration boundary.  Real
+        applications synchronise at least this often (convergence checks,
+        time-step control, I/O), and flushing here keeps each iteration's
+        task stream isomorphic to the previous one so the memoized fusion
+        analysis and kernel cache reach steady state after the first
+        (warm-up) iteration.
+        """
+        for _ in range(iterations):
+            if mark_iterations:
+                self.context.begin_iteration()
+            self.step()
+            self.context.flush()
+
+    def checksum(self) -> float:
+        """A scalar summary of the application state (forces a flush)."""
+        raise NotImplementedError
+
+
+#: Registry used by the experiment harness to construct applications by name.
+_APPLICATIONS: Dict[str, Callable[..., Application]] = {}
+
+
+def register_application(name: str):
+    """Class decorator registering an application under ``name``."""
+
+    def decorate(cls: Type[Application]) -> Type[Application]:
+        cls.name = name
+        _APPLICATIONS[name] = cls
+        return cls
+
+    return decorate
+
+
+def build_application(name: str, **kwargs) -> Application:
+    """Instantiate a registered application by name."""
+    try:
+        factory = _APPLICATIONS[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown application '{name}'; known: {sorted(_APPLICATIONS)}"
+        ) from error
+    return factory(**kwargs)
+
+
+def registered_applications():
+    """Names of all registered applications."""
+    return sorted(_APPLICATIONS)

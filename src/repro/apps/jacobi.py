@@ -1,0 +1,65 @@
+"""Dense Jacobi iteration (paper Section 7.1, Figure 10b).
+
+Each iteration is a dense matrix-vector product followed by two small
+vector operations.  The mat-vec is an opaque GEMV task and dominates the
+runtime, so fusion has almost nothing to win — the paper uses Jacobi to
+show that Diffuse's analyses do not hurt when no fusion is available.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+import repro.frontend.cunumeric as cn
+from repro.frontend.cunumeric import linalg
+from repro.apps.base import Application, register_application
+from repro.frontend.legate.context import RuntimeContext
+
+
+@register_application("jacobi")
+class JacobiIteration(Application):
+    """Jacobi iteration for a dense diagonally-dominant system."""
+
+    def __init__(
+        self,
+        rows_per_gpu: int = 64,
+        context: Optional[RuntimeContext] = None,
+        seed: int = 11,
+    ) -> None:
+        super().__init__(context)
+        # Weak scaling keeps the *matrix elements* per GPU constant, so the
+        # number of rows grows with the square root of the GPU count.
+        gpus = self.context.num_gpus
+        rows = int(np.ceil(float(rows_per_gpu) * np.sqrt(gpus)))
+        rows = max(gpus, (rows // gpus) * gpus)
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(0.0, 1.0, (rows, rows))
+        # Make the matrix strongly diagonally dominant so Jacobi converges.
+        np.fill_diagonal(matrix, matrix.sum(axis=1) + 1.0)
+        self._matrix_host = matrix
+        self._rhs_host = rng.uniform(0.0, 1.0, rows)
+        self.matrix = cn.array(matrix, name="jacobi_A")
+        self.rhs = cn.array(self._rhs_host, name="jacobi_b")
+        self.diagonal = cn.array(np.diag(matrix).copy(), name="jacobi_diag")
+        self.x = cn.zeros(rows, name="jacobi_x")
+        self.rows = rows
+
+    def step(self) -> None:
+        """One Jacobi sweep: ``x <- x + (b - A x) / diag``."""
+        ax = linalg.matvec(self.matrix, self.x)
+        residual = self.rhs - ax
+        self.x = self.x + residual / self.diagonal
+
+    def checksum(self) -> float:
+        """Sum of the current iterate."""
+        return float(self.x.sum())
+
+    def reference_checksum(self, iterations: int) -> float:
+        """The same sweeps with plain NumPy (for the tests)."""
+        x = np.zeros(self.rows)
+        diag = np.diag(self._matrix_host)
+        for _ in range(iterations):
+            x = x + (self._rhs_host - self._matrix_host @ x) / diag
+        return float(x.sum())

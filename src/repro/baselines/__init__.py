@@ -1,0 +1,8 @@
+"""Baselines the paper compares Diffuse against.
+
+``repro.baselines.petsc`` models the MPI-based PETSc library: explicitly
+parallel, with hand-fused vector kernels (``VecAXPY``, ``VecAXPBYPCZ``,
+``VecMDot``...).  It executes functionally on NumPy and charges the same
+analytic machine model as the Diffuse stack, so the CG/BiCGSTAB
+comparisons of paper Figure 11 are apples-to-apples.
+"""

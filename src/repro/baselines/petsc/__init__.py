@@ -1,0 +1,14 @@
+"""A PETSc-like explicitly-parallel baseline (Vec / Mat / KSP)."""
+
+from repro.baselines.petsc.vec import PetscMachineModel, Vec
+from repro.baselines.petsc.mat import AIJMatrix, poisson_2d_aij
+from repro.baselines.petsc.ksp import KSP, KSPResult
+
+__all__ = [
+    "PetscMachineModel",
+    "Vec",
+    "AIJMatrix",
+    "poisson_2d_aij",
+    "KSP",
+    "KSPResult",
+]

@@ -1,0 +1,96 @@
+"""PETSc AIJ (CSR) matrices for the baseline solvers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.petsc.vec import PetscMachineModel, Vec
+
+
+class AIJMatrix:
+    """A distributed CSR matrix with 32-bit column indices (MATAIJ).
+
+    PETSc stores coordinates as 32-bit integers (paper footnote 1), which
+    is reflected in the modelled memory traffic of MatMult.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+        model: PetscMachineModel,
+        index_bytes: int = 4,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.model = model
+        self.index_bytes = index_bytes
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return len(self.data)
+
+    def mult(self, x: Vec, y: Vec) -> None:
+        """MatMult: y <- A x with a halo gather of x and a streaming SpMV."""
+        machine = self.model.machine
+        rows_per_rank = -(-self.shape[0] // max(1, machine.num_gpus))
+        nnz_per_rank = -(-self.nnz // max(1, machine.num_gpus))
+        # Gather of the off-process entries of x needed by the local rows.
+        # For the banded Poisson matrices of the evaluation that is one
+        # grid row per neighbour per rank.
+        if machine.num_gpus > 1:
+            halo_bytes = min(len(x.data), 2 * int(np.sqrt(max(1, self.shape[0])))) * 8.0
+            self.model.charge_halo_exchange(halo_bytes)
+        bytes_moved = nnz_per_rank * (8.0 + self.index_bytes + 8.0) + rows_per_rank * (self.index_bytes + 8.0)
+        seconds = max(
+            bytes_moved / machine.gpu_memory_bandwidth,
+            2.0 * nnz_per_rank / machine.gpu_peak_flops,
+        )
+        self.model.seconds += machine.kernel_launch_latency + seconds
+        # Functional result.
+        products = self.data * x.data[self.indices]
+        sums = np.add.reduceat(products, self.indptr[:-1]) if len(products) else np.zeros(self.shape[0])
+        counts = np.diff(self.indptr)
+        y.data = np.where(counts > 0, sums, 0.0)
+
+
+def poisson_2d_aij(grid_points: int, model: PetscMachineModel) -> AIJMatrix:
+    """The 5-point Laplacian as an AIJ matrix (same stencil as the frontends).
+
+    Assembled directly on the host: the baseline must not touch the
+    Diffuse runtime, so the band construction is repeated here instead of
+    reusing :func:`repro.frontend.sparse.csr.poisson_2d`.
+    """
+    n = int(grid_points)
+    rows = n * n
+    grid_i, grid_j = np.divmod(np.arange(rows, dtype=np.int64), n)
+    row_blocks, col_blocks, val_blocks = [], [], []
+
+    def add_band(mask: np.ndarray, column_offset: int, value: float) -> None:
+        band_rows = np.arange(rows, dtype=np.int64)[mask]
+        row_blocks.append(band_rows)
+        col_blocks.append(band_rows + column_offset)
+        val_blocks.append(np.full(band_rows.shape, value))
+
+    add_band(grid_i > 0, -n, -1.0)
+    add_band(grid_j > 0, -1, -1.0)
+    add_band(np.ones(rows, dtype=bool), 0, 4.0)
+    add_band(grid_j < n - 1, 1, -1.0)
+    add_band(grid_i < n - 1, n, -1.0)
+
+    all_rows = np.concatenate(row_blocks)
+    all_cols = np.concatenate(col_blocks)
+    all_vals = np.concatenate(val_blocks)
+    order = np.lexsort((all_cols, all_rows))
+    all_rows, all_cols, all_vals = all_rows[order], all_cols[order], all_vals[order]
+    indptr = np.zeros(rows + 1, dtype=np.int64)
+    np.add.at(indptr, all_rows + 1, 1)
+    indptr = np.cumsum(indptr)
+    return AIJMatrix(indptr, all_cols, all_vals, (rows, rows), model)

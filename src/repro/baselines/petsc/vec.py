@@ -1,0 +1,134 @@
+"""PETSc-style distributed vectors with hand-fused kernels.
+
+PETSc applications are explicitly parallel: every rank owns a block of
+each vector and collective operations (dots, norms) pay an MPI
+all-reduce.  PETSc also ships hand-fused vector kernels — ``VecAXPY``,
+``VecAYPX``, ``VecAXPBYPCZ``, ``VecMAXPY``, fused dot products — which are
+exactly the operations its CG and BiCGSTAB implementations are written in
+(the paper cites ``VecAXPBYPCZ`` as an example of how esoteric these
+become).
+
+The baseline executes functionally on NumPy and charges the same roofline
+and alpha-beta machine model used by the Diffuse stack, accumulated on a
+per-instance clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.machine import MachineConfig
+
+
+@dataclass
+class PetscMachineModel:
+    """Accumulates the modelled execution time of PETSc operations."""
+
+    machine: MachineConfig
+    seconds: float = 0.0
+    #: Fixed per-operation host overhead (argument checking, launch).
+    call_overhead: float = 5e-6
+
+    def charge_streaming(self, arrays: int, elements_per_rank: int, flops_per_element: float = 1.0) -> None:
+        """Charge one pass over ``arrays`` vectors of the local block size."""
+        bytes_moved = arrays * elements_per_rank * 8.0
+        seconds = max(
+            bytes_moved / self.machine.gpu_memory_bandwidth,
+            flops_per_element * elements_per_rank / self.machine.gpu_peak_flops,
+        )
+        self.seconds += self.call_overhead + self.machine.kernel_launch_latency + seconds
+
+    def charge_allreduce(self, values: int = 1) -> None:
+        """Charge an MPI all-reduce of a few scalars."""
+        self.seconds += self.machine.allreduce_time(values * 8.0)
+
+    def charge_halo_exchange(self, bytes_per_rank: float) -> None:
+        """Charge a neighbour halo exchange (SpMV gather)."""
+        self.seconds += self.machine.point_to_point_time(bytes_per_rank)
+
+
+class Vec:
+    """A distributed PETSc vector (functionally a NumPy array)."""
+
+    def __init__(self, data: np.ndarray, model: PetscMachineModel) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # Creation helpers.
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, size: int, model: PetscMachineModel, value: float = 0.0) -> "Vec":
+        """A vector of the given global size filled with ``value``."""
+        return cls(np.full(size, value), model)
+
+    def duplicate(self) -> "Vec":
+        """An uninitialised vector with the same layout (VecDuplicate)."""
+        return Vec(np.zeros_like(self.data), self.model)
+
+    def copy(self) -> "Vec":
+        """A copy of the vector (VecCopy)."""
+        self.model.charge_streaming(2, self._local_elements())
+        return Vec(self.data.copy(), self.model)
+
+    def _local_elements(self) -> int:
+        return -(-len(self.data) // max(1, self.model.machine.num_gpus))
+
+    # ------------------------------------------------------------------
+    # Hand-fused vector kernels (each is a single pass over memory).
+    # ------------------------------------------------------------------
+    def set(self, value: float) -> None:
+        """VecSet: fill with a constant."""
+        self.data.fill(value)
+        self.model.charge_streaming(1, self._local_elements())
+
+    def scale(self, alpha: float) -> None:
+        """VecScale: x <- alpha x."""
+        self.data *= alpha
+        self.model.charge_streaming(2, self._local_elements())
+
+    def axpy(self, alpha: float, x: "Vec") -> None:
+        """VecAXPY: y <- alpha x + y."""
+        self.data += alpha * x.data
+        self.model.charge_streaming(3, self._local_elements(), flops_per_element=2)
+
+    def aypx(self, alpha: float, x: "Vec") -> None:
+        """VecAYPX: y <- x + alpha y."""
+        self.data = x.data + alpha * self.data
+        self.model.charge_streaming(3, self._local_elements(), flops_per_element=2)
+
+    def waxpy(self, alpha: float, x: "Vec", y: "Vec") -> None:
+        """VecWAXPY: w <- alpha x + y."""
+        self.data = alpha * x.data + y.data
+        self.model.charge_streaming(3, self._local_elements(), flops_per_element=2)
+
+    def axpbypcz(self, alpha: float, beta: float, gamma: float, x: "Vec", y: "Vec") -> None:
+        """VecAXPBYPCZ: z <- alpha x + beta y + gamma z (a single fused pass)."""
+        self.data = alpha * x.data + beta * y.data + gamma * self.data
+        self.model.charge_streaming(4, self._local_elements(), flops_per_element=5)
+
+    def dot(self, other: "Vec") -> float:
+        """VecDot: a local dot product plus an MPI all-reduce."""
+        self.model.charge_streaming(2, self._local_elements(), flops_per_element=2)
+        self.model.charge_allreduce(1)
+        return float(self.data @ other.data)
+
+    def mdot(self, others: "Vec", *more: "Vec") -> list:
+        """VecMDot: several dot products sharing one pass and one all-reduce."""
+        vectors = [others, *more]
+        self.model.charge_streaming(1 + len(vectors), self._local_elements(), flops_per_element=2 * len(vectors))
+        self.model.charge_allreduce(len(vectors))
+        return [float(self.data @ v.data) for v in vectors]
+
+    def norm(self) -> float:
+        """VecNorm: the 2-norm."""
+        self.model.charge_streaming(1, self._local_elements(), flops_per_element=2)
+        self.model.charge_allreduce(1)
+        return float(np.linalg.norm(self.data))
+
+    def to_numpy(self) -> np.ndarray:
+        """A host copy of the vector's contents."""
+        return self.data.copy()

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+The harness runs the applications of :mod:`repro.apps` under different
+configurations (fused / unfused / manually fused / PETSc), collects the
+profiler's analytically-modelled timings, and formats them as the rows and
+series the paper reports:
+
+* :mod:`repro.experiments.harness` — single-run driver and result records.
+* :mod:`repro.experiments.weak_scaling` — weak-scaling sweeps over GPU
+  counts (Figures 10, 11 and 12).
+* :mod:`repro.experiments.figures` — one entry point per paper artifact,
+  including the task-count table (Figure 9), the compile-time table
+  (Figure 13) and the headline geo-mean summaries.
+"""
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    RunResult,
+    default_scale_for,
+    run_application_experiment,
+    run_petsc_experiment,
+    scaled_machine,
+)
+from repro.experiments.weak_scaling import WeakScalingSeries, run_weak_scaling
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentScale",
+    "RunResult",
+    "default_scale_for",
+    "run_application_experiment",
+    "run_petsc_experiment",
+    "scaled_machine",
+    "WeakScalingSeries",
+    "run_weak_scaling",
+    "figures",
+]

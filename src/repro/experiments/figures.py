@@ -1,0 +1,248 @@
+"""One driver per paper artifact (tables and figures of Section 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import (
+    default_scale_for,
+    run_application_experiment,
+)
+from repro.experiments.weak_scaling import (
+    DEFAULT_GPU_COUNTS,
+    WeakScalingSeries,
+    format_series_table,
+    geo_mean,
+    run_weak_scaling,
+)
+
+#: The applications of Figure 9, in the paper's row order.
+FIGURE9_APPS = ("black-scholes", "jacobi", "cg", "bicgstab", "gmg", "cfd", "torchswe")
+
+
+# ----------------------------------------------------------------------
+# Figure 9: task counts, task granularity, window sizes.
+# ----------------------------------------------------------------------
+@dataclass
+class TaskCountRow:
+    """One row of the Figure 9 table."""
+
+    benchmark: str
+    tasks_per_iteration: float
+    fused_tasks_per_iteration: float
+    avg_task_length_ms: float
+    window_size: int
+
+
+def figure9_task_counts(
+    num_gpus: int = 1,
+    apps: Sequence[str] = FIGURE9_APPS,
+    iterations: Optional[int] = None,
+) -> List[TaskCountRow]:
+    """Regenerate the Figure 9 table.
+
+    Task counts come from a fused run (so launched tasks reflect fusion);
+    the average task length is reported from an unfused single-GPU run as
+    in the paper's caption.
+    """
+    rows = []
+    for app in apps:
+        fused = run_application_experiment(app, num_gpus=num_gpus, fusion=True, iterations=iterations)
+        unfused = run_application_experiment(app, num_gpus=num_gpus, fusion=False, iterations=iterations)
+        rows.append(
+            TaskCountRow(
+                benchmark=app,
+                tasks_per_iteration=fused.tasks_per_iteration,
+                fused_tasks_per_iteration=fused.launched_tasks_per_iteration,
+                avg_task_length_ms=unfused.avg_task_length_ms,
+                window_size=fused.window_size,
+            )
+        )
+    return rows
+
+
+def format_figure9(rows: Sequence[TaskCountRow]) -> str:
+    """Render the Figure 9 table as text."""
+    header = (
+        f"{'Benchmark':>14} {'Tasks/Iter':>12} {'Tasks/Iter (Fused)':>20} "
+        f"{'Avg Task (ms)':>14} {'Window':>8}"
+    )
+    lines = ["Figure 9: index tasks per iteration with and without fusion", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:>14} {row.tasks_per_iteration:>12.1f} "
+            f"{row.fused_tasks_per_iteration:>20.1f} {row.avg_task_length_ms:>14.2f} "
+            f"{row.window_size:>8}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figures 10-12: weak-scaling studies.
+# ----------------------------------------------------------------------
+def figure10a_black_scholes(gpu_counts=DEFAULT_GPU_COUNTS) -> Dict[str, WeakScalingSeries]:
+    """Black-Scholes weak scaling (Fused vs Unfused)."""
+    return run_weak_scaling("black-scholes", gpu_counts=gpu_counts)
+
+
+def figure10b_jacobi(gpu_counts=DEFAULT_GPU_COUNTS) -> Dict[str, WeakScalingSeries]:
+    """Jacobi iteration weak scaling (Fused vs Unfused)."""
+    return run_weak_scaling("jacobi", gpu_counts=gpu_counts)
+
+
+def figure11a_cg(gpu_counts=DEFAULT_GPU_COUNTS) -> Dict[str, WeakScalingSeries]:
+    """CG weak scaling: Fused, PETSc, Manually Fused, Unfused."""
+    configurations = {
+        "Fused": {"fusion": True},
+        "PETSc": {"petsc": True, "solver": "cg"},
+        "Manually Fused": {"app_name": "cg-manual", "fusion": False},
+        "Unfused": {"fusion": False},
+    }
+    return run_weak_scaling("cg", configurations=configurations, gpu_counts=gpu_counts)
+
+
+def figure11b_bicgstab(gpu_counts=DEFAULT_GPU_COUNTS) -> Dict[str, WeakScalingSeries]:
+    """BiCGSTAB weak scaling: Fused, PETSc, Unfused."""
+    configurations = {
+        "Fused": {"fusion": True},
+        "PETSc": {"petsc": True, "solver": "bicgstab"},
+        "Unfused": {"fusion": False},
+    }
+    return run_weak_scaling("bicgstab", configurations=configurations, gpu_counts=gpu_counts)
+
+
+def figure12a_gmg(gpu_counts=DEFAULT_GPU_COUNTS) -> Dict[str, WeakScalingSeries]:
+    """Geometric multigrid weak scaling (Fused vs Unfused)."""
+    return run_weak_scaling("gmg", gpu_counts=gpu_counts)
+
+
+def figure12b_cfd(gpu_counts=DEFAULT_GPU_COUNTS) -> Dict[str, WeakScalingSeries]:
+    """Navier-Stokes channel flow weak scaling (Fused vs Unfused)."""
+    return run_weak_scaling("cfd", gpu_counts=gpu_counts)
+
+
+def figure12c_torchswe(gpu_counts=DEFAULT_GPU_COUNTS) -> Dict[str, WeakScalingSeries]:
+    """TorchSWE weak scaling: Fused, Manually Fused, Unfused."""
+    configurations = {
+        "Fused": {"fusion": True},
+        "Manually Fused": {"app_name": "torchswe-manual", "fusion": False},
+        "Unfused": {"fusion": False},
+    }
+    return run_weak_scaling("torchswe", configurations=configurations, gpu_counts=gpu_counts)
+
+
+# ----------------------------------------------------------------------
+# Figure 13: warm-up / compilation time and break-even iterations.
+# ----------------------------------------------------------------------
+@dataclass
+class CompileTimeRow:
+    """One row of the Figure 13 table."""
+
+    benchmark: str
+    standard_seconds: float
+    compiled_seconds: float
+    breakeven_iterations: Optional[float]
+
+
+def figure13_compile_time(
+    num_gpus: int = 8,
+    apps: Sequence[str] = FIGURE9_APPS,
+) -> List[CompileTimeRow]:
+    """Regenerate the Figure 13 warm-up time table.
+
+    "Standard" is the warm-up time of the unfused execution; "Compiled"
+    includes Diffuse's analysis and JIT compilation.  The break-even count
+    is the number of steady-state iterations needed before the fused
+    version (including its warm-up overhead) is faster overall.
+    """
+    rows = []
+    for app in apps:
+        fused = run_application_experiment(app, num_gpus=num_gpus, fusion=True)
+        unfused = run_application_experiment(app, num_gpus=num_gpus, fusion=False)
+        fused_iteration = 1.0 / fused.throughput if fused.throughput > 0 else float("inf")
+        unfused_iteration = 1.0 / unfused.throughput if unfused.throughput > 0 else float("inf")
+        savings = unfused_iteration - fused_iteration
+        overhead = fused.warmup_seconds - unfused.warmup_seconds
+        if savings > 0 and overhead > 0:
+            breakeven = overhead / savings
+        else:
+            breakeven = None
+        rows.append(
+            CompileTimeRow(
+                benchmark=app,
+                standard_seconds=unfused.warmup_seconds,
+                compiled_seconds=fused.warmup_seconds,
+                breakeven_iterations=breakeven,
+            )
+        )
+    return rows
+
+
+def format_figure13(rows: Sequence[CompileTimeRow]) -> str:
+    """Render the Figure 13 table as text."""
+    header = f"{'Benchmark':>14} {'Standard (s)':>14} {'Compiled (s)':>14} {'Breakeven Iters':>16}"
+    lines = ["Figure 13: warm-up times and break-even iteration counts", header, "-" * len(header)]
+    for row in rows:
+        breakeven = "N/A" if row.breakeven_iterations is None else f"{row.breakeven_iterations:.1f}"
+        lines.append(
+            f"{row.benchmark:>14} {row.standard_seconds:>14.4f} "
+            f"{row.compiled_seconds:>14.4f} {breakeven:>16}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Headline claims: geo-mean speedups (abstract / Section 7 overview).
+# ----------------------------------------------------------------------
+@dataclass
+class HeadlineSummary:
+    """The paper's three headline geo-mean speedups."""
+
+    speedup_vs_unfused: float
+    speedup_vs_petsc: float
+    speedup_vs_manual: float
+    per_app_speedups: Dict[str, float]
+
+
+def headline_summary(
+    num_gpus: int = 4,
+    apps: Sequence[str] = FIGURE9_APPS,
+) -> HeadlineSummary:
+    """Compute the geo-mean speedups the paper's abstract reports."""
+    from repro.experiments.harness import run_petsc_experiment
+
+    per_app = {}
+    for app in apps:
+        fused = run_application_experiment(app, num_gpus=num_gpus, fusion=True)
+        unfused = run_application_experiment(app, num_gpus=num_gpus, fusion=False)
+        if unfused.throughput > 0:
+            per_app[app] = fused.throughput / unfused.throughput
+
+    petsc_speedups = []
+    for solver in ("cg", "bicgstab"):
+        fused = run_application_experiment(solver, num_gpus=num_gpus, fusion=True)
+        scale = default_scale_for(solver)
+        petsc = run_petsc_experiment(
+            solver,
+            num_gpus=num_gpus,
+            grid_points_per_gpu=int(scale.app_kwargs["grid_points_per_gpu"]),
+            iterations=scale.iterations,
+            bandwidth_scale=scale.bandwidth_scale,
+        )
+        if petsc.throughput > 0:
+            petsc_speedups.append(fused.throughput / petsc.throughput)
+
+    manual_speedups = []
+    for natural, manual in (("cg", "cg-manual"), ("torchswe", "torchswe-manual")):
+        fused = run_application_experiment(natural, num_gpus=num_gpus, fusion=True)
+        hand = run_application_experiment(manual, num_gpus=num_gpus, fusion=False)
+        if hand.throughput > 0:
+            manual_speedups.append(fused.throughput / hand.throughput)
+
+    return HeadlineSummary(
+        speedup_vs_unfused=geo_mean(list(per_app.values())),
+        speedup_vs_petsc=geo_mean(petsc_speedups),
+        speedup_vs_manual=geo_mean(manual_speedups),
+        per_app_speedups=per_app,
+    )

@@ -1,0 +1,10 @@
+"""User-facing distributed libraries built on Diffuse's IR.
+
+``repro.frontend.cunumeric`` is a deferred-execution, NumPy-like array
+library (the paper's cuPyNumeric) and ``repro.frontend.sparse`` a
+SciPy-Sparse-like CSR library (the paper's Legate Sparse).  Both map their
+operations onto Diffuse index tasks through the shared
+:mod:`repro.frontend.legate` runtime context, so programs composed from
+the two libraries are optimised across library boundaries exactly as in
+the paper.
+"""

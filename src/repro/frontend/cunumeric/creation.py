@@ -1,0 +1,65 @@
+"""Array creation routines."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.frontend.cunumeric.array import ndarray
+from repro.frontend.legate.context import get_context
+
+ShapeLike = Union[int, Sequence[int]]
+
+
+def _normalize_shape(shape: ShapeLike) -> Tuple[int, ...]:
+    if isinstance(shape, (int, np.integer)):
+        return (int(shape),)
+    return tuple(int(s) for s in shape)
+
+
+def empty(shape: ShapeLike, name: Optional[str] = None) -> ndarray:
+    """An uninitialised distributed array (contents are zero in practice)."""
+    context = get_context()
+    store = context.create_store(_normalize_shape(shape), name=name or "empty")
+    return ndarray(store, context=context)
+
+
+def zeros(shape: ShapeLike, name: Optional[str] = None) -> ndarray:
+    """A distributed array of zeros (emits a deferred fill task)."""
+    out = empty(shape, name=name or "zeros")
+    out.fill(0.0)
+    return out
+
+
+def ones(shape: ShapeLike, name: Optional[str] = None) -> ndarray:
+    """A distributed array of ones (emits a deferred fill task)."""
+    out = empty(shape, name=name or "ones")
+    out.fill(1.0)
+    return out
+
+
+def full(shape: ShapeLike, value: float, name: Optional[str] = None) -> ndarray:
+    """A distributed array filled with ``value``."""
+    out = empty(shape, name=name or "full")
+    out.fill(float(value))
+    return out
+
+
+def zeros_like(template: ndarray) -> ndarray:
+    """A zero array with the same shape as ``template``."""
+    return zeros(template.shape)
+
+
+def array(data, name: Optional[str] = None) -> ndarray:
+    """Create a distributed array from host data (attached, not a task)."""
+    context = get_context()
+    host = np.asarray(data, dtype=np.float64)
+    store = context.create_store(host.shape, name=name or "array")
+    context.attach(store, host)
+    return ndarray(store, context=context)
+
+
+def arange(stop: float, name: Optional[str] = None) -> ndarray:
+    """The sequence ``0, 1, ..., stop-1`` as a distributed array."""
+    return array(np.arange(stop, dtype=np.float64), name=name or "arange")

@@ -1,0 +1,80 @@
+"""Dense linear algebra: mat-vec products and norms.
+
+The dense matrix-vector product is an *opaque* task (no KIR generator):
+like cuPyNumeric's cuBLAS-backed GEMV it executes through a library kernel
+and therefore never joins a fused kernel, exactly as in the paper's Jacobi
+benchmark where the matrix-vector multiply dominates and fusion only
+touches the surrounding vector operations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ir.privilege import Privilege
+from repro.ir.task import IndexTask, StoreArg
+from repro.frontend.cunumeric.array import ndarray
+from repro.frontend.legate.context import get_context
+from repro.runtime.machine import MachineConfig
+from repro.runtime.opaque import register_opaque_task
+
+
+# ----------------------------------------------------------------------
+# Opaque GEMV task registration.
+# ----------------------------------------------------------------------
+def _gemv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray]]):
+    matrix = buffers[0]
+    vector = buffers[1]
+    output = buffers[2]
+    if output is None or matrix is None or vector is None:
+        return None
+    output[...] = matrix @ vector
+    return None
+
+
+def _gemv_cost(task: IndexTask, point, buffers, machine: MachineConfig) -> float:
+    matrix = buffers[0]
+    if matrix is None:
+        return machine.kernel_launch_latency
+    rows, cols = matrix.shape
+    bytes_moved = rows * cols * 8 + cols * 8 + rows * 8
+    flops = 2.0 * rows * cols
+    return machine.kernel_launch_latency + max(
+        bytes_moved / machine.gpu_memory_bandwidth, flops / machine.gpu_peak_flops
+    )
+
+
+register_opaque_task("gemv", _gemv_execute, _gemv_cost)
+
+
+def matvec(matrix: ndarray, vector: ndarray) -> ndarray:
+    """Dense mat-vec product ``matrix @ vector`` (an opaque GEMV task)."""
+    if matrix.ndim != 2 or vector.ndim != 1:
+        raise ValueError("matvec expects a 2-D matrix and a 1-D vector")
+    rows, cols = matrix.shape
+    if cols != vector.shape[0]:
+        raise ValueError(f"shape mismatch: {matrix.shape} @ {vector.shape}")
+    context = get_context()
+    out_store = context.create_store((rows,), name="gemv_out")
+    out = ndarray(out_store, context=context)
+    args = [
+        StoreArg(matrix.store, context.row_partition(matrix.store, rows), Privilege.READ),
+        StoreArg(vector.store, context.replication(), Privilege.READ),
+        out.write_arg(),
+    ]
+    context.submit("gemv", out.launch_domain(), args)
+    return out
+
+
+def norm(vector: ndarray) -> float:
+    """The 2-norm of a vector.
+
+    Reading the norm synchronises with the runtime (a Legion future read),
+    so programs that want to keep execution deferred use ``dot`` on the
+    vector with itself instead, as the paper's solvers do.
+    """
+    squared = vector.dot(vector)
+    return math.sqrt(max(0.0, float(squared)))

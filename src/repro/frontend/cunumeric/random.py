@@ -1,0 +1,40 @@
+"""Random array creation.
+
+cuPyNumeric generates random numbers on the GPUs; here the values are
+generated on the host and attached to the store.  Generation is part of
+application set-up in every benchmark and is never timed, so modelling it
+as an attach keeps the measured task streams identical to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.frontend.cunumeric.array import ndarray
+from repro.frontend.cunumeric.creation import array
+
+_rng = np.random.default_rng(0)
+
+
+def seed(value: int) -> None:
+    """Seed the host-side generator (for reproducible examples/tests)."""
+    global _rng
+    _rng = np.random.default_rng(value)
+
+
+def rand(*shape: int) -> ndarray:
+    """Uniform random values in ``[0, 1)`` with the given shape."""
+    if len(shape) == 1 and isinstance(shape[0], tuple):
+        shape = shape[0]
+    host = _rng.random(tuple(int(s) for s in shape))
+    return array(host, name="rand")
+
+
+def uniform(low: float, high: float, size) -> ndarray:
+    """Uniform random values in ``[low, high)``."""
+    if isinstance(size, int):
+        size = (size,)
+    host = _rng.uniform(low, high, tuple(int(s) for s in size))
+    return array(host, name="uniform")

@@ -1,0 +1,25 @@
+"""Reduction functions producing deferred scalar futures."""
+
+from __future__ import annotations
+
+from repro.frontend.cunumeric.array import ndarray
+
+
+def sum(a: ndarray) -> ndarray:  # noqa: A001 - mirrors the NumPy name
+    """Sum of all elements (deferred scalar)."""
+    return a.sum()
+
+
+def amax(a: ndarray) -> ndarray:
+    """Maximum element (deferred scalar)."""
+    return a.max()
+
+
+def amin(a: ndarray) -> ndarray:
+    """Minimum element (deferred scalar)."""
+    return a.min()
+
+
+def dot(a: ndarray, b: ndarray) -> ndarray:
+    """Inner product of two equally-shaped arrays (deferred scalar)."""
+    return a.dot(b)

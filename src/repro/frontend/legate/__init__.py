@@ -1,0 +1,10 @@
+"""The Legate-like runtime context shared by all frontends."""
+
+from repro.frontend.legate.context import (
+    RuntimeContext,
+    get_context,
+    runtime_context,
+    set_context,
+)
+
+__all__ = ["RuntimeContext", "get_context", "set_context", "runtime_context"]

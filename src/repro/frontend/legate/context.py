@@ -1,0 +1,209 @@
+"""The runtime context connecting frontends to Diffuse and the runtime.
+
+The context plays the role of the Legate core runtime in the paper's
+software stack: it owns the store manager, decides launch domains, and
+routes the index tasks emitted by the frontends either through the
+Diffuse fusion layer (the "Fused" configuration) or directly to the
+Legion-like runtime (the "Unfused" baseline).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.domain import Domain, Rect, factor_domain, tile_shape_for
+from repro.ir.partition import Partition, Replication, Tiling
+from repro.ir.projection import promote_dimension
+from repro.ir.store import Store, StoreManager
+from repro.ir.task import IndexTask, StoreArg
+from repro.fusion.engine import DiffuseRuntime, FusionConfig
+from repro.kernel.generators import GeneratorRegistry, default_registry
+from repro.runtime.machine import MachineConfig
+from repro.runtime.opaque import OpaqueTaskRegistry, default_opaque_registry
+from repro.runtime.runtime import LegionRuntime
+
+
+class RuntimeContext:
+    """Owns the runtime stack and issues index tasks for the frontends."""
+
+    def __init__(
+        self,
+        num_gpus: int = 1,
+        fusion: bool = True,
+        machine: Optional[MachineConfig] = None,
+        fusion_config: Optional[FusionConfig] = None,
+        generator_registry: Optional[GeneratorRegistry] = None,
+        opaque_registry: Optional[OpaqueTaskRegistry] = None,
+    ) -> None:
+        self.machine = machine or MachineConfig(num_gpus=num_gpus)
+        self.stores = StoreManager()
+        self.legion = LegionRuntime(
+            machine=self.machine,
+            generator_registry=generator_registry,
+            opaque_registry=opaque_registry,
+        )
+        self.fusion_enabled = fusion
+        config = fusion_config or FusionConfig()
+        config.enable_fusion = fusion
+        self.diffuse = DiffuseRuntime(
+            runtime=self.legion,
+            config=config,
+            generator_registry=generator_registry,
+        )
+
+    # ------------------------------------------------------------------
+    # Launch-domain and partition policy (mirrors cuPyNumeric's blocking).
+    # ------------------------------------------------------------------
+    @property
+    def num_gpus(self) -> int:
+        """Number of GPUs the context launches tasks over."""
+        return self.machine.num_gpus
+
+    def launch_domain(self, ndim: int) -> Domain:
+        """The launch domain used for arrays of the given dimensionality."""
+        if ndim == 0:
+            return Domain((1,))
+        return factor_domain(self.num_gpus, ndim)
+
+    def natural_partition(
+        self,
+        store: Store,
+        view_offset: Optional[Sequence[int]] = None,
+        view_shape: Optional[Sequence[int]] = None,
+    ) -> Partition:
+        """The blocked tiling cuPyNumeric would use for a (view of a) store.
+
+        For a view that covers the whole store the partition is the plain
+        natural tiling; for an offset view the tiling carries the view's
+        offset and bounds so aliasing views of the same store compare
+        unequal (which is what the fusion constraints key on).
+        """
+        shape = tuple(view_shape) if view_shape is not None else store.shape
+        offset = tuple(view_offset) if view_offset is not None else (0,) * store.ndim
+        launch = self.launch_domain(len(shape))
+        if store.ndim == 0 or store.volume <= 1:
+            return Replication()
+        tile = tile_shape_for(shape, launch)
+        if offset == (0,) * store.ndim and shape == store.shape:
+            return Tiling.create(tile)
+        bounds = Rect(offset, tuple(o + s for o, s in zip(offset, shape)))
+        return Tiling.create(tile, offset=offset, bounds=bounds)
+
+    def row_partition(self, store: Store, rows: int) -> Partition:
+        """Partition a 2-D store by blocks of rows over a 1-D launch domain.
+
+        Used for dense matrices in mat-vec products, where the launch
+        domain is that of the 1-D result vector.
+        """
+        launch = self.launch_domain(1)
+        row_tile = -(-rows // launch.shape[0])
+        tile = (row_tile,) + store.shape[1:]
+        return Tiling.create(tile, projection=promote_dimension(0, store.ndim))
+
+    def replication(self) -> Partition:
+        """A replication partition (every GPU sees the whole store)."""
+        return Replication()
+
+    # ------------------------------------------------------------------
+    # Store management.
+    # ------------------------------------------------------------------
+    def create_store(self, shape: Sequence[int], name: Optional[str] = None) -> Store:
+        """Create a distributed store."""
+        return self.stores.create_store(shape, name=name)
+
+    def create_scalar_store(self, name: Optional[str] = None) -> Store:
+        """Create a scalar (future-like) store."""
+        return self.stores.create_scalar_store(name=name)
+
+    def attach(self, store: Store, data: np.ndarray) -> None:
+        """Attach host data to a store (not a task launch)."""
+        self.legion.attach_array(store, data)
+
+    # ------------------------------------------------------------------
+    # Task issue.
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        task_name: str,
+        launch_domain: Domain,
+        args: Sequence[StoreArg],
+        scalar_args: Sequence[float] = (),
+    ) -> IndexTask:
+        """Create and submit an index task in program order."""
+        task = IndexTask(
+            task_name=task_name,
+            launch_domain=launch_domain,
+            args=args,
+            scalar_args=scalar_args,
+        )
+        self.diffuse.submit(task)
+        return task
+
+    def flush(self) -> None:
+        """Flush the Diffuse task window."""
+        self.diffuse.flush_window()
+
+    def read_scalar(self, store: Store) -> float:
+        """Blocking read of a scalar store (forces a flush)."""
+        return self.diffuse.read_scalar(store)
+
+    def read_array(self, store: Store) -> np.ndarray:
+        """Blocking read of a full store (forces a flush)."""
+        return self.diffuse.read_array(store)
+
+    def begin_iteration(self) -> None:
+        """Mark an application iteration boundary for profiling."""
+        self.diffuse.begin_iteration()
+
+    # ------------------------------------------------------------------
+    # Profiling access for the experiment harness.
+    # ------------------------------------------------------------------
+    @property
+    def profiler(self):
+        """The runtime profiler."""
+        return self.legion.profiler
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated execution time so far."""
+        return self.legion.simulated_seconds
+
+
+# ----------------------------------------------------------------------
+# Module-level current context (cuPyNumeric-style implicit runtime).
+# ----------------------------------------------------------------------
+_current_context: Optional[RuntimeContext] = None
+
+
+def set_context(context: Optional[RuntimeContext]) -> None:
+    """Install ``context`` as the current runtime context."""
+    global _current_context
+    _current_context = context
+
+
+def get_context() -> RuntimeContext:
+    """The current runtime context (created on demand with defaults)."""
+    global _current_context
+    if _current_context is None:
+        _current_context = RuntimeContext()
+    return _current_context
+
+
+@contextlib.contextmanager
+def runtime_context(**kwargs):
+    """Context manager installing a fresh runtime context.
+
+    >>> with runtime_context(num_gpus=4, fusion=True) as ctx:
+    ...     ...
+    """
+    previous = _current_context
+    context = RuntimeContext(**kwargs)
+    set_context(context)
+    try:
+        yield context
+    finally:
+        set_context(previous)

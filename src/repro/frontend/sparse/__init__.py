@@ -1,0 +1,15 @@
+"""A Legate-Sparse-like distributed sparse linear algebra frontend.
+
+The central object is :class:`~repro.frontend.sparse.csr.csr_matrix`, a
+distributed CSR matrix whose sparse mat-vec product is an opaque task
+(like the CUDA SpMV kernels of Legate Sparse).  Dense vectors produced and
+consumed by the sparse operations are ordinary
+:class:`repro.frontend.cunumeric.ndarray` objects, so programs freely mix
+the two libraries and Diffuse optimises across the library boundary —
+the property the paper's Krylov-solver benchmarks exercise.
+"""
+
+from repro.frontend.sparse.csr import csr_matrix, csr_from_dense, poisson_2d
+from repro.frontend.sparse import linalg
+
+__all__ = ["csr_matrix", "csr_from_dense", "poisson_2d", "linalg"]

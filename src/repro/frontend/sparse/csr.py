@@ -1,0 +1,261 @@
+"""Distributed CSR matrices and the opaque SpMV task.
+
+A CSR matrix is stored as three stores — ``indptr``, ``indices`` and
+``data`` — mirroring Legate Sparse.  Row coordinates may be stored as
+32-bit values, matching the optimisation the paper applies to Legate
+Sparse for a fair comparison with PETSc (footnote 1 in Section 7.1); the
+choice only affects the modelled memory traffic of SpMV.
+
+The SpMV kernel is opaque (no KIR generator), so it never joins a fused
+kernel, but it participates in the task stream and its dense vector
+arguments interact with fusion exactly as in the paper: the surrounding
+AXPY/dot-product tasks of the Krylov solvers fuse around it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.privilege import Privilege
+from repro.ir.task import IndexTask, StoreArg
+from repro.frontend.cunumeric.array import ndarray
+from repro.frontend.legate.context import RuntimeContext, get_context
+from repro.runtime.machine import MachineConfig
+from repro.runtime.opaque import register_opaque_task
+
+
+# ----------------------------------------------------------------------
+# Opaque SpMV task: y = A @ x over the rows owned by each point task.
+# Argument order: indptr, indices, data, x, y.
+# ----------------------------------------------------------------------
+def _spmv_rows(task: IndexTask, point) -> Tuple[int, int]:
+    """The half-open row range owned by ``point`` (from y's partition)."""
+    y_arg = task.args[4]
+    rect = y_arg.partition.sub_store_rect(point, y_arg.store.shape)
+    return rect.lo[0], rect.hi[0]
+
+
+def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray]]):
+    indptr, indices, data, x, y = (buffers[i] for i in range(5))
+    if y is None:
+        return None
+    # The x argument is partitioned by blocks (its halo gather is modelled
+    # analytically in the cost function); the kernel needs the gathered
+    # vector, which in the single-address-space simulator is simply the
+    # view's base array.
+    if x is not None and x.base is not None:
+        x = x.base
+    row_lo, row_hi = _spmv_rows(task, point)
+    if row_hi <= row_lo:
+        return None
+    starts = indptr[row_lo : row_hi + 1].astype(np.int64)
+    lo, hi = starts[0], starts[-1]
+    cols = indices[lo:hi].astype(np.int64)
+    values = data[lo:hi]
+    products = values * x[cols]
+    offsets = starts[:-1] - lo
+    # reduceat assigns the value at position offsets[i] for empty rows;
+    # patch those rows back to zero afterwards.
+    if len(products):
+        sums = np.add.reduceat(products, offsets)
+    else:
+        sums = np.zeros(row_hi - row_lo)
+    counts = np.diff(starts)
+    sums = np.where(counts > 0, sums, 0.0)
+    y[...] = sums
+    return None
+
+
+def _spmv_cost(task: IndexTask, point, buffers, machine: MachineConfig) -> float:
+    indptr = buffers[0]
+    row_lo, row_hi = _spmv_rows(task, point)
+    rows = max(0, row_hi - row_lo)
+    if indptr is None or rows == 0:
+        return machine.kernel_launch_latency
+    nnz = float(indptr[row_hi] - indptr[row_lo])
+    index_bytes = float(task.scalar_args[0]) if task.scalar_args else 8.0
+    # Per non-zero: a value (8B), a column index, and the gathered x value;
+    # per row: an indptr entry and the y write.
+    bytes_moved = nnz * (8.0 + index_bytes + 8.0) + rows * (index_bytes + 8.0)
+    flops = 2.0 * nnz
+    seconds = machine.kernel_launch_latency + max(
+        bytes_moved / machine.gpu_memory_bandwidth, flops / machine.gpu_peak_flops
+    )
+    # Halo gather of the off-processor entries of x needed by the local
+    # rows.  For the banded matrices of the evaluation this is about one
+    # grid row per neighbour per GPU (the same model as the PETSc
+    # baseline's MatMult), not a full allgather of x.
+    if machine.num_gpus > 1:
+        total_rows = task.args[4].store.shape[0]
+        halo_bytes = min(total_rows, 2 * int(np.sqrt(max(1, total_rows)))) * 8.0
+        seconds += machine.point_to_point_time(halo_bytes)
+    return seconds
+
+
+register_opaque_task("spmv_csr", _spmv_execute, _spmv_cost)
+
+
+class csr_matrix:  # noqa: N801 - mirrors the SciPy class name
+    """A distributed sparse matrix in CSR format."""
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+        index_bytes: int = 4,
+        context: Optional[RuntimeContext] = None,
+    ) -> None:
+        self.context = context or get_context()
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.nnz = int(len(data))
+        #: Bytes per stored coordinate (4 matches the PETSc-style 32-bit
+        #: optimisation described in the paper; 8 models 64-bit indices).
+        self.index_bytes = int(index_bytes)
+        self._indptr_store = self.context.create_store((self.shape[0] + 1,), name="csr_indptr")
+        self._indices_store = self.context.create_store((self.nnz,), name="csr_indices")
+        self._data_store = self.context.create_store((self.nnz,), name="csr_data")
+        self.context.attach(self._indptr_store, np.asarray(indptr, dtype=np.float64))
+        self.context.attach(self._indices_store, np.asarray(indices, dtype=np.float64))
+        self.context.attach(self._data_store, np.asarray(data, dtype=np.float64))
+        self._host_diagonal = self._compute_diagonal(indptr, indices, data)
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compute_diagonal(indptr, indices, data) -> np.ndarray:
+        rows = len(indptr) - 1
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=np.float64)
+        # Row id of every stored entry, then pick the entries on the diagonal.
+        row_of_entry = np.repeat(np.arange(rows, dtype=np.int64), np.diff(indptr))
+        diagonal = np.zeros(rows)
+        on_diagonal = row_of_entry == indices
+        diagonal[row_of_entry[on_diagonal]] = data[on_diagonal]
+        return diagonal
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    def diagonal(self) -> ndarray:
+        """The matrix diagonal as a dense distributed vector."""
+        from repro.frontend.cunumeric.creation import array
+
+        return array(self._host_diagonal, name="csr_diag")
+
+    # ------------------------------------------------------------------
+    # SpMV.
+    # ------------------------------------------------------------------
+    def dot(self, x: ndarray) -> ndarray:
+        """Sparse mat-vec product ``A @ x`` (an opaque SpMV task)."""
+        if x.ndim != 1 or x.shape[0] != self.ncols:
+            raise ValueError(f"cannot multiply {self.shape} matrix by {x.shape} vector")
+        out_store = self.context.create_store((self.nrows,), name="spmv_out")
+        out = ndarray(out_store, context=self.context)
+        replication = self.context.replication()
+        # x is read through its natural block partition plus a halo gather
+        # (modelled inside the SpMV cost function), mirroring how Legate
+        # Sparse gathers only the columns its local rows touch rather than
+        # replicating the whole vector.
+        args = [
+            StoreArg(self._indptr_store, replication, Privilege.READ),
+            StoreArg(self._indices_store, replication, Privilege.READ),
+            StoreArg(self._data_store, replication, Privilege.READ),
+            x.read_arg(),
+            out.write_arg(),
+        ]
+        self.context.submit(
+            "spmv_csr",
+            out.launch_domain(),
+            args,
+            scalar_args=(float(self.index_bytes),),
+        )
+        return out
+
+    def __matmul__(self, x: ndarray) -> ndarray:
+        return self.dot(x)
+
+    def to_dense(self) -> np.ndarray:
+        """The matrix as a dense host array (tests only)."""
+        indptr = self.context.read_array(self._indptr_store).astype(np.int64)
+        indices = self.context.read_array(self._indices_store).astype(np.int64)
+        data = self.context.read_array(self._data_store)
+        dense = np.zeros(self.shape)
+        for row in range(self.nrows):
+            for position in range(indptr[row], indptr[row + 1]):
+                dense[row, indices[position]] = data[position]
+        return dense
+
+
+def csr_from_dense(dense: np.ndarray, index_bytes: int = 4) -> csr_matrix:
+    """Build a CSR matrix from a dense host array."""
+    dense = np.asarray(dense, dtype=np.float64)
+    rows, cols = dense.shape
+    indptr = [0]
+    indices = []
+    data = []
+    for row in range(rows):
+        nonzero = np.nonzero(dense[row])[0]
+        indices.extend(int(c) for c in nonzero)
+        data.extend(float(v) for v in dense[row, nonzero])
+        indptr.append(len(indices))
+    return csr_matrix(
+        np.asarray(indptr), np.asarray(indices), np.asarray(data), (rows, cols),
+        index_bytes=index_bytes,
+    )
+
+
+def poisson_2d(grid_points: int, index_bytes: int = 4) -> csr_matrix:
+    """The standard 5-point finite-difference Laplacian on a square grid.
+
+    This is the matrix family used by the paper's Krylov-solver and
+    multigrid benchmarks: ``grid_points`` is the number of points along
+    one side, the matrix is ``grid_points**2`` square with at most five
+    non-zeros per row.
+    """
+    n = int(grid_points)
+    rows = n * n
+    grid_i, grid_j = np.divmod(np.arange(rows, dtype=np.int64), n)
+
+    # Build the five diagonals as (row, column, value) triples, mask out the
+    # entries that fall off the grid, and sort by (row, column).
+    row_blocks = []
+    col_blocks = []
+    val_blocks = []
+
+    def add_band(mask: np.ndarray, column_offset: int, value: float) -> None:
+        band_rows = np.arange(rows, dtype=np.int64)[mask]
+        row_blocks.append(band_rows)
+        col_blocks.append(band_rows + column_offset)
+        val_blocks.append(np.full(band_rows.shape, value))
+
+    add_band(grid_i > 0, -n, -1.0)
+    add_band(grid_j > 0, -1, -1.0)
+    add_band(np.ones(rows, dtype=bool), 0, 4.0)
+    add_band(grid_j < n - 1, 1, -1.0)
+    add_band(grid_i < n - 1, n, -1.0)
+
+    all_rows = np.concatenate(row_blocks)
+    all_cols = np.concatenate(col_blocks)
+    all_vals = np.concatenate(val_blocks)
+    order = np.lexsort((all_cols, all_rows))
+    all_rows, all_cols, all_vals = all_rows[order], all_cols[order], all_vals[order]
+
+    indptr = np.zeros(rows + 1, dtype=np.int64)
+    np.add.at(indptr, all_rows + 1, 1)
+    indptr = np.cumsum(indptr)
+    return csr_matrix(
+        indptr, all_cols, all_vals, (rows, rows), index_bytes=index_bytes
+    )

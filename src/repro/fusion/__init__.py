@@ -1,0 +1,38 @@
+"""Distributed task fusion (paper Sections 4 and 5).
+
+The fusion subsystem buffers index tasks into a window, finds the longest
+fusible prefix using four scale-free constraints (launch-domain
+equivalence, true dependence, anti dependence, reduction), replaces the
+prefix with a fused task, demotes temporary stores to task-local data, and
+memoizes the whole analysis on a canonical (alpha-equivalent)
+representation of the task stream.
+
+:class:`~repro.fusion.engine.DiffuseRuntime` is the user-facing middle
+layer: libraries submit index tasks to it exactly as they would to Legion,
+and it forwards optimised tasks to the underlying
+:class:`~repro.runtime.runtime.LegionRuntime`.
+"""
+
+from repro.fusion.constraints import ConstraintViolation, FusionConstraintChecker, check_sequence
+from repro.fusion.dependence import (
+    dependence_map,
+    point_tasks_depend,
+    tasks_fusible_bruteforce,
+)
+from repro.fusion.engine import DiffuseRuntime, FusionConfig
+from repro.fusion.memoization import MemoizationCache, canonicalize_window
+from repro.fusion.temporaries import find_temporary_stores
+
+__all__ = [
+    "ConstraintViolation",
+    "FusionConstraintChecker",
+    "check_sequence",
+    "dependence_map",
+    "point_tasks_depend",
+    "tasks_fusible_bruteforce",
+    "DiffuseRuntime",
+    "FusionConfig",
+    "MemoizationCache",
+    "canonicalize_window",
+    "find_temporary_stores",
+]

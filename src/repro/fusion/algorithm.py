@@ -1,0 +1,103 @@
+"""The fusible-prefix algorithm and fused-task construction (paper §4.2).
+
+The algorithm greedily applies the fusion constraints to the task window:
+tasks join the candidate prefix one at a time until a task violates a
+constraint (or cannot be kernel-fused because it has no generator).  The
+identified prefix is then replaced by a single fused task whose argument
+list is the union of its constituents' arguments (with privileges
+promoted) minus the stores demoted to temporaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.ir.store import Store
+from repro.ir.task import FusedTask, IndexTask, combine_arguments
+from repro.fusion.constraints import ConstraintViolation, FusionConstraintChecker
+from repro.fusion.temporaries import find_temporary_stores
+
+
+@dataclass
+class PrefixResult:
+    """Outcome of the fusible-prefix search over one window."""
+
+    prefix_length: int
+    violation: Optional[ConstraintViolation]
+
+    @property
+    def fusible(self) -> bool:
+        """True when at least two tasks fused."""
+        return self.prefix_length >= 2
+
+
+def find_fusible_prefix(
+    tasks: Sequence[IndexTask],
+    can_kernel_fuse: Callable[[IndexTask], bool] = lambda task: True,
+) -> PrefixResult:
+    """The longest prefix of ``tasks`` satisfying all fusion constraints.
+
+    ``can_kernel_fuse`` filters out tasks that are sound to fuse at the
+    task level but cannot participate in kernel fusion (no registered
+    generator); such a task terminates the prefix — unless it is the very
+    first task, in which case the prefix is that single task, which will
+    simply be forwarded unfused.
+    """
+    if not tasks:
+        return PrefixResult(prefix_length=0, violation=None)
+
+    checker = FusionConstraintChecker()
+    length = 0
+    violation: Optional[ConstraintViolation] = None
+    for task in tasks:
+        if not can_kernel_fuse(task):
+            if length == 0:
+                length = 1
+            violation = ConstraintViolation(
+                "kernel-generator", f"task '{task.task_name}' has no kernel generator"
+            )
+            break
+        violation = checker.violation(task)
+        if violation is not None:
+            break
+        checker.add(task)
+        length += 1
+    if length == 0:
+        # The very first task violated a constraint against the empty
+        # prefix; that cannot happen (the checker accepts any first task),
+        # but guard against it so the engine always makes progress.
+        length = 1
+    return PrefixResult(prefix_length=length, violation=violation)
+
+
+def build_fused_task(
+    prefix: Sequence[IndexTask],
+    temporaries: Sequence[Store],
+    task_name: Optional[str] = None,
+) -> FusedTask:
+    """Construct the fused task standing for ``prefix`` (paper §4.2.2)."""
+    if len(prefix) < 2:
+        raise ValueError("a fused task requires at least two constituents")
+    args = combine_arguments(prefix, temporaries)
+    return FusedTask(
+        constituents=prefix,
+        args=args,
+        temporary_stores=temporaries,
+        task_name=task_name,
+    )
+
+
+def plan_window(
+    tasks: Sequence[IndexTask],
+    can_kernel_fuse: Callable[[IndexTask], bool],
+    eliminate_temporaries: bool = True,
+) -> Tuple[PrefixResult, List[Store]]:
+    """Find the fusible prefix of a window and its temporary stores."""
+    result = find_fusible_prefix(tasks, can_kernel_fuse)
+    if not result.fusible or not eliminate_temporaries:
+        return result, []
+    prefix = list(tasks[: result.prefix_length])
+    remainder = list(tasks[result.prefix_length :])
+    temporaries = find_temporary_stores(prefix, remainder)
+    return result, temporaries

@@ -1,0 +1,239 @@
+"""The four fusion constraints (paper Figure 5) and their incremental form.
+
+The constraints identify, in constant time per task argument, whether a
+candidate sequence of index tasks might require cross-processor
+communication — i.e. whether some dependence map entry could escape the
+point-wise set.  They rely only on partition equality (a constant-time
+structural check thanks to the scale-free IR) and never enumerate point
+tasks or sub-stores.
+
+Two implementations are provided:
+
+* :func:`check_sequence` — a direct transcription of the universally
+  quantified definitions in Figure 5, used for documentation and as a
+  cross-check in the tests.
+* :class:`FusionConstraintChecker` — the incremental, forwards-dataflow
+  form the fusion algorithm actually uses: tasks are offered one at a time
+  and per-store effect summaries are updated as tasks are accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.domain import Domain
+from repro.ir.partition import Partition
+from repro.ir.privilege import Privilege, ReductionOp
+from repro.ir.task import IndexTask
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """A record of which constraint rejected a candidate task."""
+
+    constraint: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.constraint}: {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# Direct (whole-sequence) form of Figure 5.
+# ----------------------------------------------------------------------
+def launch_domain_equivalence(tasks: Sequence[IndexTask]) -> bool:
+    """All tasks share the first task's launch domain."""
+    if not tasks:
+        return True
+    domain = tasks[0].launch_domain
+    return all(task.launch_domain == domain for task in tasks)
+
+
+def _pointwise_safe(written: Partition, accessed: Partition) -> bool:
+    """True when a write through ``written`` followed (or preceded) by an
+    access through ``accessed`` has at most point-wise dependencies.
+
+    This is the case exactly when the two accesses use the *same* partition
+    and that partition maps distinct launch points to disjoint sub-stores.
+    Writes through replicated or projected (aliasing) partitions conflict
+    with every other access to the store, even through an equal partition.
+    """
+    return written == accessed and written.is_disjoint()
+
+
+def true_dependence(tasks: Sequence[IndexTask]) -> bool:
+    """No later task reads or writes a store written earlier via an aliasing view."""
+    for i, earlier in enumerate(tasks):
+        for store, partition, privilege in earlier.views():
+            if not privilege.writes:
+                continue
+            for later in tasks[i + 1 :]:
+                for store2, partition2, privilege2 in later.views():
+                    if store2 != store:
+                        continue
+                    if not (privilege2.reads or privilege2.writes):
+                        continue
+                    if not _pointwise_safe(partition, partition2):
+                        return False
+    return True
+
+
+def anti_dependence(tasks: Sequence[IndexTask]) -> bool:
+    """No later task writes a store read earlier via an aliasing view."""
+    for i, earlier in enumerate(tasks):
+        for store, partition, privilege in earlier.views():
+            if not privilege.reads:
+                continue
+            for later in tasks[i + 1 :]:
+                for store2, partition2, privilege2 in later.views():
+                    if store2 != store:
+                        continue
+                    if not privilege2.writes:
+                        continue
+                    if not _pointwise_safe(partition2, partition):
+                        return False
+    return True
+
+
+def reduction(tasks: Sequence[IndexTask]) -> bool:
+    """No task reads or writes a store that any other task reduces to."""
+    for i, reducer in enumerate(tasks):
+        for store, partition, privilege in reducer.views():
+            if not privilege.reduces:
+                continue
+            for j, other in enumerate(tasks):
+                if i == j:
+                    continue
+                for store2, _partition2, privilege2 in other.views():
+                    if store2 != store:
+                        continue
+                    if privilege2.reads or privilege2.writes:
+                        return False
+    return True
+
+
+def check_sequence(tasks: Sequence[IndexTask]) -> Optional[ConstraintViolation]:
+    """Check all four constraints; returns the first violation or None."""
+    if not launch_domain_equivalence(tasks):
+        return ConstraintViolation("launch-domain-equivalence", "launch domains differ")
+    if not true_dependence(tasks):
+        return ConstraintViolation("true-dependence", "write followed by aliasing access")
+    if not anti_dependence(tasks):
+        return ConstraintViolation("anti-dependence", "read followed by aliasing write")
+    if not reduction(tasks):
+        return ConstraintViolation("reduction", "reduction target is read or written")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Incremental (forwards-dataflow) form used by the fusion algorithm.
+# ----------------------------------------------------------------------
+@dataclass
+class _StoreEffects:
+    """Summary of how the accepted prefix has accessed one store."""
+
+    written_partitions: List[Partition] = field(default_factory=list)
+    read_partitions: List[Partition] = field(default_factory=list)
+    reduced: bool = False
+    reduction_op: Optional[ReductionOp] = None
+    read_or_written: bool = False
+
+
+class FusionConstraintChecker:
+    """Incrementally decides whether the next task may join the prefix.
+
+    The checker maintains, per store touched by the accepted prefix, the
+    partitions it has been written and read through and whether it has
+    been reduced to.  Offering a task costs time proportional to the
+    task's argument count — independent of the machine size and of the
+    prefix length — which is the scalability property the paper's IR is
+    designed for.
+    """
+
+    def __init__(self) -> None:
+        self._domain: Optional[Domain] = None
+        self._effects: Dict[int, _StoreEffects] = {}
+        self._accepted: List[IndexTask] = []
+
+    @property
+    def accepted(self) -> List[IndexTask]:
+        """Tasks accepted into the prefix so far."""
+        return list(self._accepted)
+
+    def _effects_for(self, store_uid: int) -> _StoreEffects:
+        effects = self._effects.get(store_uid)
+        if effects is None:
+            effects = _StoreEffects()
+            self._effects[store_uid] = effects
+        return effects
+
+    # ------------------------------------------------------------------
+    # The constraint checks.
+    # ------------------------------------------------------------------
+    def violation(self, task: IndexTask) -> Optional[ConstraintViolation]:
+        """The constraint the task would violate if added, or None."""
+        if self._domain is not None and task.launch_domain != self._domain:
+            return ConstraintViolation(
+                "launch-domain-equivalence",
+                f"{task.task_name} launches over {task.launch_domain.shape}, "
+                f"prefix launches over {self._domain.shape}",
+            )
+        for store, partition, privilege in task.views():
+            effects = self._effects.get(store.uid)
+            if effects is None:
+                continue
+            if (privilege.reads or privilege.writes) and effects.reduced:
+                return ConstraintViolation(
+                    "reduction",
+                    f"{task.task_name} reads/writes {store.name}, which an "
+                    "earlier task reduces to",
+                )
+            if privilege.reduces and effects.read_or_written:
+                return ConstraintViolation(
+                    "reduction",
+                    f"{task.task_name} reduces to {store.name}, which an "
+                    "earlier task reads or writes",
+                )
+            if privilege.reads or privilege.writes:
+                for written in effects.written_partitions:
+                    if not _pointwise_safe(written, partition):
+                        return ConstraintViolation(
+                            "true-dependence",
+                            f"{task.task_name} accesses {store.name} through a "
+                            "partition aliasing an earlier write",
+                        )
+            if privilege.writes:
+                for read in effects.read_partitions:
+                    if not _pointwise_safe(partition, read):
+                        return ConstraintViolation(
+                            "anti-dependence",
+                            f"{task.task_name} writes {store.name} through a "
+                            "partition aliasing an earlier read",
+                        )
+        return None
+
+    def can_add(self, task: IndexTask) -> bool:
+        """True when the task may join the prefix."""
+        return self.violation(task) is None
+
+    def add(self, task: IndexTask) -> None:
+        """Accept a task into the prefix and update the effect summaries."""
+        violation = self.violation(task)
+        if violation is not None:
+            raise ValueError(f"cannot add task: {violation}")
+        if self._domain is None:
+            self._domain = task.launch_domain
+        self._accepted.append(task)
+        for store, partition, privilege in task.views():
+            effects = self._effects_for(store.uid)
+            if privilege.reads:
+                if all(existing != partition for existing in effects.read_partitions):
+                    effects.read_partitions.append(partition)
+                effects.read_or_written = True
+            if privilege.writes:
+                if all(existing != partition for existing in effects.written_partitions):
+                    effects.written_partitions.append(partition)
+                effects.read_or_written = True
+            if privilege.reduces:
+                effects.reduced = True

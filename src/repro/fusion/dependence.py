@@ -1,0 +1,80 @@
+"""Dependencies between point tasks and index tasks (paper Section 4.1).
+
+These definitions mirror paper Definitions 1–3 directly.  They enumerate
+point tasks and intersect sub-stores, so their cost grows with the launch
+domain — the *scale-aware* computation the scale-free constraints of
+:mod:`repro.fusion.constraints` exist to avoid.  Diffuse itself never
+calls them during fusion; they are the ground truth that the property
+tests compare the constraint-based analysis against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.ir.domain import Point
+from repro.ir.task import IndexTask, PointTask, SubStore
+
+
+def point_tasks_depend(first: PointTask, second: PointTask) -> bool:
+    """Definition 1: ``second`` (issued later) depends on ``first``.
+
+    True when there exist intersecting sub-stores of the same parent store
+    such that the pair of accesses forms a true, anti or reduction
+    dependence.  Two reads, or two reductions (with the same operator, the
+    only kind modelled), do not conflict.
+    """
+    for sub1, priv1 in first.arguments():
+        for sub2, priv2 in second.arguments():
+            if sub1.store != sub2.store:
+                continue
+            if not sub1.intersects(sub2):
+                continue
+            # true dependence: W -> R/W/Rd
+            if priv1.writes and (priv2.reads or priv2.writes or priv2.reduces):
+                return True
+            # anti dependence: R -> W/Rd
+            if priv1.reads and (priv2.writes or priv2.reduces):
+                return True
+            # reduction dependence: Rd -> R/W
+            if priv1.reduces and (priv2.reads or priv2.writes):
+                return True
+    return False
+
+
+def dependence_map(first: IndexTask, second: IndexTask) -> Dict[Point, Set[Point]]:
+    """Definition 2: the full dependence map D(first, second).
+
+    Maps every point ``p`` of ``first``'s launch domain to the set of
+    points ``p'`` of ``second``'s launch domain whose point task depends on
+    ``first``'s point task at ``p``.
+    """
+    mapping: Dict[Point, Set[Point]] = {}
+    for p in first.launch_domain.points():
+        source = first.point_task(p)
+        dependents: Set[Point] = set()
+        for q in second.launch_domain.points():
+            if point_tasks_depend(source, second.point_task(q)):
+                dependents.add(q)
+        mapping[p] = dependents
+    return mapping
+
+
+def tasks_fusible_bruteforce(first: IndexTask, second: IndexTask) -> bool:
+    """Definition 3: all dependencies between the tasks are point-wise."""
+    if first.launch_domain != second.launch_domain:
+        return False
+    for p, dependents in dependence_map(first, second).items():
+        if not dependents <= {p}:
+            return False
+    return True
+
+
+def sequence_fusible_bruteforce(tasks) -> bool:
+    """Pairwise brute-force fusibility of an ordered task sequence."""
+    tasks = list(tasks)
+    for i in range(len(tasks)):
+        for j in range(i + 1, len(tasks)):
+            if not tasks_fusible_bruteforce(tasks[i], tasks[j]):
+                return False
+    return True

@@ -1,0 +1,140 @@
+"""Memoization of the fusion analysis (paper Section 5.2).
+
+Iterative applications issue the same *pattern* of tasks every iteration,
+but over fresh temporary stores with fresh ids, so the raw task streams
+are never identical.  Diffuse therefore memoizes the fusion analysis on a
+canonical, alpha-equivalent representation of the task window: store ids
+are replaced by De-Bruijn-style indices in order of first appearance, and
+partitions by indices into the sequence of distinct partitions seen so
+far.  Two windows with the same canonical form are isomorphic and receive
+the same fusion decision (and the same compiled kernel, via the compiler
+cache keyed by the same canonical form).
+
+The canonical form also records, per store, whether the application holds
+live references at analysis time — temporary-store elimination depends on
+that liveness, so two windows that differ only in liveness must not share
+a cached decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.ir.partition import Partition
+from repro.ir.task import IndexTask
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """A memoized outcome of analysing one task window."""
+
+    #: Number of leading tasks that fused (1 means the head task runs alone).
+    prefix_length: int
+    #: Canonical store indices of the stores demoted to temporaries.
+    temporary_indices: Tuple[int, ...]
+    #: Whether the prefix is executed as a fused task (False when the head
+    #: task is opaque or the prefix degenerated to a single task).
+    fused: bool
+
+
+def canonicalize_window(tasks: Sequence[IndexTask]) -> Tuple[Hashable, Dict[int, int]]:
+    """The canonical form of a task window.
+
+    Returns ``(key, store_index_map)`` where ``key`` is hashable and
+    ``store_index_map`` maps store uids to their canonical indices (needed
+    to translate a cached decision's temporary set back to real stores).
+    """
+    store_indices: Dict[int, int] = {}
+    partition_list: List[Partition] = []
+    store_liveness: List[bool] = []
+
+    def store_index(store) -> int:
+        index = store_indices.get(store.uid)
+        if index is None:
+            index = len(store_indices)
+            store_indices[store.uid] = index
+            store_liveness.append(store.has_live_application_references)
+        return index
+
+    def partition_index(partition: Partition) -> int:
+        for index, existing in enumerate(partition_list):
+            if existing == partition:
+                return index
+        partition_list.append(partition)
+        return len(partition_list) - 1
+
+    canonical_tasks = []
+    for task in tasks:
+        canonical_args = tuple(
+            (
+                store_index(arg.store),
+                arg.store.shape,
+                partition_index(arg.partition),
+                arg.privilege.value,
+                arg.redop.value if arg.redop is not None else None,
+            )
+            for arg in task.args
+        )
+        canonical_tasks.append(
+            (
+                task.task_name,
+                task.launch_domain.shape,
+                canonical_args,
+                len(task.scalar_args),
+            )
+        )
+    key = (tuple(canonical_tasks), tuple(store_liveness))
+    return key, store_indices
+
+
+class MemoizationCache:
+    """Maps canonical window forms to fusion decisions."""
+
+    def __init__(self) -> None:
+        self._decisions: Dict[Hashable, FusionDecision] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable) -> Optional[FusionDecision]:
+        """The cached decision for a canonical window, if any."""
+        decision = self._decisions.get(key)
+        if decision is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return decision
+
+    def store(self, key: Hashable, decision: FusionDecision) -> None:
+        """Record the decision for a canonical window."""
+        self._decisions[key] = decision
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def clear(self) -> None:
+        """Drop all cached decisions."""
+        self._decisions.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def resolve_temporaries(
+    tasks: Sequence[IndexTask],
+    store_index_map: Dict[int, int],
+    temporary_indices: Sequence[int],
+):
+    """Translate canonical temporary indices back to store objects."""
+    wanted = set(temporary_indices)
+    reverse: Dict[int, int] = {index: uid for uid, index in store_index_map.items()}
+    stores = []
+    seen = set()
+    for task in tasks:
+        for store in task.stores():
+            index = store_index_map.get(store.uid)
+            if index in wanted and store.uid not in seen:
+                seen.add(store.uid)
+                stores.append(store)
+    # Preserve canonical ordering for determinism.
+    stores.sort(key=lambda store: store_index_map[store.uid])
+    return stores

@@ -1,0 +1,87 @@
+"""Temporary store elimination (paper Section 5.1, Definition 4).
+
+Once a fusible prefix has been identified, stores whose entire lifetime is
+contained inside the fused task can be demoted from distributed
+allocations to task-local data (and then usually eliminated outright by
+the kernel compiler).  A store ``S`` is temporary in the fusion of the
+prefix when:
+
+1. every read of ``S`` inside the prefix is preceded by a write to ``S``
+   through the *same* partition that covers the whole store (so the fused
+   task never needs pre-existing contents of ``S``),
+2. no task after the prefix (the rest of the analysed window) reads or
+   reduces ``S``, and
+3. the application holds no live references to ``S`` (checked through the
+   split reference counting scheme of :class:`repro.ir.store.Store`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.ir.store import Store
+from repro.ir.task import IndexTask
+
+
+def find_temporary_stores(
+    prefix: Sequence[IndexTask],
+    remainder: Sequence[IndexTask] = (),
+) -> List[Store]:
+    """Stores of the prefix that satisfy Definition 4.
+
+    ``prefix`` is the fusible prefix about to be fused; ``remainder`` is
+    the rest of the task window (tasks already submitted but not part of
+    the fused task).  Stores still referenced by the application or by the
+    remainder are never temporaries.
+    """
+    candidates: Dict[int, Store] = {}
+    for task in prefix:
+        for store in task.stores():
+            candidates.setdefault(store.uid, store)
+
+    # Condition 2: downstream tasks must not observe the store.
+    observed_later: Set[int] = set()
+    for task in remainder:
+        for store, _partition, privilege in task.views():
+            if privilege.reads or privilege.reduces:
+                observed_later.add(store.uid)
+
+    temporaries: List[Store] = []
+    for store in candidates.values():
+        if store.uid in observed_later:
+            continue
+        # Condition 3: split reference counting — no live application refs.
+        if store.has_live_application_references:
+            continue
+        if not _contents_created_within(store, prefix):
+            continue
+        temporaries.append(store)
+    return temporaries
+
+
+def _contents_created_within(store: Store, prefix: Sequence[IndexTask]) -> bool:
+    """Condition 1: reads of the store only see values produced in the prefix.
+
+    A forwards scan over the prefix tracks whether the store has been
+    fully defined (written through a covering partition).  Any read or
+    reduction before that point means the fused task would need the
+    store's prior contents, so it cannot be demoted.  A store that is only
+    written (never read) inside the prefix trivially satisfies the
+    condition, and a store that is never written is not temporary (the
+    written data must come from somewhere).
+    """
+    fully_defined = False
+    written_at_all = False
+    for task in prefix:
+        arguments = [view for view in task.views() if view[0] == store]
+        # Reads of a task observe the store's state before the task runs,
+        # so evaluate all read checks before applying the task's writes.
+        for _store, _partition, privilege in arguments:
+            if (privilege.reads or privilege.reduces) and not fully_defined:
+                return False
+        for _store, partition, privilege in arguments:
+            if privilege.writes:
+                written_at_all = True
+                if partition.covers(store.shape, task.launch_domain):
+                    fully_defined = True
+    return written_at_all

@@ -1,0 +1,47 @@
+"""Diffuse's scale-free intermediate representation (paper Section 3).
+
+The IR has two halves:
+
+* A *data model*: :class:`~repro.ir.store.Store` objects are distributed
+  arrays identified by a unique id and a rectangular shape.  Stores are
+  partitioned across the machine by first-class
+  :class:`~repro.ir.partition.Partition` objects (replication or affine
+  tilings with projection functions).
+
+* A *computational model*: a stream of
+  :class:`~repro.ir.task.IndexTask` objects, each describing a group of
+  parallel point tasks launched over a rectangular launch domain, touching
+  a list of ``(store, partition, privilege)`` arguments.
+
+Both halves are *scale free*: the size of the representation is independent
+of the number of processors in the target machine, which is what makes the
+fusion analyses in :mod:`repro.fusion` constant time per task pair.
+"""
+
+from repro.ir.domain import Domain, Rect
+from repro.ir.partition import Partition, Replication, Tiling
+from repro.ir.privilege import Privilege, ReductionOp
+from repro.ir.projection import ProjectionFunction, identity_projection
+from repro.ir.store import Store, StoreManager
+from repro.ir.task import FusedTask, IndexTask, PointTask, StoreArg, SubStore
+from repro.ir.window import TaskWindow
+
+__all__ = [
+    "Domain",
+    "Rect",
+    "Partition",
+    "Replication",
+    "Tiling",
+    "Privilege",
+    "ReductionOp",
+    "ProjectionFunction",
+    "identity_projection",
+    "Store",
+    "StoreManager",
+    "IndexTask",
+    "FusedTask",
+    "PointTask",
+    "StoreArg",
+    "SubStore",
+    "TaskWindow",
+]

@@ -1,0 +1,127 @@
+"""Projection functions used by Tiling partitions.
+
+A projection function transforms each point of a partition's domain before
+the tile bounds are computed (paper Figure 3d).  Projections let Tiling
+partitions express replicated or partially-aliased data: for example, a
+one-dimensional vector tiled over a two-dimensional launch domain uses a
+projection that drops the second coordinate, so every launch point in the
+same row maps to the same sub-store.
+
+Projection functions are identified by a unique id; two projections are
+considered equal exactly when their ids are equal.  This is what keeps the
+partition-equality check (and therefore the fusion analysis) constant
+time: Diffuse never has to evaluate projections over the whole launch
+domain just to decide whether two partitions could alias.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.ir.domain import Point, as_point
+
+_projection_ids = itertools.count()
+
+# Registry used to intern structurally-identical projections so that two
+# libraries independently asking for "drop dimension 1" obtain the same
+# projection id and the fusion analysis sees them as equal.
+_interned: Dict[Tuple, "ProjectionFunction"] = {}
+
+
+@dataclass(frozen=True)
+class ProjectionFunction:
+    """A named transformation applied to launch-domain points."""
+
+    name: str
+    function: Callable[[Point], Point] = field(compare=False)
+    uid: int = field(default_factory=lambda: next(_projection_ids))
+
+    def __call__(self, point: Sequence[int]) -> Point:
+        return as_point(self.function(as_point(point)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProjectionFunction):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Projection({self.name}, id={self.uid})"
+
+
+def _intern(key: Tuple, name: str, function: Callable[[Point], Point]) -> ProjectionFunction:
+    existing = _interned.get(key)
+    if existing is not None:
+        return existing
+    projection = ProjectionFunction(name=name, function=function)
+    _interned[key] = projection
+    return projection
+
+
+def identity_projection() -> ProjectionFunction:
+    """The identity projection ``p -> p``."""
+    return _intern(("identity",), "identity", lambda p: p)
+
+
+def drop_dimensions(kept: Sequence[int]) -> ProjectionFunction:
+    """Keep only the listed point coordinates, in order.
+
+    ``drop_dimensions([0])`` maps ``(i, j) -> (i,)``, the projection used in
+    paper Figure 3d to tile a vector over a 2-D launch domain.
+    """
+    kept = tuple(int(k) for k in kept)
+
+    def project(point: Point) -> Point:
+        return tuple(point[k] for k in kept)
+
+    name = f"keep{list(kept)}"
+    return _intern(("drop", kept), name, project)
+
+
+def constant_projection(target: Sequence[int]) -> ProjectionFunction:
+    """Map every launch point to the same fixed point (full replication)."""
+    target_point = as_point(target)
+
+    def project(point: Point) -> Point:
+        return target_point
+
+    name = f"const{target_point}"
+    return _intern(("const", target_point), name, project)
+
+
+def transpose_projection(order: Sequence[int]) -> ProjectionFunction:
+    """Permute the coordinates of each launch point."""
+    order = tuple(int(o) for o in order)
+
+    def project(point: Point) -> Point:
+        return tuple(point[o] for o in order)
+
+    name = f"transpose{list(order)}"
+    return _intern(("transpose", order), name, project)
+
+
+def promote_dimension(dim: int, ndim: int) -> ProjectionFunction:
+    """Embed a 1-D launch point into ``ndim`` dimensions at position ``dim``.
+
+    All other coordinates are zero; used when a 1-D launch domain indexes a
+    higher-dimensional store partitioned along a single axis.
+    """
+    dim = int(dim)
+    ndim = int(ndim)
+
+    def project(point: Point) -> Point:
+        result = [0] * ndim
+        result[dim] = point[0]
+        return tuple(result)
+
+    name = f"promote(dim={dim}, ndim={ndim})"
+    return _intern(("promote", dim, ndim), name, project)
+
+
+def registered_projection_count() -> int:
+    """Number of distinct interned projection functions (for tests)."""
+    return len(_interned)

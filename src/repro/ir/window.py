@@ -1,0 +1,105 @@
+"""The task window: the buffer of pending index tasks analysed for fusion.
+
+Applications submit index tasks to Diffuse, which buffers them into a
+window (paper Section 4).  When the window fills up — or when the
+application forces a flush, e.g. because it needs a reduction result — the
+fusion algorithm runs over the buffered prefix and the resulting (fused
+and unfused) tasks are forwarded to the underlying runtime.
+
+The window also implements the adaptive sizing policy described in the
+paper's evaluation (Section 7): the window grows when every task in the
+current window was fused, so applications with long fusible chains (e.g.
+Black-Scholes with 67 fusible operations) automatically receive a window
+large enough to capture them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.task import IndexTask
+
+
+class TaskWindow:
+    """A bounded buffer of pending index tasks."""
+
+    def __init__(
+        self,
+        initial_size: int = 5,
+        max_size: int = 256,
+        adaptive: bool = True,
+        growth_factor: int = 2,
+    ) -> None:
+        if initial_size < 1:
+            raise ValueError("window size must be at least 1")
+        if max_size < initial_size:
+            raise ValueError("max size must be at least the initial size")
+        self.size = initial_size
+        self.max_size = max_size
+        self.adaptive = adaptive
+        self.growth_factor = growth_factor
+        self._tasks: List[IndexTask] = []
+
+    # ------------------------------------------------------------------
+    # Buffer management.
+    # ------------------------------------------------------------------
+    def add(self, task: IndexTask) -> bool:
+        """Buffer a task; returns True when the window is now full."""
+        self._tasks.append(task)
+        for store in task.stores():
+            store.add_runtime_reference()
+        return self.full
+
+    def drain(self, count: Optional[int] = None) -> List[IndexTask]:
+        """Remove and return the first ``count`` tasks (all when ``None``)."""
+        if count is None:
+            count = len(self._tasks)
+        drained, self._tasks = self._tasks[:count], self._tasks[count:]
+        for task in drained:
+            for store in task.stores():
+                store.remove_runtime_reference()
+        return drained
+
+    @property
+    def tasks(self) -> List[IndexTask]:
+        """The buffered tasks in program order (read-only view)."""
+        return list(self._tasks)
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered tasks."""
+        return len(self._tasks)
+
+    @property
+    def full(self) -> bool:
+        """True when the buffer has reached the current window size."""
+        return len(self._tasks) >= self.size
+
+    @property
+    def empty(self) -> bool:
+        """True when no tasks are buffered."""
+        return not self._tasks
+
+    # ------------------------------------------------------------------
+    # Adaptive sizing (paper Section 7, Figure 9 caption).
+    # ------------------------------------------------------------------
+    def record_fusion_result(self, window_length: int, fused_length: int) -> None:
+        """Grow the window when the whole analysed window fused into one task.
+
+        ``window_length`` is how many tasks were analysed and
+        ``fused_length`` how many of them joined the fused prefix.  When
+        every analysed task fused and the window was full, a larger window
+        might expose even more fusion, so the size is increased.
+        """
+        if not self.adaptive:
+            return
+        if window_length == 0:
+            return
+        if fused_length == window_length and window_length >= self.size:
+            self.size = min(self.size * self.growth_factor, self.max_size)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __repr__(self) -> str:
+        return f"TaskWindow(size={self.size}, pending={self.pending})"

@@ -1,0 +1,65 @@
+"""Kernel IR and JIT compilation pipeline (paper Section 6).
+
+The paper uses MLIR (affine/memref/arith dialects) as the substrate for
+fusing and optimising the kernels inside fused tasks.  This package
+provides a purpose-built loop-level kernel IR ("KIR") at the same level of
+abstraction, together with the passes the paper relies on:
+
+* composition of task bodies in program order,
+* demotion of distributed temporaries to task-local allocations,
+* loop fusion,
+* elimination (scalarisation) of task-local temporaries,
+* common-subexpression and dead-code elimination,
+* parallelisation of the fused loops.
+
+Lowering produces two artefacts: a vectorised NumPy executor used for
+functional execution, and a roofline cost descriptor used by the runtime's
+machine performance model.
+"""
+
+from repro.kernel.kir import (
+    Alloc,
+    Assign,
+    BinOp,
+    Const,
+    Function,
+    Load,
+    LocalRef,
+    Loop,
+    Param,
+    Reduce,
+    ScalarRef,
+    UnOp,
+)
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.compiler import CompiledKernel, JITCompiler
+from repro.kernel.cost import KernelCost
+from repro.kernel.generators import (
+    GeneratorRegistry,
+    default_registry,
+    has_generator,
+    register_generator,
+)
+
+__all__ = [
+    "Alloc",
+    "Assign",
+    "BinOp",
+    "Const",
+    "Function",
+    "Load",
+    "LocalRef",
+    "Loop",
+    "Param",
+    "Reduce",
+    "ScalarRef",
+    "UnOp",
+    "KernelBuilder",
+    "CompiledKernel",
+    "JITCompiler",
+    "KernelCost",
+    "GeneratorRegistry",
+    "default_registry",
+    "register_generator",
+    "has_generator",
+]

@@ -1,0 +1,204 @@
+"""Convenience builder used by kernel generator functions.
+
+Library developers register *generator functions* that return the KIR body
+of each task (paper Section 6.2).  The builder keeps those generators
+short: a typical element-wise operator is three or four lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.kernel.kir import (
+    Assign,
+    BinOp,
+    BinOpKind,
+    Const,
+    Expr,
+    Function,
+    Load,
+    LocalRef,
+    Loop,
+    Param,
+    Reduce,
+    ReduceKind,
+    ScalarRef,
+    Stmt,
+    UnOp,
+    UnOpKind,
+)
+
+Operand = Union[Expr, str, float, int]
+
+
+def as_expr(value: Operand) -> Expr:
+    """Coerce strings to loads, numbers to constants, and pass exprs through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return Load(value)
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot convert {value!r} to a kernel expression")
+
+
+class KernelBuilder:
+    """Builds a single-kernel :class:`Function` statement by statement."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._params: List[Param] = []
+        self._body: List[Stmt] = []
+        self._current_loop: Optional[List] = None
+        self._current_index: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Parameters.
+    # ------------------------------------------------------------------
+    def buffer(self, name: str) -> str:
+        """Declare a buffer parameter and return its name."""
+        self._params.append(Param.buffer(name))
+        return name
+
+    def buffers(self, *names: str) -> Sequence[str]:
+        """Declare several buffer parameters."""
+        return tuple(self.buffer(name) for name in names)
+
+    def scalar(self, name: str) -> ScalarRef:
+        """Declare a scalar parameter and return a reference to it."""
+        self._params.append(Param.scalar(name))
+        return ScalarRef(name)
+
+    # ------------------------------------------------------------------
+    # Loops.
+    # ------------------------------------------------------------------
+    def loop(self, index_buffer: str) -> "KernelBuilder":
+        """Open a loop over the index space of ``index_buffer``."""
+        if self._current_loop is not None:
+            raise RuntimeError("nested loops are not supported by the builder")
+        self._current_loop = []
+        self._current_index = index_buffer
+        return self
+
+    def end_loop(self) -> "KernelBuilder":
+        """Close the currently open loop."""
+        if self._current_loop is None:
+            raise RuntimeError("no loop is open")
+        self._body.append(Loop(index_buffer=self._current_index, body=tuple(self._current_loop)))
+        self._current_loop = None
+        self._current_index = None
+        return self
+
+    def __enter__(self) -> "KernelBuilder":  # pragma: no cover - sugar
+        return self
+
+    def __exit__(self, *exc) -> None:  # pragma: no cover - sugar
+        if self._current_loop is not None:
+            self.end_loop()
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def assign(self, target: str, expr: Operand) -> "KernelBuilder":
+        """Element-wise store ``target[i] = expr`` inside the open loop."""
+        self._require_loop()
+        self._current_loop.append(Assign(target=target, expr=as_expr(expr)))
+        return self
+
+    def let(self, name: str, expr: Operand) -> LocalRef:
+        """Define a loop-local scalar and return a reference to it."""
+        self._require_loop()
+        self._current_loop.append(Assign(target=name, expr=as_expr(expr), is_local=True))
+        return LocalRef(name)
+
+    def reduce(self, target: str, expr: Operand, kind: ReduceKind = ReduceKind.SUM) -> "KernelBuilder":
+        """Reduce ``expr`` over the loop into the scalar buffer ``target``."""
+        self._require_loop()
+        self._current_loop.append(Reduce(target=target, kind=kind, expr=as_expr(expr)))
+        return self
+
+    def _require_loop(self) -> None:
+        if self._current_loop is None:
+            raise RuntimeError("statement emitted outside of a loop")
+
+    # ------------------------------------------------------------------
+    # Expression helpers.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def add(lhs: Operand, rhs: Operand) -> Expr:
+        return BinOp(BinOpKind.ADD, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def sub(lhs: Operand, rhs: Operand) -> Expr:
+        return BinOp(BinOpKind.SUB, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def mul(lhs: Operand, rhs: Operand) -> Expr:
+        return BinOp(BinOpKind.MUL, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def div(lhs: Operand, rhs: Operand) -> Expr:
+        return BinOp(BinOpKind.DIV, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def pow(lhs: Operand, rhs: Operand) -> Expr:
+        return BinOp(BinOpKind.POW, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def maximum(lhs: Operand, rhs: Operand) -> Expr:
+        return BinOp(BinOpKind.MAX, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def minimum(lhs: Operand, rhs: Operand) -> Expr:
+        return BinOp(BinOpKind.MIN, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def compare(op: BinOpKind, lhs: Operand, rhs: Operand) -> Expr:
+        return BinOp(op, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def unary(op: UnOpKind, operand: Operand) -> Expr:
+        return UnOp(op, as_expr(operand))
+
+    @staticmethod
+    def neg(operand: Operand) -> Expr:
+        return UnOp(UnOpKind.NEG, as_expr(operand))
+
+    @staticmethod
+    def sqrt(operand: Operand) -> Expr:
+        return UnOp(UnOpKind.SQRT, as_expr(operand))
+
+    @staticmethod
+    def exp(operand: Operand) -> Expr:
+        return UnOp(UnOpKind.EXP, as_expr(operand))
+
+    @staticmethod
+    def log(operand: Operand) -> Expr:
+        return UnOp(UnOpKind.LOG, as_expr(operand))
+
+    @staticmethod
+    def erf(operand: Operand) -> Expr:
+        return UnOp(UnOpKind.ERF, as_expr(operand))
+
+    @staticmethod
+    def select(condition: Operand, if_true: Operand, if_false: Operand) -> Expr:
+        """``condition * if_true + (1 - condition) * if_false``.
+
+        Conditions are 0/1-valued expressions (comparisons), so selection
+        can be expressed arithmetically without a dedicated op.
+        """
+        cond = as_expr(condition)
+        return BinOp(
+            BinOpKind.ADD,
+            BinOp(BinOpKind.MUL, cond, as_expr(if_true)),
+            BinOp(BinOpKind.MUL, BinOp(BinOpKind.SUB, Const(1.0), cond), as_expr(if_false)),
+        )
+
+    # ------------------------------------------------------------------
+    # Finalisation.
+    # ------------------------------------------------------------------
+    def build(self) -> Function:
+        """Finish the kernel and return the KIR function."""
+        if self._current_loop is not None:
+            self.end_loop()
+        return Function(name=self.name, params=tuple(self._params), body=tuple(self._body))

@@ -1,0 +1,133 @@
+"""Roofline cost model for KIR kernels.
+
+The paper's speedups come from two effects of kernel fusion: fewer kernel
+launches, and fewer passes over memory (temporaries held in registers
+instead of round-tripping through DRAM).  Both are captured by a simple
+roofline model over the optimised KIR:
+
+* every loop is one kernel launch and pays a fixed launch latency,
+* every loop moves ``(#distinct buffers touched) x elements x itemsize``
+  bytes through memory,
+* every loop performs ``flops-per-element x elements`` arithmetic,
+* the loop's execution time is the maximum of the bandwidth time and the
+  compute time (memory-bound kernels — all of the paper's benchmarks —
+  sit on the bandwidth roof).
+
+The cost descriptor is built once at compile time; evaluating it per point
+task only needs the element count of each loop, which the runtime executor
+knows from the sub-store sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol, Sequence, Tuple
+
+from repro.kernel.kir import Alloc, Assign, Function, Loop, Reduce, count_flops
+
+
+class MachineLike(Protocol):
+    """The subset of the machine model needed by the cost model."""
+
+    gpu_memory_bandwidth: float  # bytes / second
+    gpu_peak_flops: float  # flops / second
+    kernel_launch_latency: float  # seconds
+    reduction_latency: float  # seconds
+
+
+@dataclass(frozen=True)
+class LoopCost:
+    """Static cost descriptor of one loop (one kernel launch)."""
+
+    index_buffer: str
+    buffers_touched: Tuple[str, ...]
+    flops_per_element: int
+    has_reduction: bool
+
+    def bytes_moved(self, elements: int, itemsize: int = 8) -> int:
+        """Bytes of memory traffic for ``elements`` loop iterations."""
+        return len(self.buffers_touched) * elements * itemsize
+
+    def flops(self, elements: int) -> int:
+        """Arithmetic operations for ``elements`` loop iterations."""
+        return self.flops_per_element * elements
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Static cost descriptor of a whole kernel."""
+
+    loops: Tuple[LoopCost, ...]
+    alloc_like: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def launches(self) -> int:
+        """Number of kernel launches the kernel performs."""
+        return len(self.loops)
+
+    def estimate_seconds(
+        self,
+        element_counts: Dict[str, int],
+        machine: MachineLike,
+        itemsize: int = 8,
+    ) -> float:
+        """Execution time of the kernel on one processor.
+
+        ``element_counts`` maps buffer names to the per-point element count
+        of the sub-store bound to that buffer.  Allocated temporaries
+        inherit the count of their reference buffer.
+        """
+        counts = dict(element_counts)
+        for name, like in self.alloc_like:
+            counts.setdefault(name, counts.get(like, 0))
+        total = 0.0
+        for loop in self.loops:
+            elements = counts.get(loop.index_buffer, 0)
+            bandwidth_time = loop.bytes_moved(elements, itemsize) / machine.gpu_memory_bandwidth
+            compute_time = loop.flops(elements) / machine.gpu_peak_flops
+            total += machine.kernel_launch_latency + max(bandwidth_time, compute_time)
+            if loop.has_reduction:
+                total += machine.reduction_latency
+        return total
+
+    def total_bytes(self, element_counts: Dict[str, int], itemsize: int = 8) -> int:
+        """Total memory traffic across all loops (for reporting / tests)."""
+        counts = dict(element_counts)
+        for name, like in self.alloc_like:
+            counts.setdefault(name, counts.get(like, 0))
+        return sum(
+            loop.bytes_moved(counts.get(loop.index_buffer, 0), itemsize) for loop in self.loops
+        )
+
+
+def analyze_kernel(function: Function) -> KernelCost:
+    """Build the static cost descriptor of a KIR kernel."""
+    loops = []
+    for stmt in function.body:
+        if not isinstance(stmt, Loop):
+            continue
+        touched = set()
+        flops = 0
+        has_reduction = False
+        for loop_stmt in stmt.body:
+            if isinstance(loop_stmt, Assign):
+                flops += count_flops(loop_stmt.expr)
+                touched |= loop_stmt.expr.buffers_read()
+                if not loop_stmt.is_local:
+                    touched.add(loop_stmt.target)
+            elif isinstance(loop_stmt, Reduce):
+                flops += count_flops(loop_stmt.expr) + 1
+                touched |= loop_stmt.expr.buffers_read()
+                has_reduction = True
+        loops.append(
+            LoopCost(
+                index_buffer=stmt.index_buffer,
+                buffers_touched=tuple(sorted(touched)),
+                flops_per_element=flops,
+                has_reduction=has_reduction,
+            )
+        )
+    alloc_like = tuple(
+        (stmt.name, stmt.like) for stmt in function.body if isinstance(stmt, Alloc)
+    )
+    return KernelCost(loops=tuple(loops), alloc_like=alloc_like)

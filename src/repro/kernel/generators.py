@@ -1,0 +1,286 @@
+"""Task kernel generator functions (paper Section 6.2).
+
+Library developers register, per task type, a *generator function* that
+returns the KIR body of the task.  Diffuse invokes the generators of every
+task in a fused prefix and composes their bodies in program order.
+
+Conventions
+-----------
+Generators receive the :class:`~repro.ir.task.IndexTask` and must return a
+:class:`~repro.kernel.kir.Function` whose
+
+* buffer parameters are named ``a0, a1, ...`` matching the position of the
+  task's store arguments, and
+* scalar parameters are named ``s0, s1, ...`` matching the position of the
+  task's scalar arguments.
+
+The composition pass renames these positional parameters to per-view names
+so that two tasks touching the same ``(store, partition)`` view share a
+buffer in the fused kernel.
+
+Tasks without a registered generator (e.g. the CSR SpMV of Legate Sparse)
+are *opaque*: they cannot join a fused prefix and execute through their
+library-provided implementation instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.ir.task import IndexTask
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.kir import BinOpKind, Function, ReduceKind, UnOpKind
+
+GeneratorFn = Callable[[IndexTask], Function]
+
+
+class GeneratorRegistry:
+    """Registry mapping task names to kernel generator functions."""
+
+    def __init__(self) -> None:
+        self._generators: Dict[str, GeneratorFn] = {}
+
+    def register(self, task_name: str, generator: GeneratorFn) -> None:
+        """Register (or replace) the generator for a task type."""
+        self._generators[task_name] = generator
+
+    def unregister(self, task_name: str) -> None:
+        """Remove a generator (used by ablation benchmarks)."""
+        self._generators.pop(task_name, None)
+
+    def has(self, task_name: str) -> bool:
+        """True when the task type has a registered generator."""
+        return task_name in self._generators
+
+    def generate(self, task: IndexTask) -> Optional[Function]:
+        """Produce the KIR body of ``task``, or None for opaque tasks."""
+        generator = self._generators.get(task.task_name)
+        if generator is None:
+            return None
+        return generator(task)
+
+    def registered_names(self):
+        """All task names with generators (for documentation/tests)."""
+        return sorted(self._generators)
+
+    def copy(self) -> "GeneratorRegistry":
+        """A shallow copy, letting benchmarks customise registration."""
+        clone = GeneratorRegistry()
+        clone._generators = dict(self._generators)
+        return clone
+
+
+_DEFAULT = GeneratorRegistry()
+
+
+def default_registry() -> GeneratorRegistry:
+    """The process-wide registry used unless a custom one is supplied."""
+    return _DEFAULT
+
+
+def register_generator(task_name: str, registry: Optional[GeneratorRegistry] = None):
+    """Decorator registering a generator function for ``task_name``."""
+
+    def decorate(function: GeneratorFn) -> GeneratorFn:
+        (registry or _DEFAULT).register(task_name, function)
+        return function
+
+    return decorate
+
+
+def has_generator(task_name: str, registry: Optional[GeneratorRegistry] = None) -> bool:
+    """True when a generator exists for the task type."""
+    return (registry or _DEFAULT).has(task_name)
+
+
+# ----------------------------------------------------------------------
+# Element-wise binary operators: out = a op b  (args: a0, a1 -> a2)
+# ----------------------------------------------------------------------
+def _binary(op_name: str, op: BinOpKind) -> None:
+    @register_generator(op_name)
+    def generate(task: IndexTask, _op=op, _name=op_name) -> Function:
+        b = KernelBuilder(_name)
+        b.buffers("a0", "a1", "a2")
+        b.loop("a2").assign("a2", KernelBuilder.compare(_op, "a0", "a1")).end_loop()
+        return b.build()
+
+
+for _name, _op in [
+    ("add", BinOpKind.ADD),
+    ("subtract", BinOpKind.SUB),
+    ("multiply", BinOpKind.MUL),
+    ("divide", BinOpKind.DIV),
+    ("power", BinOpKind.POW),
+    ("maximum", BinOpKind.MAX),
+    ("minimum", BinOpKind.MIN),
+    ("greater", BinOpKind.GT),
+    ("greater_equal", BinOpKind.GE),
+    ("less", BinOpKind.LT),
+    ("less_equal", BinOpKind.LE),
+    ("equal", BinOpKind.EQ),
+]:
+    _binary(_name, _op)
+
+
+# ----------------------------------------------------------------------
+# Element-wise binary operators with a scalar operand.
+#   <op>_scalar:  out = a op s     (args: a0 -> a1, scalars: s0)
+#   r<op>_scalar: out = s op a     (reversed operand order)
+# ----------------------------------------------------------------------
+def _binary_scalar(op_name: str, op: BinOpKind, reverse: bool) -> None:
+    @register_generator(op_name)
+    def generate(task: IndexTask, _op=op, _rev=reverse, _name=op_name) -> Function:
+        b = KernelBuilder(_name)
+        b.buffers("a0", "a1")
+        scalar = b.scalar("s0")
+        lhs, rhs = (scalar, "a0") if _rev else ("a0", scalar)
+        b.loop("a1").assign("a1", KernelBuilder.compare(_op, lhs, rhs)).end_loop()
+        return b.build()
+
+
+for _name, _op, _rev in [
+    ("add_scalar", BinOpKind.ADD, False),
+    ("subtract_scalar", BinOpKind.SUB, False),
+    ("rsubtract_scalar", BinOpKind.SUB, True),
+    ("multiply_scalar", BinOpKind.MUL, False),
+    ("divide_scalar", BinOpKind.DIV, False),
+    ("rdivide_scalar", BinOpKind.DIV, True),
+    ("power_scalar", BinOpKind.POW, False),
+    ("maximum_scalar", BinOpKind.MAX, False),
+    ("minimum_scalar", BinOpKind.MIN, False),
+    ("greater_scalar", BinOpKind.GT, False),
+    ("less_scalar", BinOpKind.LT, False),
+]:
+    _binary_scalar(_name, _op, _rev)
+
+
+# ----------------------------------------------------------------------
+# Element-wise unary operators: out = op(a)  (args: a0 -> a1)
+# ----------------------------------------------------------------------
+def _unary(op_name: str, op: UnOpKind) -> None:
+    @register_generator(op_name)
+    def generate(task: IndexTask, _op=op, _name=op_name) -> Function:
+        b = KernelBuilder(_name)
+        b.buffers("a0", "a1")
+        b.loop("a1").assign("a1", KernelBuilder.unary(_op, "a0")).end_loop()
+        return b.build()
+
+
+for _name, _op in [
+    ("negative", UnOpKind.NEG),
+    ("sqrt", UnOpKind.SQRT),
+    ("exp", UnOpKind.EXP),
+    ("log", UnOpKind.LOG),
+    ("absolute", UnOpKind.ABS),
+    ("erf", UnOpKind.ERF),
+    ("sin", UnOpKind.SIN),
+    ("cos", UnOpKind.COS),
+    ("tanh", UnOpKind.TANH),
+    ("reciprocal", UnOpKind.RECIP),
+]:
+    _unary(_name, _op)
+
+
+@register_generator("copy")
+def _copy(task: IndexTask) -> Function:
+    """COPY(a, b): b[i] = a[i] (paper Figure 1e)."""
+    b = KernelBuilder("copy")
+    b.buffers("a0", "a1")
+    b.loop("a1").assign("a1", "a0").end_loop()
+    return b.build()
+
+
+@register_generator("fill")
+def _fill(task: IndexTask) -> Function:
+    """fill(out, s): out[i] = s."""
+    b = KernelBuilder("fill")
+    b.buffers("a0")
+    s = b.scalar("s0")
+    b.loop("a0").assign("a0", s).end_loop()
+    return b.build()
+
+
+@register_generator("where")
+def _where(task: IndexTask) -> Function:
+    """where(cond, x, y) -> out: out[i] = cond[i] ? x[i] : y[i]."""
+    b = KernelBuilder("where")
+    b.buffers("a0", "a1", "a2", "a3")
+    b.loop("a3").assign("a3", KernelBuilder.select("a0", "a1", "a2")).end_loop()
+    return b.build()
+
+
+@register_generator("axpy")
+def _axpy(task: IndexTask) -> Function:
+    """axpy(x, y -> out; alpha): out[i] = alpha * x[i] + y[i].
+
+    Emitted by the hand-optimized ("manually fused") application variants;
+    the naturally-written variants express the same computation as separate
+    multiply and add tasks and rely on Diffuse to fuse them.
+    """
+    b = KernelBuilder("axpy")
+    b.buffers("a0", "a1", "a2")
+    alpha = b.scalar("s0")
+    b.loop("a2").assign(
+        "a2", KernelBuilder.add(KernelBuilder.mul(alpha, "a0"), "a1")
+    ).end_loop()
+    return b.build()
+
+
+@register_generator("aypx")
+def _aypx(task: IndexTask) -> Function:
+    """aypx(x, y -> out; alpha): out[i] = x[i] + alpha * y[i]."""
+    b = KernelBuilder("aypx")
+    b.buffers("a0", "a1", "a2")
+    alpha = b.scalar("s0")
+    b.loop("a2").assign(
+        "a2", KernelBuilder.add("a0", KernelBuilder.mul(alpha, "a1"))
+    ).end_loop()
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Reductions: scalar futures produced with the Reduce privilege.
+# ----------------------------------------------------------------------
+@register_generator("dot")
+def _dot(task: IndexTask) -> Function:
+    """dot(x, y -> s): s += sum_i x[i] * y[i]."""
+    b = KernelBuilder("dot")
+    b.buffers("a0", "a1", "a2")
+    b.loop("a0").reduce("a2", KernelBuilder.mul("a0", "a1"), ReduceKind.SUM).end_loop()
+    return b.build()
+
+
+@register_generator("sum_reduce")
+def _sum_reduce(task: IndexTask) -> Function:
+    """sum(x -> s): s += sum_i x[i]."""
+    b = KernelBuilder("sum_reduce")
+    b.buffers("a0", "a1")
+    b.loop("a0").reduce("a1", "a0", ReduceKind.SUM).end_loop()
+    return b.build()
+
+
+@register_generator("max_reduce")
+def _max_reduce(task: IndexTask) -> Function:
+    """max(x -> s)."""
+    b = KernelBuilder("max_reduce")
+    b.buffers("a0", "a1")
+    b.loop("a0").reduce("a1", "a0", ReduceKind.MAX).end_loop()
+    return b.build()
+
+
+@register_generator("min_reduce")
+def _min_reduce(task: IndexTask) -> Function:
+    """min(x -> s)."""
+    b = KernelBuilder("min_reduce")
+    b.buffers("a0", "a1")
+    b.loop("a0").reduce("a1", "a0", ReduceKind.MIN).end_loop()
+    return b.build()
+
+
+@register_generator("sum_squares")
+def _sum_squares(task: IndexTask) -> Function:
+    """sum of squares (x -> s): s += sum_i x[i]^2 (used by norms)."""
+    b = KernelBuilder("sum_squares")
+    b.buffers("a0", "a1")
+    b.loop("a0").reduce("a1", KernelBuilder.mul("a0", "a0"), ReduceKind.SUM).end_loop()
+    return b.build()

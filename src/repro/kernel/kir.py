@@ -1,0 +1,578 @@
+"""KIR: the loop-level kernel intermediate representation.
+
+KIR plays the role of the affine/memref/arith MLIR dialects in the paper.
+A kernel is a :class:`Function` with buffer and scalar parameters and a
+body consisting of task-local allocations and affine loops.  Every loop
+iterates over the index space of one of the kernel's buffers and contains
+element-wise assignments and reductions.
+
+The representation deliberately mirrors the structure of the MLIR fragments
+in paper Figure 8: generator functions emit one loop per library task, the
+composition pass concatenates the loops, and the optimisation passes fuse
+the loops and scalarise the task-local temporaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+
+class BinOpKind(enum.Enum):
+    """Binary arithmetic operators available in kernel bodies."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    POW = "pow"
+    MAX = "max"
+    MIN = "min"
+    LT = "lt"
+    GT = "gt"
+    LE = "le"
+    GE = "ge"
+    EQ = "eq"
+
+
+class UnOpKind(enum.Enum):
+    """Unary operators available in kernel bodies."""
+
+    NEG = "neg"
+    SQRT = "sqrt"
+    EXP = "exp"
+    LOG = "log"
+    ABS = "abs"
+    ERF = "erf"
+    SIN = "sin"
+    COS = "cos"
+    TANH = "tanh"
+    RECIP = "recip"
+
+
+class ReduceKind(enum.Enum):
+    """Reduction operators for reduction statements."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class of kernel expressions."""
+
+    def buffers_read(self) -> Set[str]:
+        """Names of buffers loaded anywhere in the expression."""
+        raise NotImplementedError
+
+    def locals_read(self) -> Set[str]:
+        """Names of loop-local scalars referenced in the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A floating-point literal."""
+
+    value: float
+
+    def buffers_read(self) -> Set[str]:
+        return set()
+
+    def locals_read(self) -> Set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return f"{self.value}"
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    """A reference to a scalar parameter of the kernel."""
+
+    name: str
+
+    def buffers_read(self) -> Set[str]:
+        return set()
+
+    def locals_read(self) -> Set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """An element-wise load from a buffer at the current loop index."""
+
+    buffer: str
+
+    def buffers_read(self) -> Set[str]:
+        return {self.buffer}
+
+    def locals_read(self) -> Set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return f"{self.buffer}[i]"
+
+
+@dataclass(frozen=True)
+class LocalRef(Expr):
+    """A reference to a loop-local scalar defined earlier in the same loop."""
+
+    name: str
+
+    def buffers_read(self) -> Set[str]:
+        return set()
+
+    def locals_read(self) -> Set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    op: BinOpKind
+    lhs: Expr
+    rhs: Expr
+
+    def buffers_read(self) -> Set[str]:
+        return self.lhs.buffers_read() | self.rhs.buffers_read()
+
+    def locals_read(self) -> Set[str]:
+        return self.lhs.locals_read() | self.rhs.locals_read()
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op.value} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """A unary operation."""
+
+    op: UnOpKind
+    operand: Expr
+
+    def buffers_read(self) -> Set[str]:
+        return self.operand.buffers_read()
+
+    def locals_read(self) -> Set[str]:
+        return self.operand.locals_read()
+
+    def __str__(self) -> str:
+        return f"{self.op.value}({self.operand})"
+
+
+# ----------------------------------------------------------------------
+# Loop statements.
+# ----------------------------------------------------------------------
+class LoopStmt:
+    """Base class of statements appearing inside loops."""
+
+
+@dataclass(frozen=True)
+class Assign(LoopStmt):
+    """Element-wise assignment ``target[i] = expr`` or ``$local = expr``.
+
+    When ``is_local`` is true the target is a loop-local scalar rather than
+    a buffer element; loop-local scalars are the result of temporary
+    scalarisation and correspond to register values in generated code.
+    """
+
+    target: str
+    expr: Expr
+    is_local: bool = False
+
+    def buffers_read(self) -> Set[str]:
+        return self.expr.buffers_read()
+
+    def buffers_written(self) -> Set[str]:
+        return set() if self.is_local else {self.target}
+
+    def __str__(self) -> str:
+        lhs = f"${self.target}" if self.is_local else f"{self.target}[i]"
+        return f"{lhs} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Reduce(LoopStmt):
+    """Reduction of an element-wise expression into a scalar buffer.
+
+    ``target`` names a rank-0 buffer (a future in Legion terms).  The
+    reduction folds ``expr`` over the loop's index space using ``kind``.
+    """
+
+    target: str
+    kind: ReduceKind
+    expr: Expr
+
+    def buffers_read(self) -> Set[str]:
+        return self.expr.buffers_read()
+
+    def buffers_written(self) -> Set[str]:
+        return {self.target}
+
+    def __str__(self) -> str:
+        return f"{self.target} {self.kind.value}= {self.expr}"
+
+
+# ----------------------------------------------------------------------
+# Function-level statements.
+# ----------------------------------------------------------------------
+class Stmt:
+    """Base class of function-level statements."""
+
+
+@dataclass(frozen=True)
+class Alloc(Stmt):
+    """A task-local allocation with the same shape as a reference buffer.
+
+    Allocs are produced when the fusion engine demotes a distributed
+    temporary store into task-local data (paper Figure 8c); the temporary
+    elimination pass later removes allocs that the loop-fusion pass made
+    redundant (paper Figure 8d).
+    """
+
+    name: str
+    like: str
+
+    def __str__(self) -> str:
+        return f"{self.name} = alloc(like={self.like})"
+
+
+@dataclass(frozen=True)
+class Loop(Stmt):
+    """An affine loop over the index space of ``index_buffer``.
+
+    ``reduction_only`` loops contain only :class:`Reduce` statements; the
+    distinction matters for the cost model (a reduction launch has a
+    different latency profile than a map launch).
+    """
+
+    index_buffer: str
+    body: Tuple[LoopStmt, ...]
+    parallel: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    def buffers_read(self) -> Set[str]:
+        return set().union(*(stmt.buffers_read() for stmt in self.body)) if self.body else set()
+
+    def buffers_written(self) -> Set[str]:
+        return (
+            set().union(*(stmt.buffers_written() for stmt in self.body))
+            if self.body
+            else set()
+        )
+
+    @property
+    def has_reduction(self) -> bool:
+        return any(isinstance(stmt, Reduce) for stmt in self.body)
+
+    def __str__(self) -> str:
+        keyword = "affine.par" if self.parallel else "affine.for"
+        lines = [f"{keyword} %i over {self.index_buffer} {{"]
+        lines.extend(f"  {stmt}" for stmt in self.body)
+        lines.append("}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Parameters and functions.
+# ----------------------------------------------------------------------
+class ParamKind(enum.Enum):
+    """Kinds of kernel parameters."""
+
+    BUFFER = "buffer"
+    SCALAR = "scalar"
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter: either a memref-like buffer or a scalar."""
+
+    name: str
+    kind: ParamKind = ParamKind.BUFFER
+    dtype: str = "f64"
+
+    @staticmethod
+    def buffer(name: str, dtype: str = "f64") -> "Param":
+        return Param(name=name, kind=ParamKind.BUFFER, dtype=dtype)
+
+    @staticmethod
+    def scalar(name: str, dtype: str = "f64") -> "Param":
+        return Param(name=name, kind=ParamKind.SCALAR, dtype=dtype)
+
+    def __str__(self) -> str:
+        prefix = "memref" if self.kind is ParamKind.BUFFER else "scalar"
+        return f"%{self.name}: {prefix}<{self.dtype}>"
+
+
+@dataclass(frozen=True)
+class Function:
+    """A kernel: parameters plus a body of allocations and loops."""
+
+    name: str
+    params: Tuple[Param, ...]
+    body: Tuple[Stmt, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", tuple(self.params))
+        object.__setattr__(self, "body", tuple(self.body))
+        names = [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate parameter names in kernel {self.name}: {names}")
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the passes and the cost model.
+    # ------------------------------------------------------------------
+    @property
+    def loops(self) -> Tuple[Loop, ...]:
+        """The loops of the function, in program order."""
+        return tuple(stmt for stmt in self.body if isinstance(stmt, Loop))
+
+    @property
+    def allocs(self) -> Tuple[Alloc, ...]:
+        """The task-local allocations of the function."""
+        return tuple(stmt for stmt in self.body if isinstance(stmt, Alloc))
+
+    @property
+    def buffer_params(self) -> Tuple[Param, ...]:
+        """Parameters that are buffers."""
+        return tuple(p for p in self.params if p.kind is ParamKind.BUFFER)
+
+    @property
+    def scalar_params(self) -> Tuple[Param, ...]:
+        """Parameters that are scalars."""
+        return tuple(p for p in self.params if p.kind is ParamKind.SCALAR)
+
+    def param_names(self) -> Set[str]:
+        """All parameter names."""
+        return {p.name for p in self.params}
+
+    def buffers_read(self) -> Set[str]:
+        """All buffers read anywhere in the function."""
+        return set().union(*(loop.buffers_read() for loop in self.loops)) if self.loops else set()
+
+    def buffers_written(self) -> Set[str]:
+        """All buffers written anywhere in the function."""
+        return (
+            set().union(*(loop.buffers_written() for loop in self.loops))
+            if self.loops
+            else set()
+        )
+
+    def with_body(self, body: Sequence[Stmt]) -> "Function":
+        """A copy of the function with a replacement body."""
+        return replace(self, body=tuple(body))
+
+    def with_params(self, params: Sequence[Param]) -> "Function":
+        """A copy of the function with replacement parameters."""
+        return replace(self, params=tuple(params))
+
+    def pretty(self) -> str:
+        """A human-readable rendering (loosely MLIR flavoured)."""
+        header = ", ".join(str(p) for p in self.params)
+        lines = [f"func @{self.name}({header}) {{"]
+        for stmt in self.body:
+            text = str(stmt)
+            lines.extend("  " + line for line in text.splitlines())
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.pretty()
+
+
+# ----------------------------------------------------------------------
+# Expression and statement rewriting utilities shared by the passes.
+# ----------------------------------------------------------------------
+def substitute_expr(expr: Expr, mapping: Dict[str, str]) -> Expr:
+    """Rename buffer and scalar references in an expression per ``mapping``."""
+    if isinstance(expr, Load):
+        return Load(mapping.get(expr.buffer, expr.buffer))
+    if isinstance(expr, ScalarRef):
+        return ScalarRef(mapping.get(expr.name, expr.name))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute_expr(expr.lhs, mapping), substitute_expr(expr.rhs, mapping))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, substitute_expr(expr.operand, mapping))
+    return expr
+
+
+def substitute_stmt(stmt: LoopStmt, mapping: Dict[str, str]) -> LoopStmt:
+    """Rename buffer references in a loop statement according to ``mapping``."""
+    if isinstance(stmt, Assign):
+        target = stmt.target if stmt.is_local else mapping.get(stmt.target, stmt.target)
+        return Assign(target=target, expr=substitute_expr(stmt.expr, mapping), is_local=stmt.is_local)
+    if isinstance(stmt, Reduce):
+        return Reduce(
+            target=mapping.get(stmt.target, stmt.target),
+            kind=stmt.kind,
+            expr=substitute_expr(stmt.expr, mapping),
+        )
+    raise TypeError(f"unknown loop statement {stmt!r}")
+
+
+def rename_buffers(function: Function, mapping: Dict[str, str]) -> Function:
+    """Rename buffer parameters and references throughout a function."""
+    params = []
+    for param in function.params:
+        params.append(replace(param, name=mapping.get(param.name, param.name)))
+    body: List[Stmt] = []
+    for stmt in function.body:
+        if isinstance(stmt, Alloc):
+            body.append(
+                Alloc(
+                    name=mapping.get(stmt.name, stmt.name),
+                    like=mapping.get(stmt.like, stmt.like),
+                )
+            )
+        elif isinstance(stmt, Loop):
+            body.append(
+                Loop(
+                    index_buffer=mapping.get(stmt.index_buffer, stmt.index_buffer),
+                    body=tuple(substitute_stmt(s, mapping) for s in stmt.body),
+                    parallel=stmt.parallel,
+                )
+            )
+        else:  # pragma: no cover - no other statement kinds exist
+            body.append(stmt)
+    return Function(name=function.name, params=tuple(params), body=tuple(body))
+
+
+def replace_load_with_expr(expr: Expr, buffer: str, replacement: Expr) -> Expr:
+    """Replace every ``Load(buffer)`` in ``expr`` with ``replacement``."""
+    if isinstance(expr, Load) and expr.buffer == buffer:
+        return replacement
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            replace_load_with_expr(expr.lhs, buffer, replacement),
+            replace_load_with_expr(expr.rhs, buffer, replacement),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, replace_load_with_expr(expr.operand, buffer, replacement))
+    return expr
+
+
+def count_flops(expr: Expr) -> int:
+    """Number of arithmetic operations in an expression tree."""
+    if isinstance(expr, BinOp):
+        return 1 + count_flops(expr.lhs) + count_flops(expr.rhs)
+    if isinstance(expr, UnOp):
+        # Transcendental unary operations are charged a handful of flops.
+        heavy = {UnOpKind.EXP, UnOpKind.LOG, UnOpKind.SQRT, UnOpKind.ERF,
+                 UnOpKind.SIN, UnOpKind.COS, UnOpKind.TANH}
+        return (8 if expr.op in heavy else 1) + count_flops(expr.operand)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# NumPy evaluation of expressions (used by the lowering module).
+# ----------------------------------------------------------------------
+_BINOP_EVAL = {
+    BinOpKind.ADD: lambda a, b: a + b,
+    BinOpKind.SUB: lambda a, b: a - b,
+    BinOpKind.MUL: lambda a, b: a * b,
+    BinOpKind.DIV: lambda a, b: a / b,
+    BinOpKind.POW: lambda a, b: np.power(a, b),
+    BinOpKind.MAX: np.maximum,
+    BinOpKind.MIN: np.minimum,
+    BinOpKind.LT: lambda a, b: (a < b).astype(np.float64),
+    BinOpKind.GT: lambda a, b: (a > b).astype(np.float64),
+    BinOpKind.LE: lambda a, b: (a <= b).astype(np.float64),
+    BinOpKind.GE: lambda a, b: (a >= b).astype(np.float64),
+    BinOpKind.EQ: lambda a, b: (a == b).astype(np.float64),
+}
+
+
+def _erf(x):
+    """Vectorised error function (Abramowitz & Stegun 7.1.26 approximation).
+
+    SciPy is an optional dependency, so the kernel executor carries its own
+    erf good to ~1.5e-7 absolute error, which is ample for the
+    Black-Scholes benchmark.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+_UNOP_EVAL = {
+    UnOpKind.NEG: lambda a: -a,
+    UnOpKind.SQRT: np.sqrt,
+    UnOpKind.EXP: np.exp,
+    UnOpKind.LOG: np.log,
+    UnOpKind.ABS: np.abs,
+    UnOpKind.ERF: _erf,
+    UnOpKind.SIN: np.sin,
+    UnOpKind.COS: np.cos,
+    UnOpKind.TANH: np.tanh,
+    UnOpKind.RECIP: lambda a: 1.0 / a,
+}
+
+_REDUCE_EVAL = {
+    ReduceKind.SUM: np.sum,
+    ReduceKind.PROD: np.prod,
+    ReduceKind.MAX: np.max,
+    ReduceKind.MIN: np.min,
+}
+
+_REDUCE_COMBINE = {
+    ReduceKind.SUM: lambda a, b: a + b,
+    ReduceKind.PROD: lambda a, b: a * b,
+    ReduceKind.MAX: max,
+    ReduceKind.MIN: min,
+}
+
+
+def evaluate_expr(expr: Expr, buffers: Dict[str, np.ndarray], scalars: Dict[str, float],
+                  locals_: Dict[str, np.ndarray]) -> np.ndarray:
+    """Evaluate a kernel expression with NumPy array semantics."""
+    if isinstance(expr, Const):
+        return np.float64(expr.value)
+    if isinstance(expr, ScalarRef):
+        return np.float64(scalars[expr.name])
+    if isinstance(expr, Load):
+        return buffers[expr.buffer]
+    if isinstance(expr, LocalRef):
+        return locals_[expr.name]
+    if isinstance(expr, BinOp):
+        return _BINOP_EVAL[expr.op](
+            evaluate_expr(expr.lhs, buffers, scalars, locals_),
+            evaluate_expr(expr.rhs, buffers, scalars, locals_),
+        )
+    if isinstance(expr, UnOp):
+        return _UNOP_EVAL[expr.op](evaluate_expr(expr.operand, buffers, scalars, locals_))
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def reduce_array(kind: ReduceKind, values: np.ndarray) -> float:
+    """Reduce an array of per-element values to a scalar."""
+    return float(_REDUCE_EVAL[kind](values))
+
+
+def combine_reduction(kind: ReduceKind, a: float, b: float) -> float:
+    """Combine two partial reduction results."""
+    return float(_REDUCE_COMBINE[kind](a, b))

@@ -1,0 +1,21 @@
+"""Optimisation passes over KIR kernels (paper Section 6.3).
+
+The pipeline mirrors the MLIR pass sequence described in the paper:
+
+1. :mod:`compose` — concatenate the bodies of the fused tasks in program
+   order, unifying buffers that refer to the same distributed view.
+2. :mod:`temp_demotion` — turn distributed temporaries into task-local
+   allocations (paper Figure 8c).
+3. :mod:`loop_fusion` — fuse adjacent loops over provably-equal index
+   spaces.
+4. :mod:`temp_elimination` — scalarise task-local allocations whose
+   producer and consumers ended up in the same fused loop (paper
+   Figure 8d).
+5. :mod:`cse` / :mod:`dce` — local value numbering and dead-code
+   elimination.
+6. :mod:`parallelize` — mark the surviving loops as parallel.
+"""
+
+from repro.kernel.passes.pipeline import PassPipeline, default_pipeline
+
+__all__ = ["PassPipeline", "default_pipeline"]

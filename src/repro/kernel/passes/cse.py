@@ -1,0 +1,142 @@
+"""Local value numbering inside fused loops.
+
+Fusing library operators frequently exposes repeated subexpressions — the
+Black-Scholes kernel, for example, rebuilds ``d1`` several times once its
+constituent tasks are concatenated.  This pass performs a conservative,
+statement-ordered common-subexpression elimination within each loop: any
+non-trivial expression that appears more than once (and whose inputs are
+not redefined in between) is computed once into a loop-local scalar and
+reused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.kernel.kir import (
+    Assign,
+    BinOp,
+    Expr,
+    Function,
+    LocalRef,
+    Loop,
+    LoopStmt,
+    Reduce,
+    UnOp,
+)
+
+
+def _expr_key(expr: Expr) -> Tuple:
+    """A structural key for an expression (dataclasses are hashable)."""
+    return ("expr", expr)
+
+
+def _is_trivial(expr: Expr) -> bool:
+    return not isinstance(expr, (BinOp, UnOp))
+
+
+def _count_occurrences(expr: Expr, counts: Dict[Expr, int]) -> None:
+    if isinstance(expr, (BinOp, UnOp)):
+        counts[expr] = counts.get(expr, 0) + 1
+    if isinstance(expr, BinOp):
+        _count_occurrences(expr.lhs, counts)
+        _count_occurrences(expr.rhs, counts)
+    elif isinstance(expr, UnOp):
+        _count_occurrences(expr.operand, counts)
+
+
+def _rewrite(expr: Expr, replacements: Dict[Expr, LocalRef]) -> Expr:
+    if expr in replacements:
+        return replacements[expr]
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _rewrite(expr.lhs, replacements), _rewrite(expr.rhs, replacements))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _rewrite(expr.operand, replacements))
+    return expr
+
+
+def _invalidated_by(expr: Expr, written_buffers: Set[str], written_locals: Set[str]) -> bool:
+    return bool(expr.buffers_read() & written_buffers) or bool(expr.locals_read() & written_locals)
+
+
+def eliminate_common_subexpressions(function: Function) -> Function:
+    """Apply local value numbering to every loop of the function."""
+    body = []
+    counter = [0]
+    for stmt in function.body:
+        if isinstance(stmt, Loop):
+            body.append(_cse_loop(stmt, counter))
+        else:
+            body.append(stmt)
+    return function.with_body(body)
+
+
+def _cse_loop(loop: Loop, counter: List[int]) -> Loop:
+    # First pass: count structurally-identical non-trivial subexpressions.
+    counts: Dict[Expr, int] = {}
+    for stmt in loop.body:
+        if isinstance(stmt, (Assign, Reduce)):
+            _count_occurrences(stmt.expr, counts)
+    repeated = {expr for expr, count in counts.items() if count > 1 and not _is_trivial(expr)}
+    if not repeated:
+        return loop
+
+    # Second pass: the first time a repeated expression is evaluated, hoist
+    # it into a loop-local scalar; later occurrences read the scalar.  The
+    # replacement is invalidated when any buffer or local it reads is
+    # subsequently written.
+    new_body: List[LoopStmt] = []
+    replacements: Dict[Expr, LocalRef] = {}
+    for stmt in loop.body:
+        expr = stmt.expr if isinstance(stmt, (Assign, Reduce)) else None
+        if expr is not None:
+            candidates = _collect_repeated(expr, repeated, replacements)
+            for candidate in candidates:
+                name = f"cse{counter[0]}"
+                counter[0] += 1
+                rewritten = _rewrite(candidate, replacements)
+                new_body.append(Assign(target=name, expr=rewritten, is_local=True))
+                replacements[candidate] = LocalRef(name)
+            expr = _rewrite(expr, replacements)
+
+        if isinstance(stmt, Assign):
+            new_stmt = Assign(target=stmt.target, expr=expr, is_local=stmt.is_local)
+        elif isinstance(stmt, Reduce):
+            new_stmt = Reduce(target=stmt.target, kind=stmt.kind, expr=expr)
+        else:  # pragma: no cover - no other loop statement kinds exist
+            new_stmt = stmt
+        new_body.append(new_stmt)
+
+        # Invalidate replacements whose inputs this statement redefined.
+        written_buffers = new_stmt.buffers_written() if isinstance(new_stmt, (Assign, Reduce)) else set()
+        written_locals = {new_stmt.target} if isinstance(new_stmt, Assign) and new_stmt.is_local else set()
+        if written_buffers or written_locals:
+            stale = [
+                expr_
+                for expr_ in replacements
+                if _invalidated_by(expr_, written_buffers, written_locals)
+            ]
+            for expr_ in stale:
+                del replacements[expr_]
+
+    return Loop(index_buffer=loop.index_buffer, body=tuple(new_body), parallel=loop.parallel)
+
+
+def _collect_repeated(
+    expr: Expr, repeated: Set[Expr], replacements: Dict[Expr, LocalRef]
+) -> List[Expr]:
+    """Repeated subexpressions of ``expr`` not yet hoisted, outermost first."""
+    found: List[Expr] = []
+
+    def visit(node: Expr) -> None:
+        if node in repeated and node not in replacements and node not in found:
+            found.append(node)
+            return  # hoisting the outermost occurrence covers its children
+        if isinstance(node, BinOp):
+            visit(node.lhs)
+            visit(node.rhs)
+        elif isinstance(node, UnOp):
+            visit(node.operand)
+
+    visit(expr)
+    return found

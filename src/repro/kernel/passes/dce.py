@@ -1,0 +1,107 @@
+"""Dead-code elimination for fused kernels.
+
+Removes:
+
+* assignments to loop-local scalars that are never read afterwards,
+* assignments to task-local allocations that are never read at all, and
+* task-local allocations that are no longer referenced.
+
+Writes to kernel *parameters* are never dead — the stores behind them are
+visible to the application or to downstream tasks by construction of the
+fused task's argument list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.kernel.kir import Alloc, Assign, Function, Loop, LoopStmt, Reduce, Stmt
+
+
+def eliminate_dead_code(function: Function) -> Function:
+    """Iteratively remove dead statements and unused allocations."""
+    current = function
+    while True:
+        rewritten = _single_pass(current)
+        if rewritten is current:
+            return rewritten
+        current = rewritten
+
+
+def _single_pass(function: Function) -> Function:
+    param_names = function.param_names()
+    alloc_names = {stmt.name for stmt in function.body if isinstance(stmt, Alloc)}
+
+    # Buffers read anywhere in the function (allocs used as loop index
+    # spaces also count as live so their defining writes are preserved).
+    buffers_read: Set[str] = set()
+    for loop in function.loops:
+        buffers_read |= loop.buffers_read()
+
+    changed = False
+    body: List[Stmt] = []
+    for stmt in function.body:
+        if isinstance(stmt, Loop):
+            new_loop = _dce_loop(stmt, param_names, buffers_read)
+            if new_loop is not stmt:
+                changed = True
+            if new_loop.body:
+                body.append(new_loop)
+            else:
+                changed = True
+        else:
+            body.append(stmt)
+
+    # Drop allocations that are no longer referenced by any surviving loop.
+    referenced: Set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, Loop):
+            referenced |= stmt.buffers_read() | stmt.buffers_written() | {stmt.index_buffer}
+    final_body: List[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, Alloc) and stmt.name not in referenced:
+            changed = True
+            continue
+        final_body.append(stmt)
+
+    if not changed:
+        return function
+    return function.with_body(final_body)
+
+
+def _dce_loop(loop: Loop, param_names: Set[str], buffers_read: Set[str]) -> Loop:
+    """Remove dead statements from a loop, scanning backwards."""
+    live_locals: Set[str] = set()
+    kept_reversed: List[LoopStmt] = []
+    changed = False
+    for stmt in reversed(loop.body):
+        if isinstance(stmt, Assign) and stmt.is_local:
+            if stmt.target not in live_locals:
+                changed = True
+                continue
+            live_locals.discard(stmt.target)
+            live_locals |= stmt.expr.locals_read()
+            kept_reversed.append(stmt)
+            continue
+        if isinstance(stmt, Assign):
+            is_param = stmt.target in param_names
+            is_read = stmt.target in buffers_read
+            if not is_param and not is_read:
+                changed = True
+                continue
+            live_locals |= stmt.expr.locals_read()
+            kept_reversed.append(stmt)
+            continue
+        if isinstance(stmt, Reduce):
+            live_locals |= stmt.expr.locals_read()
+            kept_reversed.append(stmt)
+            continue
+        kept_reversed.append(stmt)  # pragma: no cover - defensive
+
+    if not changed:
+        return loop
+    return Loop(
+        index_buffer=loop.index_buffer,
+        body=tuple(reversed(kept_reversed)),
+        parallel=loop.parallel,
+    )

@@ -1,0 +1,74 @@
+"""Loop fusion over composed kernel bodies (paper Figure 8b -> 8d).
+
+After composition, a fused task's body is a sequence of single loops — one
+per constituent library task.  This pass merges adjacent loops that
+provably iterate over the same index space into a single loop, which is
+what creates the data reuse the paper's speedups come from: a value loaded
+(or computed) by one constituent is consumed by the next without a round
+trip through memory.
+
+Legality
+--------
+All KIR loops are element-wise: every access inside a loop touches the
+current loop index only.  Two adjacent same-space loops can therefore be
+fused regardless of which buffers they share — the composed per-iteration
+statement order preserves every flow of values, and there are no
+loop-carried dependencies to violate.  The only question is whether the
+index spaces are provably equal, which is answered symbolically with the
+``index_spaces`` recorded by the composition pass (store shape +
+partition); the check never inspects actual data sizes, keeping the
+compiler scale free like the task-level analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.kernel.kir import Alloc, Function, Loop, Stmt
+from repro.kernel.passes.compose import IndexSpaceKey, KernelBinding
+
+
+def _space_of(loop: Loop, binding: KernelBinding) -> Optional[IndexSpaceKey]:
+    return binding.index_spaces.get(loop.index_buffer)
+
+
+def _same_space(a: Loop, b: Loop, binding: KernelBinding) -> bool:
+    space_a = _space_of(a, binding)
+    space_b = _space_of(b, binding)
+    if space_a is None or space_b is None:
+        return False
+    shape_a, part_a = space_a
+    shape_b, part_b = space_b
+    return shape_a == shape_b and part_a == part_b
+
+
+def fuse_loops(function: Function, binding: KernelBinding) -> Function:
+    """Fuse adjacent loops with provably-equal iteration spaces."""
+    # Hoist allocations to the top so they never separate fusible loops.
+    allocs: List[Stmt] = [stmt for stmt in function.body if isinstance(stmt, Alloc)]
+    loops: List[Stmt] = [stmt for stmt in function.body if isinstance(stmt, Loop)]
+
+    temp_names = set(binding.temporaries)
+    fused: List[Loop] = []
+    for loop in loops:
+        if fused and _same_space(fused[-1], loop, binding):
+            previous = fused[-1]
+            # Prefer a non-temporary index buffer for the merged loop so
+            # that the temporary-scalarisation pass can later remove the
+            # temporary entirely (paper Figure 8d).
+            index_buffer = previous.index_buffer
+            if index_buffer in temp_names and loop.index_buffer not in temp_names:
+                index_buffer = loop.index_buffer
+            fused[-1] = Loop(
+                index_buffer=index_buffer,
+                body=previous.body + loop.body,
+                parallel=previous.parallel and loop.parallel,
+            )
+        else:
+            fused.append(loop)
+    return function.with_body(tuple(allocs) + tuple(fused))
+
+
+def count_loops(function: Function) -> int:
+    """Number of loops (kernel launches) in the function."""
+    return len(function.loops)

@@ -1,0 +1,24 @@
+"""Parallelisation of fused loops (paper Figure 8d, ``affine.par``).
+
+Every KIR loop is element-wise and therefore trivially parallel; this pass
+marks loops as parallel so that the lowering and the cost model treat them
+as single device-wide kernel launches (GPU grid launches / OpenMP parallel
+regions in the paper).  Loops containing reductions remain parallel — the
+reduction is performed as a parallel tree reduction, which the cost model
+accounts for with a small additional latency term.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.kir import Function, Loop
+
+
+def parallelize_loops(function: Function) -> Function:
+    """Mark every loop of the function as parallel."""
+    body = []
+    for stmt in function.body:
+        if isinstance(stmt, Loop) and not stmt.parallel:
+            body.append(Loop(index_buffer=stmt.index_buffer, body=stmt.body, parallel=True))
+        else:
+            body.append(stmt)
+    return function.with_body(body)

@@ -1,0 +1,26 @@
+"""The Legion-like runtime substrate.
+
+The paper implements Diffuse as a middle layer above the Legion runtime.
+Legion itself is a large distributed C++ system; this package provides a
+Python substrate with the same interface surface that Diffuse relies on:
+
+* a machine model describing nodes, GPUs and interconnects,
+* region fields providing backing storage for stores,
+* a coherence tracker that derives the communication each task launch
+  implies from the partitions it uses,
+* a functional executor that runs (fused) index tasks point-by-point on
+  NumPy views of the region fields, and
+* a profiler that records task counts and analytically-modelled execution
+  times, from which the experiment harness computes throughput.
+
+Execution is *functionally real* (results are bit-for-bit the results of
+running the kernels on NumPy) while *performance is modelled* (a roofline
+model of GPU kernels plus an alpha-beta model of communication), which is
+the substitution documented in DESIGN.md.
+"""
+
+from repro.runtime.machine import MachineConfig
+from repro.runtime.profiler import Profiler
+from repro.runtime.runtime import LegionRuntime
+
+__all__ = ["MachineConfig", "Profiler", "LegionRuntime"]

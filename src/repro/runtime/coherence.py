@@ -1,0 +1,157 @@
+"""Coherence tracking and communication modelling.
+
+Legion maintains coherence of distributed data by moving and invalidating
+physical instances as tasks with different partitions and privileges touch
+the same logical region.  The substrate models the *cost* of that data
+movement: it tracks, per store, the partition through which the store was
+last written (its "valid partition") and charges an alpha-beta
+communication cost whenever a task reads the store through a different,
+aliasing partition.
+
+This is exactly the communication that limits task fusion in the paper —
+e.g. the stencil's ``center[:] = work`` write forces halo exchanges before
+the next iteration's reads of the ``north``/``south``/... views — so the
+model charges the unfused and fused executions identically and the fusion
+speedups come only from launch overheads and memory traffic, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.ir.domain import Domain
+from repro.ir.partition import Partition, Replication
+from repro.ir.store import Store
+from repro.ir.task import IndexTask
+from repro.runtime.machine import MachineConfig
+
+
+@dataclass
+class StoreCoherenceState:
+    """Per-store record of how the store's contents are currently laid out."""
+
+    #: Partition through which the store was last written, or None when the
+    #: store has never been written (or was written by the host).
+    valid_partition: Optional[Partition] = None
+    #: Launch domain of the writing task (needed to evaluate sub-stores).
+    valid_domain: Optional[Domain] = None
+    #: True when every GPU additionally holds a full replica (after a
+    #: replicated read the copies stay valid until the next write).
+    replicated: bool = False
+
+
+class CoherenceTracker:
+    """Tracks store layouts and derives per-task communication costs."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self._states: Dict[int, StoreCoherenceState] = {}
+        self.total_bytes_moved: float = 0.0
+
+    def state(self, store: Store) -> StoreCoherenceState:
+        """The coherence state of a store (created on first access)."""
+        existing = self._states.get(store.uid)
+        if existing is None:
+            existing = StoreCoherenceState()
+            self._states[store.uid] = existing
+        return existing
+
+    def reset(self) -> None:
+        """Forget all layouts (used between benchmark configurations)."""
+        self._states.clear()
+        self.total_bytes_moved = 0.0
+
+    # ------------------------------------------------------------------
+    # Cost model.
+    # ------------------------------------------------------------------
+    def communication_seconds(self, task: IndexTask) -> float:
+        """Communication time implied by launching ``task``, then update state.
+
+        The cost is the maximum over GPUs of the bytes each GPU must
+        receive divided by the interconnect bandwidth (an alpha-beta
+        model), summed over the task's store arguments.
+        """
+        total = 0.0
+        for arg in task.args:
+            state = self.state(arg.store)
+            if arg.privilege.reads:
+                total += self._read_cost(task, arg.store, arg.partition, state)
+            if arg.privilege.reduces:
+                total += self._reduction_cost(arg.store)
+        # Writes update the valid layout after all reads are priced.
+        for arg in task.args:
+            if arg.privilege.writes or arg.privilege.reduces:
+                state = self.state(arg.store)
+                state.valid_partition = arg.partition
+                state.valid_domain = task.launch_domain
+                state.replicated = False
+        return total
+
+    def _read_cost(
+        self,
+        task: IndexTask,
+        store: Store,
+        partition: Partition,
+        state: StoreCoherenceState,
+    ) -> float:
+        if self.machine.num_gpus <= 1:
+            return 0.0
+        if state.valid_partition is None:
+            # Never written by a task: the data was produced by the host
+            # (or a fill) and is assumed to already be distributed.
+            return 0.0
+        if state.valid_partition == partition:
+            return 0.0
+        if isinstance(partition, Replication):
+            if state.replicated:
+                return 0.0
+            bytes_per_gpu = store.size_bytes / self.machine.num_gpus
+            cost = self.machine.allgather_time(bytes_per_gpu)
+            state.replicated = True
+            self.total_bytes_moved += bytes_per_gpu * (self.machine.num_gpus - 1)
+            return cost
+        # Tiled read of data valid under a different tiling: each GPU must
+        # fetch the part of its new sub-store not already present in its
+        # old sub-store (a halo exchange).  The volume is computed exactly
+        # by rectangle arithmetic over the launch domain; this is the
+        # simulator's job, not the scale-free analysis, so enumerating the
+        # (at most #GPUs) points is acceptable.
+        worst_bytes = 0.0
+        total_bytes = 0.0
+        for point in task.launch_domain.points():
+            new_rect = partition.sub_store_rect(point, store.shape)
+            if state.valid_domain is not None and state.valid_domain.contains(point):
+                old_rect = state.valid_partition.sub_store_rect(point, store.shape)
+                overlap = new_rect.intersection(old_rect).volume
+            else:
+                overlap = 0
+            missing = max(0, new_rect.volume - overlap)
+            missing_bytes = missing * store.dtype.itemsize
+            worst_bytes = max(worst_bytes, missing_bytes)
+            total_bytes += missing_bytes
+        if worst_bytes == 0.0:
+            return 0.0
+        self.total_bytes_moved += total_bytes
+        return self.machine.point_to_point_time(worst_bytes)
+
+    def _reduction_cost(self, store: Store) -> float:
+        """Cost of folding per-GPU reduction contributions."""
+        if self.machine.num_gpus <= 1:
+            return 0.0
+        if store.is_scalar:
+            return self.machine.scalar_reduction_time()
+        bytes_per_gpu = store.size_bytes / self.machine.num_gpus
+        self.total_bytes_moved += bytes_per_gpu * (self.machine.num_gpus - 1)
+        return self.machine.allreduce_time(bytes_per_gpu)
+
+    # ------------------------------------------------------------------
+    # Host interactions.
+    # ------------------------------------------------------------------
+    def invalidate(self, store: Store) -> None:
+        """Record a host-side write to the store (layout unknown)."""
+        state = self.state(store)
+        state.valid_partition = None
+        state.valid_domain = None
+        state.replicated = False

@@ -1,0 +1,120 @@
+"""Functional execution of index tasks over region fields.
+
+The executor materialises each point task of a launched index task,
+gathers NumPy views of its sub-stores, runs either the compiled KIR kernel
+or the task's opaque implementation, folds reduction partials into their
+target stores, and returns the analytically-modelled execution time of the
+launch (the maximum over GPUs of the per-GPU kernel time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.privilege import Privilege, ReductionOp
+from repro.ir.task import IndexTask, StoreArg
+from repro.kernel.compiler import CompiledKernel
+from repro.kernel.lowering import ReductionPartial
+from repro.runtime.machine import MachineConfig
+from repro.runtime.opaque import OpaqueTaskImpl
+from repro.runtime.region import RegionManager
+
+
+class TaskExecutor:
+    """Executes index tasks functionally and models their kernel time."""
+
+    def __init__(self, regions: RegionManager, machine: MachineConfig) -> None:
+        self.regions = regions
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # Compiled (KIR) execution.
+    # ------------------------------------------------------------------
+    def execute_compiled(self, task: IndexTask, kernel: CompiledKernel) -> float:
+        """Run a task through its compiled kernel; returns kernel seconds."""
+        per_gpu_seconds: Dict[int, float] = {}
+        reduction_totals: Dict[int, List[ReductionPartial]] = {}
+
+        for rank, point in enumerate(task.launch_domain.points()):
+            buffers: Dict[str, Optional[np.ndarray]] = {}
+            element_counts: Dict[str, int] = {}
+            for name, arg_index in kernel.binding.buffer_args.items():
+                arg = task.args[arg_index]
+                rect = arg.partition.sub_store_rect(point, arg.store.shape)
+                element_counts[name] = rect.volume
+                if self._is_reduction_target(arg):
+                    buffers[name] = None
+                else:
+                    buffers[name] = self.regions.field(arg.store).view(rect)
+            scalars = {
+                name: task.scalar_args[index]
+                for name, index in kernel.binding.scalar_args.items()
+            }
+
+            partials = kernel.executor(buffers, scalars)
+            for name, partial in partials.items():
+                arg_index = kernel.binding.buffer_args.get(name)
+                if arg_index is None:
+                    continue
+                reduction_totals.setdefault(arg_index, []).append(partial)
+
+            gpu = rank % max(1, self.machine.num_gpus)
+            seconds = kernel.cost.estimate_seconds(element_counts, self.machine)
+            per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
+
+        self._apply_reductions(task, reduction_totals)
+        return max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
+
+    # ------------------------------------------------------------------
+    # Opaque execution.
+    # ------------------------------------------------------------------
+    def execute_opaque(self, task: IndexTask, impl: OpaqueTaskImpl) -> float:
+        """Run a task through its opaque implementation; returns kernel seconds."""
+        per_gpu_seconds: Dict[int, float] = {}
+        reduction_totals: Dict[int, List[ReductionPartial]] = {}
+
+        for rank, point in enumerate(task.launch_domain.points()):
+            buffers: Dict[int, Optional[np.ndarray]] = {}
+            for index, arg in enumerate(task.args):
+                rect = arg.partition.sub_store_rect(point, arg.store.shape)
+                if self._is_reduction_target(arg):
+                    buffers[index] = None
+                else:
+                    buffers[index] = self.regions.field(arg.store).view(rect)
+            partials = impl.execute(task, point, buffers)
+            if partials:
+                for arg_index, partial in partials.items():
+                    reduction_totals.setdefault(arg_index, []).append(partial)
+
+            gpu = rank % max(1, self.machine.num_gpus)
+            seconds = impl.cost_seconds(task, point, buffers, self.machine)
+            per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
+
+        self._apply_reductions(task, reduction_totals)
+        return max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_reduction_target(arg: StoreArg) -> bool:
+        return arg.privilege is Privilege.REDUCE
+
+    def _apply_reductions(
+        self,
+        task: IndexTask,
+        totals: Dict[int, List[ReductionPartial]],
+    ) -> None:
+        """Fold per-point reduction partials into their target stores."""
+        for arg_index, partials in totals.items():
+            if not partials:
+                continue
+            arg = task.args[arg_index]
+            redop = arg.redop if arg.redop is not None else ReductionOp.ADD
+            field = self.regions.field(arg.store)
+            accumulator = field.read_scalar()
+            for partial in partials:
+                accumulator = redop.combine_scalars(accumulator, partial.value)
+            field.write_scalar(accumulator)

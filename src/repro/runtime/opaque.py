@@ -1,0 +1,84 @@
+"""Opaque task implementations.
+
+Not every library task has a KIR generator: Legate Sparse's CSR SpMV, the
+random-number fills of cuPyNumeric, and the multigrid transfer operators
+are implemented directly against the runtime (in the paper these are CUDA
+task variants without MLIR generators).  Such tasks cannot join a fused
+kernel, but they still flow through the same execution and profiling
+paths.  An :class:`OpaqueTaskImpl` supplies the functional NumPy
+implementation and the analytic cost of one point task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.ir.domain import Point
+from repro.ir.task import IndexTask
+from repro.kernel.lowering import ReductionPartial
+from repro.runtime.machine import MachineConfig
+
+#: Buffers handed to an opaque implementation: argument index -> NumPy view
+#: of the point task's sub-store (None for pure reduction targets).
+OpaqueBuffers = Dict[int, Optional[np.ndarray]]
+
+ExecuteFn = Callable[[IndexTask, Point, OpaqueBuffers], Optional[Dict[int, ReductionPartial]]]
+CostFn = Callable[[IndexTask, Point, OpaqueBuffers, MachineConfig], float]
+
+
+@dataclass
+class OpaqueTaskImpl:
+    """A library-provided task variant without a kernel generator."""
+
+    name: str
+    execute: ExecuteFn
+    cost_seconds: CostFn
+
+
+class OpaqueTaskRegistry:
+    """Registry of opaque task implementations, keyed by task name."""
+
+    def __init__(self) -> None:
+        self._impls: Dict[str, OpaqueTaskImpl] = {}
+
+    def register(self, impl: OpaqueTaskImpl) -> None:
+        """Register (or replace) an opaque implementation."""
+        self._impls[impl.name] = impl
+
+    def has(self, task_name: str) -> bool:
+        """True when an implementation exists for the task type."""
+        return task_name in self._impls
+
+    def get(self, task_name: str) -> OpaqueTaskImpl:
+        """Look up the implementation of a task type."""
+        impl = self._impls.get(task_name)
+        if impl is None:
+            raise KeyError(f"no opaque implementation registered for task '{task_name}'")
+        return impl
+
+    def registered_names(self):
+        """All registered task names (for documentation/tests)."""
+        return sorted(self._impls)
+
+
+_DEFAULT = OpaqueTaskRegistry()
+
+
+def default_opaque_registry() -> OpaqueTaskRegistry:
+    """The process-wide opaque-task registry."""
+    return _DEFAULT
+
+
+def register_opaque_task(
+    name: str,
+    execute: ExecuteFn,
+    cost_seconds: CostFn,
+    registry: Optional[OpaqueTaskRegistry] = None,
+) -> OpaqueTaskImpl:
+    """Convenience helper to register an opaque task implementation."""
+    impl = OpaqueTaskImpl(name=name, execute=execute, cost_seconds=cost_seconds)
+    (registry or _DEFAULT).register(impl)
+    return impl

@@ -1,0 +1,177 @@
+"""Profiling of simulated execution.
+
+The profiler records, per launched index task, the analytically-modelled
+kernel, communication and runtime-overhead times, plus how many original
+library tasks the launch stands for (one for unfused tasks, more for fused
+tasks).  The experiment harness uses it to regenerate paper Figure 9
+(tasks per iteration, average task length, window sizes) and the
+throughput numbers of every weak-scaling figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TaskRecord:
+    """One launched index task as seen by the runtime."""
+
+    name: str
+    iteration: Optional[int]
+    constituents: int
+    kernel_seconds: float
+    communication_seconds: float
+    overhead_seconds: float
+    launches: int
+    fused: bool
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated time attributed to this launch."""
+        return self.kernel_seconds + self.communication_seconds + self.overhead_seconds
+
+
+@dataclass
+class IterationRecord:
+    """Aggregated statistics of one application iteration."""
+
+    index: int
+    index_tasks: int = 0
+    constituent_tasks: int = 0
+    seconds: float = 0.0
+
+
+class Profiler:
+    """Accumulates task records and iteration statistics."""
+
+    def __init__(self) -> None:
+        self.records: List[TaskRecord] = []
+        self.iterations: List[IterationRecord] = []
+        self.compile_seconds: float = 0.0
+        self.analysis_seconds: float = 0.0
+        self._current_iteration: Optional[IterationRecord] = None
+
+    # ------------------------------------------------------------------
+    # Iteration markers (driven by the applications).
+    # ------------------------------------------------------------------
+    def begin_iteration(self) -> None:
+        """Mark the start of an application iteration."""
+        index = len(self.iterations)
+        self._current_iteration = IterationRecord(index=index)
+        self.iterations.append(self._current_iteration)
+
+    @property
+    def current_iteration(self) -> Optional[int]:
+        """Index of the iteration currently being recorded."""
+        return self._current_iteration.index if self._current_iteration else None
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def record_task(
+        self,
+        name: str,
+        constituents: int,
+        kernel_seconds: float,
+        communication_seconds: float,
+        overhead_seconds: float,
+        launches: int,
+        fused: bool,
+    ) -> TaskRecord:
+        """Record one launched index task."""
+        record = TaskRecord(
+            name=name,
+            iteration=self.current_iteration,
+            constituents=constituents,
+            kernel_seconds=kernel_seconds,
+            communication_seconds=communication_seconds,
+            overhead_seconds=overhead_seconds,
+            launches=launches,
+            fused=fused,
+        )
+        self.records.append(record)
+        if self._current_iteration is not None:
+            self._current_iteration.index_tasks += 1
+            self._current_iteration.constituent_tasks += constituents
+            self._current_iteration.seconds += record.total_seconds
+        return record
+
+    def record_compile_time(self, seconds: float) -> None:
+        """Attribute JIT compilation time (fusion path only)."""
+        self.compile_seconds += seconds
+
+    def record_analysis_time(self, seconds: float) -> None:
+        """Attribute fusion-analysis time."""
+        self.analysis_seconds += seconds
+
+    def add_iteration_seconds(self, seconds: float) -> None:
+        """Attribute extra time (e.g. flush-side costs) to the current iteration."""
+        if self._current_iteration is not None:
+            self._current_iteration.seconds += seconds
+
+    # ------------------------------------------------------------------
+    # Aggregation.
+    # ------------------------------------------------------------------
+    @property
+    def total_index_tasks(self) -> int:
+        """Number of index tasks launched to the runtime."""
+        return len(self.records)
+
+    @property
+    def total_constituent_tasks(self) -> int:
+        """Number of original library tasks represented by those launches."""
+        return sum(record.constituents for record in self.records)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated execution time (excluding compile time)."""
+        return sum(record.total_seconds for record in self.records)
+
+    def iteration_seconds(self, skip_warmup: int = 0) -> List[float]:
+        """Per-iteration simulated time, optionally skipping warm-up iterations."""
+        return [it.seconds for it in self.iterations[skip_warmup:]]
+
+    def tasks_per_iteration(self, skip_warmup: int = 0, fused_view: bool = True) -> float:
+        """Average tasks per iteration.
+
+        With ``fused_view`` the count is of index tasks actually launched
+        (the "Tasks per Iteration (Fused)" column of Figure 9); without it
+        the count is of original library tasks ("Tasks per Iteration").
+        """
+        iterations = self.iterations[skip_warmup:]
+        if not iterations:
+            return 0.0
+        if fused_view:
+            return sum(it.index_tasks for it in iterations) / len(iterations)
+        return sum(it.constituent_tasks for it in iterations) / len(iterations)
+
+    def average_task_length_seconds(self, skip_warmup: int = 0) -> float:
+        """Average kernel time per launched index task (Figure 9 column)."""
+        skip_iterations = {it.index for it in self.iterations[:skip_warmup]}
+        records = [
+            r
+            for r in self.records
+            if r.iteration is not None and r.iteration not in skip_iterations
+        ]
+        if not records:
+            records = self.records
+        if not records:
+            return 0.0
+        return sum(r.kernel_seconds for r in records) / len(records)
+
+    def throughput(self, skip_warmup: int = 0) -> float:
+        """Iterations per simulated second after warm-up."""
+        seconds = self.iteration_seconds(skip_warmup)
+        if not seconds or sum(seconds) == 0.0:
+            return 0.0
+        return len(seconds) / sum(seconds)
+
+    def reset(self) -> None:
+        """Clear all recorded state."""
+        self.records.clear()
+        self.iterations.clear()
+        self.compile_seconds = 0.0
+        self.analysis_seconds = 0.0
+        self._current_iteration = None

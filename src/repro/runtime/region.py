@@ -1,0 +1,92 @@
+"""Region fields: backing storage for stores.
+
+Legion stores data in *physical instances* of logical regions.  The
+substrate keeps a single NumPy array per store (the simulator has one
+address space) and hands out views of sub-store rectangles to point
+tasks.  Placement and data movement are modelled analytically by the
+coherence tracker rather than by physically copying data between
+per-processor buffers — the functional result is identical and the
+performance model is what the benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ir.domain import Rect
+from repro.ir.store import Store
+
+
+class RegionField:
+    """The backing NumPy array of one store."""
+
+    def __init__(self, store: Store, initial: Optional[np.ndarray] = None) -> None:
+        self.store = store
+        if initial is not None:
+            initial = np.asarray(initial, dtype=store.dtype)
+            if tuple(initial.shape) != store.shape:
+                raise ValueError(
+                    f"initial data shape {initial.shape} does not match store "
+                    f"shape {store.shape}"
+                )
+            self.data = np.array(initial, dtype=store.dtype, copy=True)
+        else:
+            self.data = np.zeros(store.shape, dtype=store.dtype)
+
+    def view(self, rect: Rect) -> np.ndarray:
+        """A mutable NumPy view of the given rectangle of the region."""
+        return self.data[rect.slices()]
+
+    def read_scalar(self) -> float:
+        """The value of a rank-0 / single-element region."""
+        return float(self.data.reshape(-1)[0])
+
+    def write_scalar(self, value: float) -> None:
+        """Overwrite the value of a rank-0 / single-element region."""
+        flat = self.data.reshape(-1)
+        flat[0] = value
+
+    def fill(self, value: float) -> None:
+        """Fill the whole region with a constant."""
+        self.data.fill(value)
+
+
+class RegionManager:
+    """Allocates and tracks the region field of every store."""
+
+    def __init__(self) -> None:
+        self._fields: Dict[int, RegionField] = {}
+
+    def field(self, store: Store) -> RegionField:
+        """The region field of ``store``, allocated on first use."""
+        existing = self._fields.get(store.uid)
+        if existing is None:
+            existing = RegionField(store)
+            self._fields[store.uid] = existing
+        return existing
+
+    def attach(self, store: Store, data: np.ndarray) -> RegionField:
+        """Attach externally-produced data as the store's region field."""
+        field = RegionField(store, initial=data)
+        self._fields[store.uid] = field
+        return field
+
+    def has_field(self, store: Store) -> bool:
+        """True when backing storage for the store has been allocated."""
+        return store.uid in self._fields
+
+    def release(self, store: Store) -> None:
+        """Free the backing storage of a store (e.g. eliminated temporaries)."""
+        self._fields.pop(store.uid, None)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes of live backing storage (used by ablation benches)."""
+        return sum(field.data.nbytes for field in self._fields.values())
+
+    @property
+    def allocated_fields(self) -> int:
+        """Number of live region fields."""
+        return len(self._fields)

@@ -1,0 +1,151 @@
+"""The Legion-like runtime: the layer below Diffuse.
+
+The runtime accepts a stream of index tasks (fused or not), derives the
+communication each launch implies, executes the task functionally over
+region fields, and records analytically-modelled timings in the profiler.
+It is deliberately ignorant of fusion — Diffuse sits above it and simply
+forwards (possibly fused) tasks, exactly as in the paper's architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.store import Store
+from repro.ir.task import IndexTask
+from repro.kernel.compiler import CompiledKernel, JITCompiler
+from repro.kernel.generators import GeneratorRegistry, default_registry
+from repro.runtime.coherence import CoherenceTracker
+from repro.runtime.executor import TaskExecutor
+from repro.runtime.machine import MachineConfig
+from repro.runtime.opaque import OpaqueTaskRegistry, default_opaque_registry
+from repro.runtime.profiler import Profiler
+from repro.runtime.region import RegionManager
+
+
+class UnexecutableTaskError(RuntimeError):
+    """Raised when a task has neither a kernel generator nor an opaque impl."""
+
+
+class LegionRuntime:
+    """Executes index tasks against the simulated machine."""
+
+    def __init__(
+        self,
+        machine: Optional[MachineConfig] = None,
+        generator_registry: Optional[GeneratorRegistry] = None,
+        opaque_registry: Optional[OpaqueTaskRegistry] = None,
+    ) -> None:
+        self.machine = machine or MachineConfig()
+        self.regions = RegionManager()
+        self.coherence = CoherenceTracker(self.machine)
+        self.profiler = Profiler()
+        self.executor = TaskExecutor(self.regions, self.machine)
+        self.opaque_registry = opaque_registry or default_opaque_registry()
+        # Per-task kernels correspond to the libraries' pre-compiled task
+        # variants; their compilation is not charged to the application.
+        self._task_variant_compiler = JITCompiler(
+            registry=generator_registry or default_registry()
+        )
+        self._task_variant_cache: Dict[Hashable, CompiledKernel] = {}
+        self.simulated_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Task submission.
+    # ------------------------------------------------------------------
+    def submit(self, task: IndexTask, compiled: Optional[CompiledKernel] = None) -> float:
+        """Execute a task; returns the simulated seconds it took."""
+        communication = self.coherence.communication_seconds(task)
+
+        if compiled is not None:
+            kernel_seconds = self.executor.execute_compiled(task, compiled)
+            launches = compiled.launches
+        elif self._task_variant_compiler.can_compile(task):
+            kernel = self._task_variant_kernel(task)
+            kernel_seconds = self.executor.execute_compiled(task, kernel)
+            launches = kernel.launches
+        elif self.opaque_registry.has(task.task_name):
+            impl = self.opaque_registry.get(task.task_name)
+            kernel_seconds = self.executor.execute_opaque(task, impl)
+            launches = 1
+        else:
+            raise UnexecutableTaskError(
+                f"task '{task.task_name}' has neither a kernel generator nor an "
+                "opaque implementation"
+            )
+
+        overhead = self.machine.task_launch_overhead
+        record = self.profiler.record_task(
+            name=task.task_name,
+            constituents=task.constituent_count(),
+            kernel_seconds=kernel_seconds,
+            communication_seconds=communication,
+            overhead_seconds=overhead,
+            launches=launches,
+            fused=task.is_fused,
+        )
+        self.simulated_seconds += record.total_seconds
+        return record.total_seconds
+
+    def _task_variant_kernel(self, task: IndexTask) -> CompiledKernel:
+        # The kernel binding depends on which arguments alias the same
+        # (store, partition) view — e.g. ``dot(r, r)`` and ``dot(p, q)``
+        # need different bindings — so the cache key includes the
+        # aliasing pattern of the argument list, not just its length.
+        views = []
+        pattern = []
+        for arg in task.args:
+            view = (arg.store.uid, arg.partition)
+            for position, existing in enumerate(views):
+                if existing == view:
+                    pattern.append(position)
+                    break
+            else:
+                pattern.append(len(views))
+                views.append(view)
+        key = (task.task_name, tuple(pattern), len(task.scalar_args))
+        kernel = self._task_variant_cache.get(key)
+        if kernel is None:
+            kernel = self._task_variant_compiler.compile(task, charge_compile_time=False)
+            self._task_variant_cache[key] = kernel
+        return kernel
+
+    # ------------------------------------------------------------------
+    # Host-side data access (futures, attach/detach).
+    # ------------------------------------------------------------------
+    def read_scalar(self, store: Store) -> float:
+        """Read the value of a scalar store (blocking on a future)."""
+        return self.regions.field(store).read_scalar()
+
+    def write_scalar(self, store: Store, value: float) -> None:
+        """Write a scalar store from the host."""
+        self.regions.field(store).write_scalar(value)
+        self.coherence.invalidate(store)
+
+    def attach_array(self, store: Store, data: np.ndarray) -> None:
+        """Attach host data as the contents of a store."""
+        self.regions.attach(store, data)
+        self.coherence.invalidate(store)
+
+    def read_array(self, store: Store) -> np.ndarray:
+        """A copy of the store's full contents (host-side inspection)."""
+        return np.array(self.regions.field(store).data, copy=True)
+
+    def fill(self, store: Store, value: float) -> None:
+        """Host-side constant fill of a store (no task launch)."""
+        self.regions.field(store).fill(value)
+        self.coherence.invalidate(store)
+
+    # ------------------------------------------------------------------
+    # Accounting helpers.
+    # ------------------------------------------------------------------
+    def add_simulated_seconds(self, seconds: float) -> None:
+        """Attribute extra simulated time (e.g. JIT compilation)."""
+        self.simulated_seconds += seconds
+
+    def reset_profiling(self) -> None:
+        """Clear profiling and timing state but keep data and coherence."""
+        self.profiler.reset()
+        self.simulated_seconds = 0.0

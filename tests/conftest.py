@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.legate.context import RuntimeContext, set_context
+from repro.ir.domain import Domain
+from repro.ir.partition import Tiling, natural_tiling
+from repro.ir.privilege import Privilege
+from repro.ir.store import StoreManager
+from repro.ir.task import IndexTask, StoreArg
+from repro.runtime.machine import MachineConfig
+
+
+@pytest.fixture
+def store_manager():
+    """A fresh store manager."""
+    return StoreManager()
+
+
+@pytest.fixture
+def launch4():
+    """A 1-D launch domain with four points."""
+    return Domain((4,))
+
+
+@pytest.fixture(params=[True, False], ids=["fused", "unfused"])
+def any_context(request):
+    """A runtime context in both fused and unfused configurations."""
+    context = RuntimeContext(num_gpus=4, fusion=request.param)
+    set_context(context)
+    yield context
+    set_context(None)
+
+
+@pytest.fixture
+def fused_context():
+    """A 4-GPU context with fusion enabled."""
+    context = RuntimeContext(num_gpus=4, fusion=True)
+    set_context(context)
+    yield context
+    set_context(None)
+
+
+@pytest.fixture
+def unfused_context():
+    """A 4-GPU context with fusion disabled (the paper's baseline)."""
+    context = RuntimeContext(num_gpus=4, fusion=False)
+    set_context(context)
+    yield context
+    set_context(None)
+
+
+@pytest.fixture
+def single_gpu_context():
+    """A single-GPU context with fusion enabled."""
+    context = RuntimeContext(num_gpus=1, fusion=True)
+    set_context(context)
+    yield context
+    set_context(None)
+
+
+def make_elementwise_task(manager, launch, name, inputs, output, scalars=()):
+    """Helper building an element-wise task reading ``inputs``, writing ``output``."""
+    args = [StoreArg(store, natural_tiling(store.shape, launch), Privilege.READ) for store in inputs]
+    args.append(StoreArg(output, natural_tiling(output.shape, launch), Privilege.WRITE))
+    return IndexTask(name, launch, args, scalar_args=scalars)

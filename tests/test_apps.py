@@ -1,0 +1,220 @@
+"""Correctness tests for the benchmark applications.
+
+Every application is checked two ways: the fused and unfused executions
+produce identical results (fusion is semantics-preserving end to end), and
+where a NumPy reference implementation exists the checksum matches it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BiCGSTAB,
+    BlackScholes,
+    ChannelFlow,
+    ConjugateGradient,
+    GeometricMultigrid,
+    JacobiIteration,
+    ManuallyFusedConjugateGradient,
+    ManuallyFusedShallowWater,
+    ShallowWater,
+    build_application,
+)
+from repro.apps.base import registered_applications
+from repro.frontend.legate.context import RuntimeContext, set_context
+
+
+def _run_app(app_cls, fusion, iterations, num_gpus=4, **kwargs):
+    context = RuntimeContext(num_gpus=num_gpus, fusion=fusion)
+    set_context(context)
+    try:
+        app = app_cls(context=context, **kwargs)
+        app.run(iterations)
+        return app.checksum(), app, context
+    finally:
+        set_context(None)
+
+
+class TestRegistry:
+    def test_all_paper_applications_registered(self):
+        names = registered_applications()
+        for name in ("black-scholes", "jacobi", "cg", "cg-manual", "bicgstab",
+                     "gmg", "cfd", "torchswe", "torchswe-manual"):
+            assert name in names
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(KeyError):
+            build_application("no-such-app")
+
+
+class TestBlackScholes:
+    def test_fused_matches_unfused_and_reference(self):
+        fused, app, _ = _run_app(BlackScholes, True, 1, elements_per_gpu=256)
+        unfused, _, _ = _run_app(BlackScholes, False, 1, elements_per_gpu=256)
+        assert fused == pytest.approx(unfused, rel=1e-12)
+        assert fused == pytest.approx(app.reference_checksum(), rel=1e-5)
+
+    def test_prices_are_sane(self):
+        _, app, _ = _run_app(BlackScholes, True, 1, elements_per_gpu=128)
+        call = app.call.to_numpy()
+        put = app.put.to_numpy()
+        assert (call >= 0).all() and (put >= 0).all()
+        # Put-call parity: C - P = S - K e^{-rT}.
+        spot = app.spot.to_numpy()
+        strike = app.strike.to_numpy()
+        expiry = app.expiry.to_numpy()
+        parity = spot - strike * np.exp(-app.rate * expiry)
+        np.testing.assert_allclose(call - put, parity, atol=1e-4)
+
+
+class TestJacobi:
+    def test_fused_matches_unfused_and_reference(self):
+        iterations = 5
+        fused, app, _ = _run_app(JacobiIteration, True, iterations, rows_per_gpu=16)
+        unfused, _, _ = _run_app(JacobiIteration, False, iterations, rows_per_gpu=16)
+        assert fused == pytest.approx(unfused, rel=1e-12)
+        assert fused == pytest.approx(app.reference_checksum(iterations), rel=1e-10)
+
+    def test_converges_towards_solution(self):
+        _, app, _ = _run_app(JacobiIteration, True, 30, rows_per_gpu=16)
+        x = app.x.to_numpy()
+        residual = app._rhs_host - app._matrix_host @ x
+        assert np.linalg.norm(residual) < 0.1 * np.linalg.norm(app._rhs_host)
+
+
+class TestKrylovSolvers:
+    def test_cg_fused_matches_unfused(self):
+        fused, app, _ = _run_app(ConjugateGradient, True, 6, grid_points_per_gpu=5)
+        unfused, _, _ = _run_app(ConjugateGradient, False, 6, grid_points_per_gpu=5)
+        assert fused == pytest.approx(unfused, rel=1e-10)
+
+    def test_cg_converges_to_reference(self):
+        _, app, _ = _run_app(ConjugateGradient, True, 120, grid_points_per_gpu=5)
+        reference = app.reference_solution()
+        np.testing.assert_allclose(app.x.to_numpy(), reference, atol=1e-6)
+
+    def test_manual_cg_matches_natural_cg(self):
+        natural, _, _ = _run_app(ConjugateGradient, True, 6, grid_points_per_gpu=5)
+        manual, _, _ = _run_app(ManuallyFusedConjugateGradient, True, 6, grid_points_per_gpu=5)
+        assert natural == pytest.approx(manual, rel=1e-10)
+
+    def test_manual_cg_issues_fewer_tasks(self):
+        _, _, natural_ctx = _run_app(ConjugateGradient, False, 4, grid_points_per_gpu=5)
+        _, _, manual_ctx = _run_app(ManuallyFusedConjugateGradient, False, 4, grid_points_per_gpu=5)
+        assert (
+            manual_ctx.profiler.tasks_per_iteration(fused_view=False)
+            < natural_ctx.profiler.tasks_per_iteration(fused_view=False)
+        )
+
+    def test_bicgstab_fused_matches_unfused(self):
+        fused, app, _ = _run_app(BiCGSTAB, True, 6, grid_points_per_gpu=5)
+        unfused, _, _ = _run_app(BiCGSTAB, False, 6, grid_points_per_gpu=5)
+        assert fused == pytest.approx(unfused, rel=1e-9)
+
+    def test_bicgstab_converges_to_reference(self):
+        _, app, _ = _run_app(BiCGSTAB, True, 60, grid_points_per_gpu=5)
+        reference = app.reference_solution()
+        np.testing.assert_allclose(app.x.to_numpy(), reference, atol=1e-4)
+
+
+class TestGMG:
+    def test_fused_matches_unfused(self):
+        fused, _, _ = _run_app(GeometricMultigrid, True, 3, grid_points_per_gpu=6)
+        unfused, _, _ = _run_app(GeometricMultigrid, False, 3, grid_points_per_gpu=6)
+        assert fused == pytest.approx(unfused, rel=1e-9)
+
+    def test_preconditioned_cg_reduces_residual(self):
+        _, app, _ = _run_app(GeometricMultigrid, True, 8, grid_points_per_gpu=6)
+        initial_norm = float(np.sqrt(app.rows))  # ||b|| with b = ones
+        assert app.residual_norm() < 0.1 * initial_norm
+
+    def test_restriction_prolongation_shapes(self):
+        _, app, _ = _run_app(GeometricMultigrid, True, 1, grid_points_per_gpu=6)
+        import repro.frontend.cunumeric as cn
+
+        set_context(app.context)
+        try:
+            fine = cn.ones(app.rows)
+            coarse = app._restrict(fine)
+            assert coarse.shape == (app.coarse_points ** 2,)
+            np.testing.assert_allclose(coarse.to_numpy(), 1.0)
+            back = app._prolong(coarse)
+            assert back.shape == (app.rows,)
+            np.testing.assert_allclose(back.to_numpy(), 1.0)
+        finally:
+            set_context(None)
+
+
+class TestCFD:
+    def test_fused_matches_unfused_and_reference(self):
+        iterations = 2
+        fused, app, _ = _run_app(ChannelFlow, True, iterations, points_per_gpu=6,
+                                 pressure_iterations=3)
+        unfused, _, _ = _run_app(ChannelFlow, False, iterations, points_per_gpu=6,
+                                 pressure_iterations=3)
+        assert fused == pytest.approx(unfused, rel=1e-10)
+        assert fused == pytest.approx(app.reference_checksum(iterations), rel=1e-8)
+
+    def test_flow_develops(self):
+        _, app, _ = _run_app(ChannelFlow, True, 3, points_per_gpu=6, pressure_iterations=3)
+        assert app.checksum() > 0.0
+
+
+class TestShallowWater:
+    def test_fused_matches_unfused_and_reference(self):
+        iterations = 2
+        fused, app, _ = _run_app(ShallowWater, True, iterations, points_per_gpu=6)
+        unfused, _, _ = _run_app(ShallowWater, False, iterations, points_per_gpu=6)
+        assert fused == pytest.approx(unfused, rel=1e-10)
+        assert fused == pytest.approx(app.reference_checksum(iterations), rel=1e-8)
+
+    def test_manual_variant_matches_natural(self):
+        natural, _, _ = _run_app(ShallowWater, True, 2, points_per_gpu=6)
+        manual, _, _ = _run_app(ManuallyFusedShallowWater, True, 2, points_per_gpu=6)
+        assert natural == pytest.approx(manual, rel=1e-9)
+
+    def test_manual_variant_issues_fewer_tasks(self):
+        _, _, natural_ctx = _run_app(ShallowWater, False, 2, points_per_gpu=6)
+        _, _, manual_ctx = _run_app(ManuallyFusedShallowWater, False, 2, points_per_gpu=6)
+        assert (
+            manual_ctx.profiler.tasks_per_iteration(fused_view=False)
+            < natural_ctx.profiler.tasks_per_iteration(fused_view=False)
+        )
+
+    def test_water_volume_conserved_in_interior(self):
+        """Reflective boundaries keep total depth roughly constant."""
+        _, app, _ = _run_app(ShallowWater, True, 3, points_per_gpu=6)
+        total = float(app.h.sum())
+        initial = float(np.sum(app._initial_h))
+        assert total == pytest.approx(initial, rel=0.05)
+
+
+class TestFusionEffectOnApplications:
+    """Fusion reduces launched index tasks for every fusible application."""
+
+    @pytest.mark.parametrize("app_name,kwargs", [
+        ("black-scholes", {"elements_per_gpu": 128}),
+        ("cg", {"grid_points_per_gpu": 5}),
+        ("bicgstab", {"grid_points_per_gpu": 5}),
+        ("cfd", {"points_per_gpu": 6, "pressure_iterations": 2}),
+        ("torchswe", {"points_per_gpu": 6}),
+    ])
+    def test_fewer_launched_tasks(self, app_name, kwargs):
+        context_fused = RuntimeContext(num_gpus=2, fusion=True)
+        set_context(context_fused)
+        try:
+            app = build_application(app_name, context=context_fused, **kwargs)
+            app.run(2)
+        finally:
+            set_context(None)
+        context_plain = RuntimeContext(num_gpus=2, fusion=False)
+        set_context(context_plain)
+        try:
+            app = build_application(app_name, context=context_plain, **kwargs)
+            app.run(2)
+        finally:
+            set_context(None)
+        assert (
+            context_fused.profiler.tasks_per_iteration(fused_view=True)
+            < context_plain.profiler.tasks_per_iteration(fused_view=True)
+        )

@@ -1,0 +1,214 @@
+"""Tests for the cuPyNumeric-like frontend against plain NumPy.
+
+Every test runs under both the fused and unfused configurations (the
+``any_context`` fixture), so correctness of the fusion pipeline is checked
+on every frontend operation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.frontend.cunumeric as cn
+from repro.frontend.cunumeric import linalg
+from repro.frontend.legate.context import RuntimeContext, set_context
+
+
+class TestCreation:
+    def test_zeros_ones_full(self, any_context):
+        np.testing.assert_allclose(cn.zeros(17).to_numpy(), np.zeros(17))
+        np.testing.assert_allclose(cn.ones((4, 5)).to_numpy(), np.ones((4, 5)))
+        np.testing.assert_allclose(cn.full(9, 2.5).to_numpy(), np.full(9, 2.5))
+
+    def test_array_and_arange(self, any_context):
+        data = np.linspace(0, 1, 13)
+        np.testing.assert_allclose(cn.array(data).to_numpy(), data)
+        np.testing.assert_allclose(cn.arange(11).to_numpy(), np.arange(11.0))
+
+    def test_zeros_like(self, any_context):
+        template = cn.ones((3, 6))
+        assert cn.zeros_like(template).shape == (3, 6)
+
+    def test_random(self, any_context):
+        cn.random.seed(5)
+        values = cn.random.rand(32).to_numpy()
+        assert values.shape == (32,)
+        assert ((values >= 0) & (values < 1)).all()
+        uniform = cn.random.uniform(2.0, 3.0, 16).to_numpy()
+        assert ((uniform >= 2.0) & (uniform < 3.0)).all()
+
+
+class TestElementwise:
+    def test_binary_array_ops(self, any_context):
+        a_host = np.linspace(1, 2, 24)
+        b_host = np.linspace(3, 5, 24)
+        a, b = cn.array(a_host), cn.array(b_host)
+        np.testing.assert_allclose((a + b).to_numpy(), a_host + b_host)
+        np.testing.assert_allclose((a - b).to_numpy(), a_host - b_host)
+        np.testing.assert_allclose((a * b).to_numpy(), a_host * b_host)
+        np.testing.assert_allclose((a / b).to_numpy(), a_host / b_host)
+        np.testing.assert_allclose((a ** 2).to_numpy(), a_host ** 2)
+
+    def test_scalar_ops_and_reversed(self, any_context):
+        a_host = np.linspace(1, 2, 10)
+        a = cn.array(a_host)
+        np.testing.assert_allclose((a + 1.5).to_numpy(), a_host + 1.5)
+        np.testing.assert_allclose((2.0 * a).to_numpy(), 2.0 * a_host)
+        np.testing.assert_allclose((1.0 - a).to_numpy(), 1.0 - a_host)
+        np.testing.assert_allclose((1.0 / a).to_numpy(), 1.0 / a_host)
+        np.testing.assert_allclose((-a).to_numpy(), -a_host)
+
+    def test_inplace_ops(self, any_context):
+        a_host = np.linspace(1, 2, 12)
+        a = cn.array(a_host)
+        a += 1.0
+        a *= 2.0
+        np.testing.assert_allclose(a.to_numpy(), (a_host + 1.0) * 2.0)
+        b = cn.array(a_host)
+        b -= cn.ones(12)
+        np.testing.assert_allclose(b.to_numpy(), a_host - 1.0)
+
+    def test_unary_functions(self, any_context):
+        a_host = np.linspace(0.1, 2.0, 16)
+        a = cn.array(a_host)
+        np.testing.assert_allclose(cn.sqrt(a).to_numpy(), np.sqrt(a_host))
+        np.testing.assert_allclose(cn.exp(a).to_numpy(), np.exp(a_host))
+        np.testing.assert_allclose(cn.log(a).to_numpy(), np.log(a_host))
+        np.testing.assert_allclose(cn.absolute(-a).to_numpy(), a_host)
+        np.testing.assert_allclose(cn.sin(a).to_numpy(), np.sin(a_host))
+        np.testing.assert_allclose(cn.cos(a).to_numpy(), np.cos(a_host))
+        np.testing.assert_allclose(cn.tanh(a).to_numpy(), np.tanh(a_host))
+
+    def test_maximum_minimum_where(self, any_context):
+        a_host = np.linspace(-1, 1, 20)
+        b_host = np.linspace(1, -1, 20)
+        a, b = cn.array(a_host), cn.array(b_host)
+        np.testing.assert_allclose(cn.maximum(a, b).to_numpy(), np.maximum(a_host, b_host))
+        np.testing.assert_allclose(cn.minimum(a, 0.0).to_numpy(), np.minimum(a_host, 0.0))
+        selected = cn.where(a > b, a, b)
+        np.testing.assert_allclose(selected.to_numpy(), np.where(a_host > b_host, a_host, b_host))
+
+    def test_axpy(self, any_context):
+        x_host = np.linspace(0, 1, 16)
+        y_host = np.linspace(1, 2, 16)
+        result = cn.axpy(2.5, cn.array(x_host), cn.array(y_host))
+        np.testing.assert_allclose(result.to_numpy(), 2.5 * x_host + y_host)
+
+    def test_shape_mismatch_rejected(self, any_context):
+        with pytest.raises(ValueError):
+            cn.ones(4) + cn.ones(5)
+
+
+class TestReductions:
+    def test_sum_max_min_dot(self, any_context):
+        a_host = np.linspace(-2, 3, 40)
+        b_host = np.linspace(1, 2, 40)
+        a, b = cn.array(a_host), cn.array(b_host)
+        assert float(a.sum()) == pytest.approx(a_host.sum())
+        assert float(a.max()) == pytest.approx(a_host.max())
+        assert float(a.min()) == pytest.approx(a_host.min())
+        assert float(a.dot(b)) == pytest.approx(a_host @ b_host)
+        assert float(cn.sum(a)) == pytest.approx(a_host.sum())
+        assert float(cn.dot(a, b)) == pytest.approx(a_host @ b_host)
+
+    def test_norm(self, any_context):
+        a_host = np.linspace(0, 1, 25)
+        assert linalg.norm(cn.array(a_host)) == pytest.approx(np.linalg.norm(a_host))
+
+    def test_item_requires_scalar(self, any_context):
+        with pytest.raises(ValueError):
+            cn.ones(4).item()
+
+
+class TestViewsAndSlicing:
+    def test_view_reads(self, any_context):
+        data = np.arange(36, dtype=np.float64).reshape(6, 6)
+        grid = cn.array(data)
+        np.testing.assert_allclose(grid[1:-1, 1:-1].to_numpy(), data[1:-1, 1:-1])
+        np.testing.assert_allclose(grid[0:-2, 2:].to_numpy(), data[0:-2, 2:])
+        np.testing.assert_allclose(grid[2:].to_numpy(), data[2:])
+
+    def test_view_write_back(self, any_context):
+        data = np.arange(16, dtype=np.float64).reshape(4, 4)
+        grid = cn.array(data)
+        grid[1:-1, 1:-1] = cn.full((2, 2), 9.0)
+        expected = data.copy()
+        expected[1:-1, 1:-1] = 9.0
+        np.testing.assert_allclose(grid.to_numpy(), expected)
+
+    def test_scalar_fill_of_view(self, any_context):
+        grid = cn.zeros((5, 5))
+        grid[0:1, :] = 3.0
+        expected = np.zeros((5, 5))
+        expected[0, :] = 3.0
+        np.testing.assert_allclose(grid.to_numpy(), expected)
+
+    def test_stencil_example(self, any_context):
+        """The paper's Figure 1 program produces the NumPy result."""
+        n = 8
+        data = np.arange((n + 2) * (n + 2), dtype=np.float64).reshape(n + 2, n + 2)
+        grid = cn.array(data)
+        center = grid[1:-1, 1:-1]
+        north = grid[0:-2, 1:-1]
+        east = grid[1:-1, 2:]
+        west = grid[1:-1, 0:-2]
+        south = grid[2:, 1:-1]
+        for _ in range(2):
+            avg = center + north + east + west + south
+            work = 0.2 * avg
+            center[:] = work
+        reference = data.copy()
+        for _ in range(2):
+            avg = (
+                reference[1:-1, 1:-1]
+                + reference[0:-2, 1:-1]
+                + reference[1:-1, 2:]
+                + reference[1:-1, 0:-2]
+                + reference[2:, 1:-1]
+            )
+            reference[1:-1, 1:-1] = 0.2 * avg
+        np.testing.assert_allclose(grid.to_numpy(), reference)
+
+    def test_unsupported_indexing(self, any_context):
+        grid = cn.zeros((4, 4))
+        with pytest.raises(NotImplementedError):
+            grid[::2]
+        with pytest.raises(NotImplementedError):
+            grid[1]
+        with pytest.raises(IndexError):
+            grid[0:1, 0:1, 0:1]
+
+
+class TestMatvec:
+    def test_matches_numpy(self, any_context):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((12, 12))
+        vector = rng.standard_normal(12)
+        result = linalg.matvec(cn.array(matrix), cn.array(vector))
+        np.testing.assert_allclose(result.to_numpy(), matrix @ vector, rtol=1e-12)
+
+    def test_shape_validation(self, any_context):
+        with pytest.raises(ValueError):
+            linalg.matvec(cn.ones((4, 4)), cn.ones(5))
+        with pytest.raises(ValueError):
+            linalg.matvec(cn.ones(4), cn.ones(4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=-100, max_value=100), min_size=4, max_size=40),
+    scalar=st.floats(min_value=-10, max_value=10),
+)
+def test_property_expression_chain_matches_numpy(values, scalar):
+    """Property: random element-wise expression chains match NumPy under fusion."""
+    host = np.asarray(values, dtype=np.float64)
+    context = RuntimeContext(num_gpus=2, fusion=True)
+    set_context(context)
+    try:
+        a = cn.array(host)
+        result = (a * scalar + 1.0) - cn.maximum(a, 0.0) * 0.5
+        expected = (host * scalar + 1.0) - np.maximum(host, 0.0) * 0.5
+        np.testing.assert_allclose(result.to_numpy(), expected, rtol=1e-12, atol=1e-12)
+    finally:
+        set_context(None)

@@ -1,0 +1,300 @@
+"""Tests for dependence analysis, fusion constraints and the prefix algorithm.
+
+Includes the key soundness property test: whenever the scale-free
+constraint checker accepts a sequence of tasks, the brute-force dependence
+maps of paper Definitions 1-3 confirm that all dependencies are point-wise.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.domain import Domain, Rect
+from repro.ir.partition import Replication, Tiling, natural_tiling
+from repro.ir.privilege import Privilege, ReductionOp
+from repro.ir.store import StoreManager
+from repro.ir.task import IndexTask, StoreArg
+from repro.fusion.algorithm import build_fused_task, find_fusible_prefix, plan_window
+from repro.fusion.constraints import FusionConstraintChecker, check_sequence
+from repro.fusion.dependence import (
+    dependence_map,
+    point_tasks_depend,
+    sequence_fusible_bruteforce,
+    tasks_fusible_bruteforce,
+)
+from repro.fusion.temporaries import find_temporary_stores
+
+
+def _stencil_views(store, launch, n):
+    """Offset views of an (n+2, n+2) grid as in paper Figure 1."""
+    tile = (n // launch.shape[0], n // launch.shape[1])
+
+    def view(offset):
+        bounds = Rect(offset, (offset[0] + n, offset[1] + n))
+        return Tiling.create(tile, offset=offset, bounds=bounds)
+
+    return {
+        "center": view((1, 1)),
+        "north": view((0, 1)),
+        "south": view((2, 1)),
+        "east": view((1, 2)),
+        "west": view((1, 0)),
+    }
+
+
+class TestDependence:
+    def test_pointwise_dependence(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        writer = IndexTask("fill", launch4, [StoreArg(a, part, Privilege.WRITE)], (1.0,))
+        reader = IndexTask("copy", launch4, [StoreArg(a, part, Privilege.READ),
+                                             StoreArg(b, part, Privilege.WRITE)])
+        mapping = dependence_map(writer, reader)
+        assert all(deps == {p} for p, deps in mapping.items())
+        assert tasks_fusible_bruteforce(writer, reader)
+
+    def test_cross_point_dependence_from_aliasing_partitions(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        row = natural_tiling((8,), launch4)
+        replicated = Replication()
+        writer = IndexTask("fill", launch4, [StoreArg(a, row, Privilege.WRITE)], (1.0,))
+        reader = IndexTask("sum_reduce", launch4, [StoreArg(a, replicated, Privilege.READ)])
+        mapping = dependence_map(writer, reader)
+        # Every reader point depends on every writer point: not point-wise.
+        assert any(deps != {p} for p, deps in mapping.items())
+        assert not tasks_fusible_bruteforce(writer, reader)
+
+    def test_reads_never_conflict(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        r1 = IndexTask("copy", launch4, [StoreArg(a, part, Privilege.READ)])
+        r2 = IndexTask("copy", launch4, [StoreArg(a, Replication(), Privilege.READ)])
+        assert not point_tasks_depend(r1.point_task((0,)), r2.point_task((1,)))
+
+    def test_different_launch_domains_not_fusible(self, store_manager):
+        a = store_manager.create_store((8,))
+        t1 = IndexTask("fill", Domain((4,)), [StoreArg(a, natural_tiling((8,), Domain((4,))), Privilege.WRITE)], (0.0,))
+        t2 = IndexTask("fill", Domain((2,)), [StoreArg(a, natural_tiling((8,), Domain((2,))), Privilege.WRITE)], (0.0,))
+        assert not tasks_fusible_bruteforce(t1, t2)
+
+
+class TestConstraintChecker:
+    def _task(self, store, partition, privilege, launch, redop=None):
+        return IndexTask("t", launch, [StoreArg(store, partition, privilege, redop)])
+
+    def test_same_partition_chain_accepted(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        checker = FusionConstraintChecker()
+        checker.add(self._task(a, part, Privilege.WRITE, launch4))
+        assert checker.can_add(self._task(a, part, Privilege.READ, launch4))
+        assert checker.can_add(self._task(a, part, Privilege.WRITE, launch4))
+
+    def test_true_dependence_rejected(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        checker = FusionConstraintChecker()
+        checker.add(self._task(a, natural_tiling((8,), launch4), Privilege.WRITE, launch4))
+        candidate = self._task(a, Replication(), Privilege.READ, launch4)
+        violation = checker.violation(candidate)
+        assert violation is not None and violation.constraint == "true-dependence"
+
+    def test_anti_dependence_rejected(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        checker = FusionConstraintChecker()
+        checker.add(self._task(a, Replication(), Privilege.READ, launch4))
+        candidate = self._task(a, natural_tiling((8,), launch4), Privilege.WRITE, launch4)
+        violation = checker.violation(candidate)
+        assert violation is not None and violation.constraint == "anti-dependence"
+
+    def test_reduction_rejected_both_directions(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        checker = FusionConstraintChecker()
+        checker.add(self._task(a, part, Privilege.REDUCE, launch4, ReductionOp.ADD))
+        violation = checker.violation(self._task(a, part, Privilege.READ, launch4))
+        assert violation is not None and violation.constraint == "reduction"
+
+        checker2 = FusionConstraintChecker()
+        checker2.add(self._task(a, part, Privilege.READ, launch4))
+        violation2 = checker2.violation(self._task(a, part, Privilege.REDUCE, launch4, ReductionOp.ADD))
+        assert violation2 is not None and violation2.constraint == "reduction"
+
+    def test_multiple_reductions_allowed(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        checker = FusionConstraintChecker()
+        checker.add(self._task(a, part, Privilege.REDUCE, launch4, ReductionOp.ADD))
+        assert checker.can_add(self._task(a, Replication(), Privilege.REDUCE, launch4, ReductionOp.ADD))
+
+    def test_launch_domain_mismatch_rejected(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        checker = FusionConstraintChecker()
+        checker.add(self._task(a, natural_tiling((8,), launch4), Privilege.READ, launch4))
+        other = Domain((2,))
+        violation = checker.violation(self._task(a, natural_tiling((8,), other), Privilege.READ, other))
+        assert violation is not None and violation.constraint == "launch-domain-equivalence"
+
+    def test_add_rejected_task_raises(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        checker = FusionConstraintChecker()
+        checker.add(self._task(a, natural_tiling((8,), launch4), Privilege.WRITE, launch4))
+        with pytest.raises(ValueError):
+            checker.add(self._task(a, Replication(), Privilege.READ, launch4))
+
+    def test_incremental_matches_direct_definition(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        tasks = [
+            IndexTask("add", launch4, [StoreArg(a, part, Privilege.READ),
+                                       StoreArg(b, part, Privilege.WRITE)]),
+            IndexTask("mul", launch4, [StoreArg(b, part, Privilege.READ),
+                                       StoreArg(a, part, Privilege.WRITE)]),
+        ]
+        assert check_sequence(tasks) is None
+        checker = FusionConstraintChecker()
+        for task in tasks:
+            assert checker.can_add(task)
+            checker.add(task)
+
+
+class TestStencilScenario:
+    """The paper's motivating example (Figure 1)."""
+
+    def _tasks(self, store_manager, n=8, grid_launch=Domain((2, 2))):
+        grid = store_manager.create_store((n + 2, n + 2), name="grid")
+        views = _stencil_views(grid, grid_launch, n)
+        temps = [store_manager.create_store((n, n), name=f"t{i}") for i in range(3)]
+        avg = store_manager.create_store((n, n), name="avg")
+        work = store_manager.create_store((n, n), name="work")
+        fresh = natural_tiling((n, n), grid_launch)
+
+        def add(in1_part, in1, in2_part, in2, out):
+            return IndexTask("add", grid_launch, [
+                StoreArg(in1, in1_part, Privilege.READ),
+                StoreArg(in2, in2_part, Privilege.READ),
+                StoreArg(out, fresh, Privilege.WRITE),
+            ])
+
+        tasks = [
+            add(views["center"], grid, views["north"], grid, temps[0]),
+            add(fresh, temps[0], views["east"], grid, temps[1]),
+            add(fresh, temps[1], views["west"], grid, temps[2]),
+            add(fresh, temps[2], views["south"], grid, avg),
+            IndexTask("multiply_scalar", grid_launch, [
+                StoreArg(avg, fresh, Privilege.READ),
+                StoreArg(work, fresh, Privilege.WRITE),
+            ], (0.2,)),
+            IndexTask("copy", grid_launch, [
+                StoreArg(work, fresh, Privilege.READ),
+                StoreArg(grid, views["center"], Privilege.WRITE),
+            ]),
+        ]
+        return tasks, grid, work
+
+    def test_copy_back_excluded_from_prefix(self, store_manager):
+        """Diffuse fuses the adds and the multiply but not center[:] = work."""
+        tasks, grid, work = self._tasks(store_manager)
+        result = find_fusible_prefix(tasks)
+        assert result.prefix_length == 5
+        assert result.violation is not None
+        assert result.violation.constraint == "anti-dependence"
+        # The brute-force definition agrees that the 5-task prefix is fusible.
+        assert sequence_fusible_bruteforce(tasks[:5])
+        assert not sequence_fusible_bruteforce(tasks)
+
+    def test_temporaries_of_the_stencil(self, store_manager):
+        tasks, grid, work = self._tasks(store_manager)
+        work.add_application_reference()  # the application still holds `work`
+        prefix = tasks[:5]
+        temps = find_temporary_stores(prefix, tasks[5:])
+        names = {store.name for store in temps}
+        # t1..t3 and avg vanish; work is read by the pending copy and kept.
+        assert names == {"t0", "t1", "t2", "avg"}
+
+    def test_fused_task_construction(self, store_manager):
+        tasks, grid, work = self._tasks(store_manager)
+        result, temps = plan_window(tasks, can_kernel_fuse=lambda t: True)
+        fused = build_fused_task(tasks[: result.prefix_length], temps)
+        assert fused.constituent_count() == 5
+        temp_ids = {store.uid for store in temps}
+        assert all(arg.store.uid not in temp_ids for arg in fused.args)
+        # The grid is read through its five aliasing views but never written.
+        grid_args = fused.args_for_store(grid)
+        assert len(grid_args) == 5
+        assert all(arg.privilege is Privilege.READ for arg in grid_args)
+
+
+class TestPrefixAlgorithm:
+    def test_opaque_head_runs_alone(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        opaque = IndexTask("spmv_csr", launch4, [StoreArg(a, part, Privilege.READ)])
+        elementwise = IndexTask("fill", launch4, [StoreArg(a, part, Privilege.WRITE)], (0.0,))
+        result = find_fusible_prefix([opaque, elementwise], can_kernel_fuse=lambda t: t.task_name != "spmv_csr")
+        assert result.prefix_length == 1
+        assert not result.fusible
+
+    def test_opaque_tail_ends_prefix(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        t1 = IndexTask("fill", launch4, [StoreArg(a, part, Privilege.WRITE)], (0.0,))
+        t2 = IndexTask("copy", launch4, [StoreArg(a, part, Privilege.READ), StoreArg(b, part, Privilege.WRITE)])
+        opaque = IndexTask("spmv_csr", launch4, [StoreArg(b, part, Privilege.READ)])
+        result = find_fusible_prefix([t1, t2, opaque], can_kernel_fuse=lambda t: t.task_name != "spmv_csr")
+        assert result.prefix_length == 2
+
+    def test_empty_window(self):
+        assert find_fusible_prefix([]).prefix_length == 0
+
+    def test_build_fused_task_requires_two(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        task = IndexTask("fill", launch4, [StoreArg(a, part, Privilege.WRITE)], (0.0,))
+        with pytest.raises(ValueError):
+            build_fused_task([task], [])
+
+
+# ----------------------------------------------------------------------
+# Property test: the scale-free constraints are sound with respect to the
+# brute-force dependence maps (paper Theorem 1, part 1).
+# ----------------------------------------------------------------------
+@st.composite
+def random_task_streams(draw):
+    """Random streams of tasks over a small pool of stores and partitions."""
+    manager = StoreManager()
+    launch = Domain((draw(st.sampled_from([2, 4])),))
+    extent = 8
+    stores = [manager.create_store((extent,)) for _ in range(draw(st.integers(2, 4)))]
+    partitions = [
+        natural_tiling((extent,), launch),
+        Replication(),
+        Tiling.create((1,), offset=(2,)),
+        Tiling.create((2,), offset=(1,)),
+    ]
+    privileges = [Privilege.READ, Privilege.WRITE, Privilege.READ_WRITE, Privilege.REDUCE]
+    n_tasks = draw(st.integers(2, 5))
+    tasks = []
+    for index in range(n_tasks):
+        n_args = draw(st.integers(1, 3))
+        args = []
+        for _ in range(n_args):
+            store = draw(st.sampled_from(stores))
+            partition = draw(st.sampled_from(partitions))
+            privilege = draw(st.sampled_from(privileges))
+            redop = ReductionOp.ADD if privilege is Privilege.REDUCE else None
+            args.append(StoreArg(store, partition, privilege, redop))
+        tasks.append(IndexTask(f"task{index}", launch, args))
+    return tasks
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_task_streams())
+def test_constraints_sound_against_bruteforce(tasks):
+    """If the constraints accept a prefix, every pairwise dependence is point-wise."""
+    result = find_fusible_prefix(tasks)
+    prefix = tasks[: result.prefix_length]
+    if len(prefix) >= 2:
+        assert sequence_fusible_bruteforce(prefix)

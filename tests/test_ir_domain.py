@@ -1,0 +1,191 @@
+"""Unit and property tests for points, rectangles and domains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.domain import (
+    Domain,
+    Rect,
+    broadcast_shapes,
+    factor_domain,
+    point_add,
+    point_mul,
+    point_sub,
+    shape_volume,
+    tile_shape_for,
+)
+
+
+class TestRect:
+    def test_from_shape(self):
+        rect = Rect.from_shape((3, 4))
+        assert rect.lo == (0, 0)
+        assert rect.hi == (3, 4)
+        assert rect.volume == 12
+        assert not rect.empty
+
+    def test_empty_rect(self):
+        rect = Rect((2, 2), (2, 5))
+        assert rect.empty
+        assert rect.volume == 0
+        assert list(rect.points()) == []
+
+    def test_contains_point(self):
+        rect = Rect((1, 1), (3, 3))
+        assert rect.contains_point((1, 1))
+        assert rect.contains_point((2, 2))
+        assert not rect.contains_point((3, 3))
+        assert not rect.contains_point((0, 1))
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (4, 4))
+        inner = Rect((1, 1), (3, 3))
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(Rect((2, 2), (2, 2)))  # empty rect
+
+    def test_intersection(self):
+        a = Rect((0, 0), (3, 3))
+        b = Rect((2, 1), (5, 2))
+        overlap = a.intersection(b)
+        assert overlap.lo == (2, 1)
+        assert overlap.hi == (3, 2)
+        assert a.overlaps(b)
+
+    def test_disjoint_intersection(self):
+        a = Rect((0,), (2,))
+        b = Rect((2,), (4,))
+        assert not a.overlaps(b)
+        assert a.intersection(b).empty
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Rect((0,), (1, 1))
+        with pytest.raises(ValueError):
+            Rect((0,), (2,)).intersection(Rect((0, 0), (1, 1)))
+
+    def test_points_enumeration(self):
+        rect = Rect((0, 0), (2, 2))
+        assert sorted(rect.points()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_slices(self):
+        import numpy as np
+
+        data = np.arange(16).reshape(4, 4)
+        rect = Rect((1, 2), (3, 4))
+        assert data[rect.slices()].tolist() == [[6, 7], [10, 11]]
+
+    def test_translate(self):
+        rect = Rect((0, 0), (2, 2)).translate((3, 1))
+        assert rect.lo == (3, 1)
+        assert rect.hi == (5, 3)
+
+
+class TestDomain:
+    def test_basic(self):
+        domain = Domain((2, 3))
+        assert domain.dim == 2
+        assert domain.volume == 6
+        assert len(list(domain.points())) == 6
+        assert domain.contains((1, 2))
+        assert not domain.contains((2, 0))
+
+    def test_empty(self):
+        assert Domain((0, 3)).empty
+        assert not Domain((1,)).empty
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Domain((-1, 2))
+
+    def test_equality_and_hash(self):
+        assert Domain((4,)) == Domain((4,))
+        assert Domain((4,)) != Domain((2, 2))
+        assert hash(Domain((4,))) == hash(Domain((4,)))
+
+
+class TestFactorDomain:
+    def test_one_dimensional(self):
+        assert factor_domain(6, 1).shape == (6,)
+
+    def test_two_dimensional_square(self):
+        assert factor_domain(16, 2).shape == (4, 4)
+
+    def test_two_dimensional_rectangular(self):
+        assert factor_domain(8, 2).shape == (4, 2)
+
+    def test_prime(self):
+        assert factor_domain(7, 2).shape == (7, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor_domain(0, 1)
+        with pytest.raises(ValueError):
+            factor_domain(4, 0)
+
+    @given(st.integers(min_value=1, max_value=512), st.integers(min_value=1, max_value=3))
+    def test_volume_preserved(self, count, dim):
+        assert factor_domain(count, dim).volume == count
+
+
+class TestTileShape:
+    def test_even_division(self):
+        assert tile_shape_for((8, 8), Domain((2, 4))) == (4, 2)
+
+    def test_uneven_division(self):
+        assert tile_shape_for((9,), Domain((4,))) == (3,)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            tile_shape_for((8, 8), Domain((4,)))
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_tiles_cover_store(self, extent, parts):
+        tile = tile_shape_for((extent,), Domain((parts,)))[0]
+        # Tiles cover the store, and the tile size is the smallest that does.
+        assert tile * parts >= extent
+        assert (tile - 1) * parts < extent
+
+
+class TestHelpers:
+    def test_point_arithmetic(self):
+        assert point_add((1, 2), (3, 4)) == (4, 6)
+        assert point_sub((3, 4), (1, 2)) == (2, 2)
+        assert point_mul((2, 3), (4, 5)) == (8, 15)
+        with pytest.raises(ValueError):
+            point_add((1,), (1, 2))
+
+    def test_shape_volume(self):
+        assert shape_volume(()) == 1
+        assert shape_volume((3, 4)) == 12
+
+    def test_broadcast_shapes(self):
+        assert broadcast_shapes((4, 1), (1, 5)) == (4, 5)
+        assert broadcast_shapes((3,), (3,)) == (3,)
+        with pytest.raises(ValueError):
+            broadcast_shapes((2,), (3,))
+
+
+@settings(max_examples=60)
+@given(
+    lo=st.tuples(st.integers(0, 10), st.integers(0, 10)),
+    extent_a=st.tuples(st.integers(0, 10), st.integers(0, 10)),
+    lo_b=st.tuples(st.integers(0, 10), st.integers(0, 10)),
+    extent_b=st.tuples(st.integers(0, 10), st.integers(0, 10)),
+)
+def test_intersection_commutative_and_contained(lo, extent_a, lo_b, extent_b):
+    """Property: intersection is commutative and contained in both operands."""
+    a = Rect(lo, tuple(l + e for l, e in zip(lo, extent_a)))
+    b = Rect(lo_b, tuple(l + e for l, e in zip(lo_b, extent_b)))
+    ab = a.intersection(b)
+    ba = b.intersection(a)
+    assert ab.volume == ba.volume
+    if not ab.empty:
+        assert a.contains_rect(ab)
+        assert b.contains_rect(ab)
+    # Volume of the intersection never exceeds either operand.
+    assert ab.volume <= min(a.volume, b.volume)

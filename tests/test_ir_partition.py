@@ -1,0 +1,165 @@
+"""Tests for partitions: sub-store bounds, equality, coverage, projections."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.domain import Domain, Rect
+from repro.ir.partition import Replication, Tiling, natural_tiling, partitions_alias
+from repro.ir.projection import (
+    constant_projection,
+    drop_dimensions,
+    identity_projection,
+    promote_dimension,
+    transpose_projection,
+)
+
+
+class TestReplication:
+    def test_maps_every_point_to_whole_store(self):
+        part = Replication()
+        assert part.sub_store_rect((0,), (8,)) == Rect.from_shape((8,))
+        assert part.sub_store_rect((3,), (8,)) == Rect.from_shape((8,))
+
+    def test_covers(self):
+        assert Replication().covers((8, 8), Domain((2,)))
+        assert not Replication().covers((8,), Domain((0,)))
+
+    def test_equality(self):
+        assert Replication() == Replication()
+        assert Replication() != Tiling.create((2,))
+        assert Replication().is_replication()
+
+
+class TestTiling:
+    def test_paper_figure_3a(self):
+        """2x2 tiling of a 4x4 store over a 2x2 domain."""
+        part = Tiling.create((2, 2))
+        assert part.sub_store_rect((0, 0), (4, 4)) == Rect((0, 0), (2, 2))
+        assert part.sub_store_rect((1, 1), (4, 4)) == Rect((2, 2), (4, 4))
+
+    def test_paper_figure_3b(self):
+        """1x4 (row) tiling of a 4x4 store over a 4x1 domain."""
+        part = Tiling.create((1, 4))
+        assert part.sub_store_rect((2, 0), (4, 4)) == Rect((2, 0), (3, 4))
+
+    def test_paper_figure_3c_offset(self):
+        """Offset 1x1 tiling of a 4x4 store."""
+        part = Tiling.create((1, 1), offset=(1, 1))
+        assert part.sub_store_rect((0, 0), (4, 4)) == Rect((1, 1), (2, 2))
+        assert part.sub_store_rect((1, 0), (4, 4)) == Rect((2, 1), (3, 2))
+
+    def test_paper_figure_3d_projection(self):
+        """Aliased blocking of a size-4 store over a 2-D domain."""
+        part = Tiling.create((2,), projection=drop_dimensions([0]))
+        # Both points in the same row map to the same sub-store.
+        assert part.sub_store_rect((0, 0), (4,)) == part.sub_store_rect((0, 1), (4,))
+        assert part.sub_store_rect((1, 0), (4,)) == Rect((2,), (4,))
+
+    def test_clamping_to_store(self):
+        part = Tiling.create((3,))
+        assert part.sub_store_rect((2,), (7,)) == Rect((6,), (7,))
+        assert part.sub_store_rect((3,), (7,)).empty
+
+    def test_bounds_clipping(self):
+        """View tilings never spill outside the view's bounds."""
+        bounds = Rect((1, 1), (5, 5))
+        part = Tiling.create((2, 2), offset=(1, 1), bounds=bounds)
+        assert part.sub_store_rect((1, 1), (6, 6)) == Rect((3, 3), (5, 5))
+        # Without bounds the same tile would reach to (5, 5) .. (5+2).
+        unbounded = Tiling.create((2, 2), offset=(1, 1))
+        assert unbounded.sub_store_rect((1, 1), (6, 6)) == Rect((3, 3), (5, 5))
+        part_edge = Tiling.create((3, 3), offset=(1, 1), bounds=bounds)
+        assert part_edge.sub_store_rect((1, 1), (8, 8)) == Rect((4, 4), (5, 5))
+
+    def test_negative_tile_rejected(self):
+        with pytest.raises(ValueError):
+            Tiling.create((-1,))
+
+    def test_offset_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Tiling.create((2, 2), offset=(1,))
+
+    def test_equality_structural(self):
+        assert Tiling.create((2, 2)) == Tiling.create((2, 2))
+        assert Tiling.create((2, 2)) != Tiling.create((2, 2), offset=(1, 1))
+        assert Tiling.create((2, 2)) != Tiling.create((4, 1))
+        proj = drop_dimensions([0])
+        assert Tiling.create((2,), projection=proj) == Tiling.create((2,), projection=proj)
+        assert Tiling.create((2,), projection=proj) != Tiling.create((2,))
+
+    def test_covers_full_and_partial(self):
+        launch = Domain((4,))
+        assert Tiling.create((2,)).covers((8,), launch)
+        assert not Tiling.create((1,)).covers((8,), launch)
+        offset = Tiling.create((2,), offset=(1,))
+        assert not offset.covers((8,), launch)
+
+    def test_covers_with_projection_replication(self):
+        """A projected tiling replicating tiles still covers the store."""
+        part = Tiling.create((2,), projection=drop_dimensions([0]))
+        assert part.covers((4,), Domain((2, 3)))
+
+
+class TestNaturalTiling:
+    def test_matches_launch_domain(self):
+        launch = Domain((4,))
+        part = natural_tiling((8,), launch)
+        union = 0
+        for point in launch.points():
+            union += part.sub_store_rect(point, (8,)).volume
+        assert union == 8
+
+    @settings(max_examples=50)
+    @given(
+        extent=st.integers(min_value=1, max_value=64),
+        parts=st.integers(min_value=1, max_value=8),
+    )
+    def test_tiles_disjoint_and_cover(self, extent, parts):
+        """Property: natural tiling tiles are disjoint and cover the store."""
+        launch = Domain((parts,))
+        part = natural_tiling((extent,), launch)
+        rects = [part.sub_store_rect(p, (extent,)) for p in launch.points()]
+        total = sum(rect.volume for rect in rects)
+        assert total == extent
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps(b)
+        assert part.covers((extent,), launch)
+
+
+class TestAliasQuery:
+    def test_equal_partitions_do_not_alias(self):
+        assert not partitions_alias(Tiling.create((2,)), Tiling.create((2,)))
+
+    def test_unequal_partitions_alias(self):
+        assert partitions_alias(Tiling.create((2,)), Tiling.create((4,)))
+        assert partitions_alias(Tiling.create((2,)), Replication())
+
+
+class TestProjections:
+    def test_identity_interned(self):
+        assert identity_projection() is identity_projection()
+        assert identity_projection()((3, 4)) == (3, 4)
+
+    def test_drop_dimensions(self):
+        proj = drop_dimensions([1])
+        assert proj((3, 4)) == (4,)
+        assert drop_dimensions([1]) == proj
+
+    def test_constant(self):
+        proj = constant_projection((0, 0))
+        assert proj((5, 7)) == (0, 0)
+
+    def test_transpose(self):
+        proj = transpose_projection([1, 0])
+        assert proj((3, 4)) == (4, 3)
+
+    def test_promote(self):
+        proj = promote_dimension(0, 2)
+        assert proj((5,)) == (5, 0)
+        assert promote_dimension(1, 2)((5,)) == (0, 5)
+
+    def test_distinct_projections_not_equal(self):
+        assert drop_dimensions([0]) != drop_dimensions([1])
+        assert constant_projection((0,)) != constant_projection((1,))

@@ -1,0 +1,213 @@
+"""Tests for stores (split reference counting), tasks and the task window."""
+
+import numpy as np
+import pytest
+
+from repro.ir.domain import Domain
+from repro.ir.partition import Replication, natural_tiling
+from repro.ir.privilege import Privilege, ReductionOp, promote, validate_reduction
+from repro.ir.store import StoreManager
+from repro.ir.task import FusedTask, IndexTask, StoreArg, SubStore, combine_arguments
+from repro.ir.window import TaskWindow
+
+
+class TestPrivileges:
+    def test_predicates(self):
+        assert Privilege.READ.reads and not Privilege.READ.writes
+        assert Privilege.WRITE.writes and not Privilege.WRITE.reads
+        assert Privilege.READ_WRITE.reads and Privilege.READ_WRITE.writes
+        assert Privilege.REDUCE.reduces and not Privilege.REDUCE.reads
+
+    def test_promotion(self):
+        assert promote(Privilege.READ, Privilege.WRITE) is Privilege.READ_WRITE
+        assert promote(Privilege.READ, Privilege.READ) is Privilege.READ
+        with pytest.raises(ValueError):
+            promote(Privilege.READ, Privilege.REDUCE)
+
+    def test_reduction_validation(self):
+        validate_reduction(Privilege.REDUCE, ReductionOp.ADD)
+        with pytest.raises(ValueError):
+            validate_reduction(Privilege.REDUCE, None)
+        with pytest.raises(ValueError):
+            validate_reduction(Privilege.READ, ReductionOp.ADD)
+
+    def test_reduction_ops(self):
+        assert ReductionOp.ADD.identity == 0.0
+        assert ReductionOp.MUL.identity == 1.0
+        assert ReductionOp.MIN.combine_scalars(3.0, 1.0) == 1.0
+        assert ReductionOp.MAX.combine_scalars(3.0, 1.0) == 3.0
+        assert ReductionOp.ADD.combine_scalars(3.0, 1.0) == 4.0
+
+
+class TestStore:
+    def test_basic_properties(self, store_manager):
+        store = store_manager.create_store((4, 8), name="grid")
+        assert store.ndim == 2
+        assert store.volume == 32
+        assert store.size_bytes == 32 * 8
+        assert not store.is_scalar
+        assert store_manager.get(store.uid) is store
+
+    def test_scalar_store(self, store_manager):
+        scalar = store_manager.create_scalar_store()
+        assert scalar.is_scalar
+        assert scalar.volume == 1
+
+    def test_split_reference_counting(self, store_manager):
+        store = store_manager.create_store((4,))
+        assert not store.has_live_application_references
+        store.add_application_reference()
+        store.add_runtime_reference()
+        assert store.has_live_application_references
+        assert store.application_references == 1
+        assert store.runtime_references == 1
+        store.remove_application_reference()
+        assert not store.has_live_application_references
+        # Runtime references do not make a store application-visible.
+        assert store.runtime_references == 1
+        with pytest.raises(ValueError):
+            store.remove_application_reference()
+
+    def test_unique_ids_and_identity(self, store_manager):
+        a = store_manager.create_store((4,))
+        b = store_manager.create_store((4,))
+        assert a != b
+        assert len({a, b}) == 2
+        assert len(store_manager) == 2
+
+
+class TestIndexTask:
+    def test_predicates(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        task = IndexTask(
+            "add",
+            launch4,
+            [
+                StoreArg(a, part, Privilege.READ),
+                StoreArg(b, part, Privilege.WRITE),
+            ],
+        )
+        assert task.reads(a) and not task.writes(a)
+        assert task.writes(b) and not task.reads(b)
+        assert task.reads(a, part)
+        assert not task.reads(a, Replication())
+        assert task.stores() == (a, b)
+        assert not task.is_fused
+        assert task.constituent_count() == 1
+
+    def test_point_tasks_and_substores(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        task = IndexTask("fill", launch4, [StoreArg(a, part, Privilege.WRITE)], (1.0,))
+        point = task.point_task((2,))
+        (sub, privilege), = point.arguments()
+        assert privilege is Privilege.WRITE
+        assert sub.rect().lo == (4,)
+        assert point.writes(SubStore(a, part, (2,)))
+        assert not point.reads(SubStore(a, part, (2,)))
+        with pytest.raises(ValueError):
+            task.point_task((9,))
+        assert len(list(task.point_tasks())) == 4
+
+    def test_substore_intersection(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        assert SubStore(a, part, (0,)).intersects(SubStore(a, Replication(), (3,)))
+        assert not SubStore(a, part, (0,)).intersects(SubStore(a, part, (1,)))
+        assert not SubStore(a, part, (0,)).intersects(SubStore(b, part, (0,)))
+
+
+class TestFusedTask:
+    def test_argument_combination_promotes_privileges(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        c = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        t1 = IndexTask("add", launch4, [
+            StoreArg(a, part, Privilege.READ),
+            StoreArg(b, part, Privilege.WRITE),
+        ])
+        t2 = IndexTask("mul", launch4, [
+            StoreArg(b, part, Privilege.READ),
+            StoreArg(c, part, Privilege.WRITE),
+        ])
+        args = combine_arguments([t1, t2])
+        by_store = {arg.store.uid: arg for arg in args}
+        assert by_store[b.uid].privilege is Privilege.READ_WRITE
+        assert by_store[a.uid].privilege is Privilege.READ
+        assert by_store[c.uid].privilege is Privilege.WRITE
+
+    def test_temporaries_excluded_from_arguments(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        c = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        t1 = IndexTask("add", launch4, [
+            StoreArg(a, part, Privilege.READ),
+            StoreArg(b, part, Privilege.WRITE),
+        ])
+        t2 = IndexTask("mul", launch4, [
+            StoreArg(b, part, Privilege.READ),
+            StoreArg(c, part, Privilege.WRITE),
+        ])
+        fused = FusedTask([t1, t2], combine_arguments([t1, t2], [b]), temporary_stores=[b])
+        assert b not in fused.stores()
+        assert fused.is_fused
+        assert fused.constituent_count() == 2
+        assert fused.launch_domain == launch4
+
+    def test_fused_task_requires_constituents(self):
+        with pytest.raises(ValueError):
+            FusedTask([], [])
+
+
+class TestTaskWindow:
+    def _task(self, store_manager, launch):
+        store = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch)
+        return IndexTask("fill", launch, [StoreArg(store, part, Privilege.WRITE)], (0.0,))
+
+    def test_buffering_and_drain(self, store_manager, launch4):
+        window = TaskWindow(initial_size=2, adaptive=False)
+        t1 = self._task(store_manager, launch4)
+        t2 = self._task(store_manager, launch4)
+        assert not window.add(t1)
+        assert window.add(t2)  # full at 2
+        assert window.pending == 2
+        drained = window.drain(1)
+        assert drained == [t1]
+        assert window.pending == 1
+        assert window.drain() == [t2]
+        assert window.empty
+
+    def test_runtime_references_tracked(self, store_manager, launch4):
+        window = TaskWindow(initial_size=4)
+        task = self._task(store_manager, launch4)
+        store = task.stores()[0]
+        window.add(task)
+        assert store.runtime_references == 1
+        window.drain()
+        assert store.runtime_references == 0
+
+    def test_adaptive_growth(self, store_manager, launch4):
+        window = TaskWindow(initial_size=2, max_size=8, adaptive=True)
+        window.record_fusion_result(window_length=2, fused_length=2)
+        assert window.size == 4
+        window.record_fusion_result(window_length=4, fused_length=4)
+        assert window.size == 8
+        window.record_fusion_result(window_length=8, fused_length=8)
+        assert window.size == 8  # capped at max
+
+    def test_no_growth_on_partial_fusion(self):
+        window = TaskWindow(initial_size=4, adaptive=True)
+        window.record_fusion_result(window_length=4, fused_length=2)
+        assert window.size == 4
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            TaskWindow(initial_size=0)
+        with pytest.raises(ValueError):
+            TaskWindow(initial_size=8, max_size=4)

@@ -1,0 +1,244 @@
+"""Tests for the kernel IR, builder, generators, cost model and lowering."""
+
+import numpy as np
+import pytest
+
+from repro.ir.domain import Domain
+from repro.ir.partition import natural_tiling
+from repro.ir.privilege import Privilege, ReductionOp
+from repro.ir.store import StoreManager
+from repro.ir.task import IndexTask, StoreArg
+from repro.kernel.builder import KernelBuilder, as_expr
+from repro.kernel.compiler import CompileTimeModel, JITCompiler
+from repro.kernel.cost import analyze_kernel
+from repro.kernel.generators import default_registry, has_generator
+from repro.kernel.kir import (
+    Assign,
+    BinOp,
+    BinOpKind,
+    Const,
+    Load,
+    LocalRef,
+    Loop,
+    Param,
+    Function,
+    Reduce,
+    ReduceKind,
+    ScalarRef,
+    UnOp,
+    UnOpKind,
+    count_flops,
+    evaluate_expr,
+    substitute_expr,
+)
+from repro.kernel.lowering import lower
+from repro.kernel.passes.compose import compose_task
+
+
+class TestExpressions:
+    def test_buffers_read(self):
+        expr = BinOp(BinOpKind.ADD, Load("a"), UnOp(UnOpKind.SQRT, Load("b")))
+        assert expr.buffers_read() == {"a", "b"}
+        assert expr.locals_read() == set()
+
+    def test_locals_read(self):
+        expr = BinOp(BinOpKind.MUL, LocalRef("t"), Const(2.0))
+        assert expr.locals_read() == {"t"}
+
+    def test_count_flops(self):
+        cheap = BinOp(BinOpKind.ADD, Load("a"), Load("b"))
+        assert count_flops(cheap) == 1
+        heavy = UnOp(UnOpKind.EXP, cheap)
+        assert count_flops(heavy) == 9  # transcendental counts as several flops
+
+    def test_substitution(self):
+        expr = BinOp(BinOpKind.ADD, Load("a"), ScalarRef("s0"))
+        renamed = substitute_expr(expr, {"a": "x", "s0": "s5"})
+        assert renamed.buffers_read() == {"x"}
+        assert isinstance(renamed.rhs, ScalarRef) and renamed.rhs.name == "s5"
+
+    def test_evaluation(self):
+        buffers = {"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])}
+        expr = BinOp(BinOpKind.MUL, Load("a"), BinOp(BinOpKind.ADD, Load("b"), Const(1.0)))
+        result = evaluate_expr(expr, buffers, {}, {})
+        np.testing.assert_allclose(result, [4.0, 10.0])
+
+    def test_erf_accuracy(self):
+        from math import erf
+
+        values = np.linspace(-3, 3, 41)
+        computed = evaluate_expr(UnOp(UnOpKind.ERF, Load("x")), {"x": values}, {}, {})
+        expected = np.vectorize(erf)(values)
+        np.testing.assert_allclose(computed, expected, atol=2e-7)
+
+
+class TestFunction:
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ValueError):
+            Function("k", (Param.buffer("a"), Param.buffer("a")), ())
+
+    def test_introspection(self):
+        builder = KernelBuilder("k")
+        builder.buffers("a", "b")
+        scale = builder.scalar("s0")
+        builder.loop("b").assign("b", KernelBuilder.add("a", scale)).end_loop()
+        function = builder.build()
+        assert len(function.loops) == 1
+        assert function.buffers_read() == {"a"}
+        assert function.buffers_written() == {"b"}
+        assert {p.name for p in function.buffer_params} == {"a", "b"}
+        assert {p.name for p in function.scalar_params} == {"s0"}
+        assert "affine.for" in function.pretty()
+
+
+class TestBuilder:
+    def test_as_expr_coercion(self):
+        assert isinstance(as_expr("buf"), Load)
+        assert isinstance(as_expr(3), Const)
+        with pytest.raises(TypeError):
+            as_expr(object())
+
+    def test_statement_outside_loop_rejected(self):
+        builder = KernelBuilder("k")
+        builder.buffer("a")
+        with pytest.raises(RuntimeError):
+            builder.assign("a", 1.0)
+
+    def test_nested_loops_rejected(self):
+        builder = KernelBuilder("k")
+        builder.buffer("a")
+        builder.loop("a")
+        with pytest.raises(RuntimeError):
+            builder.loop("a")
+
+    def test_select_semantics(self):
+        cond = np.array([1.0, 0.0, 1.0])
+        a = np.array([10.0, 20.0, 30.0])
+        b = np.array([-1.0, -2.0, -3.0])
+        expr = KernelBuilder.select("c", "a", "b")
+        result = evaluate_expr(expr, {"c": cond, "a": a, "b": b}, {}, {})
+        np.testing.assert_allclose(result, [10.0, -2.0, 30.0])
+
+
+class TestGenerators:
+    def test_registry_contents(self):
+        registry = default_registry()
+        for name in ("add", "multiply", "copy", "fill", "dot", "sqrt", "axpy", "where"):
+            assert registry.has(name)
+        assert not registry.has("spmv_csr")
+        assert has_generator("add")
+
+    def test_generator_shapes(self, store_manager, launch4):
+        registry = default_registry()
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        c = store_manager.create_store((8,))
+        part = natural_tiling((8,), launch4)
+        task = IndexTask("add", launch4, [
+            StoreArg(a, part, Privilege.READ),
+            StoreArg(b, part, Privilege.READ),
+            StoreArg(c, part, Privilege.WRITE),
+        ])
+        function = registry.generate(task)
+        assert function is not None
+        assert len(function.loops) == 1
+        assert function.buffers_written() == {"a2"}
+
+    def test_registry_copy_is_independent(self):
+        registry = default_registry().copy()
+        registry.unregister("add")
+        assert not registry.has("add")
+        assert default_registry().has("add")
+
+
+def _elementwise_task(manager, launch, name, n_inputs, scalars=()):
+    part_shape = (16,)
+    stores = [manager.create_store(part_shape) for _ in range(n_inputs + 1)]
+    part = natural_tiling(part_shape, launch)
+    args = [StoreArg(s, part, Privilege.READ) for s in stores[:-1]]
+    args.append(StoreArg(stores[-1], part, Privilege.WRITE))
+    return IndexTask(name, launch, args, scalar_args=scalars), stores
+
+
+class TestLoweringAndCost:
+    def test_single_task_execution(self, store_manager, launch4):
+        task, stores = _elementwise_task(store_manager, launch4, "add", 2)
+        function, binding = compose_task(task, default_registry())
+        executor = lower(function, binding)
+        a = np.arange(4.0)
+        b = np.full(4, 2.0)
+        out = np.zeros(4)
+        executor({"v0": a, "v1": b, "v2": out}, {})
+        np.testing.assert_allclose(out, a + b)
+
+    def test_reduction_partials(self, store_manager, launch4):
+        a = store_manager.create_store((8,))
+        result = store_manager.create_scalar_store()
+        part = natural_tiling((8,), launch4)
+        task = IndexTask("sum_reduce", launch4, [
+            StoreArg(a, part, Privilege.READ),
+            StoreArg(result, natural_tiling((), Domain((1,))) if False else part, Privilege.REDUCE, ReductionOp.ADD),
+        ])
+        function, binding = compose_task(task, default_registry())
+        executor = lower(function, binding)
+        partials = executor({"v0": np.arange(4.0), "v1": None}, {})
+        assert partials["v1"].value == pytest.approx(6.0)
+        assert partials["v1"].kind is ReduceKind.SUM
+
+    def test_cost_model_counts_traffic_and_launches(self, store_manager, launch4):
+        task, _ = _elementwise_task(store_manager, launch4, "add", 2)
+        function, binding = compose_task(task, default_registry())
+        cost = analyze_kernel(function)
+        assert cost.launches == 1
+        assert cost.loops[0].flops_per_element == 1
+        counts = {"v0": 100, "v1": 100, "v2": 100}
+        assert cost.total_bytes(counts) == 3 * 100 * 8
+
+        class FakeMachine:
+            gpu_memory_bandwidth = 1e9
+            gpu_peak_flops = 1e12
+            kernel_launch_latency = 1e-5
+            reduction_latency = 1e-6
+
+        seconds = cost.estimate_seconds(counts, FakeMachine())
+        assert seconds == pytest.approx(1e-5 + 3 * 100 * 8 / 1e9)
+
+
+class TestCompiler:
+    def test_single_task_compile_and_cache(self, store_manager, launch4):
+        compiler = JITCompiler()
+        task, _ = _elementwise_task(store_manager, launch4, "multiply", 2)
+        kernel_a = compiler.compile(task, cache_key="k1")
+        kernel_b = compiler.compile(task, cache_key="k1")
+        assert kernel_a is kernel_b
+        assert compiler.stats.cache_hits == 1
+        assert compiler.stats.compilations == 1
+        assert compiler.cache_size == 1
+        compiler.clear_cache()
+        assert compiler.cache_size == 0
+
+    def test_compile_time_model_scales_with_size(self):
+        model = CompileTimeModel()
+        small = KernelBuilder("s")
+        small.buffers("a", "b")
+        small.loop("b").assign("b", "a").end_loop()
+        big = KernelBuilder("b")
+        big.buffers("a", "b")
+        loop = big.loop("b")
+        for _ in range(20):
+            loop.assign("b", KernelBuilder.add("a", "b"))
+        loop.end_loop()
+        assert model.estimate(big.build()) > model.estimate(small.build())
+
+    def test_can_compile(self, store_manager, launch4):
+        compiler = JITCompiler()
+        task, _ = _elementwise_task(store_manager, launch4, "add", 2)
+        opaque, _ = _elementwise_task(store_manager, launch4, "spmv_csr", 2)
+        assert compiler.can_compile(task)
+        assert not compiler.can_compile(opaque)
+
+    def test_uncompilable_charges_nothing(self, store_manager, launch4):
+        compiler = JITCompiler()
+        task, _ = _elementwise_task(store_manager, launch4, "add", 2)
+        kernel = compiler.compile(task, charge_compile_time=False)
+        assert kernel.compile_seconds == 0.0

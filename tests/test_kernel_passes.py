@@ -1,0 +1,292 @@
+"""Tests for the kernel optimisation passes (compose, fuse, scalarise, CSE, DCE)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.domain import Domain
+from repro.ir.partition import Replication, natural_tiling
+from repro.ir.privilege import Privilege, ReductionOp
+from repro.ir.store import StoreManager
+from repro.ir.task import FusedTask, IndexTask, StoreArg, combine_arguments
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.generators import default_registry
+from repro.kernel.kir import Alloc, Assign, Loop, Reduce
+from repro.kernel.lowering import lower
+from repro.kernel.passes.compose import CompositionError, compose_fused_task, compose_task
+from repro.kernel.passes.cse import eliminate_common_subexpressions
+from repro.kernel.passes.dce import eliminate_dead_code
+from repro.kernel.passes.loop_fusion import count_loops, fuse_loops
+from repro.kernel.passes.parallelize import parallelize_loops
+from repro.kernel.passes.pipeline import PassPipeline, default_pipeline
+from repro.kernel.passes.temp_elimination import scalarize_temporaries
+
+
+def _chain_tasks(manager, launch, length=3, shape=(16,)):
+    """Build a chain a -> t1 -> t2 ... -> out of element-wise adds."""
+    part = natural_tiling(shape, launch)
+    a = manager.create_store(shape, name="a")
+    b = manager.create_store(shape, name="b")
+    tasks = []
+    current = a
+    intermediates = []
+    for index in range(length):
+        out = manager.create_store(shape, name=f"t{index}")
+        tasks.append(
+            IndexTask(
+                "add",
+                launch,
+                [
+                    StoreArg(current, part, Privilege.READ),
+                    StoreArg(b, part, Privilege.READ),
+                    StoreArg(out, part, Privilege.WRITE),
+                ],
+            )
+        )
+        intermediates.append(out)
+        current = out
+    return tasks, a, b, intermediates
+
+
+class TestCompose:
+    def test_paper_figure8_composition(self, store_manager, launch4):
+        """c = a + b; e = c + d composes into two loops with an alloc for c."""
+        shape = (16,)
+        part = natural_tiling(shape, launch4)
+        a, b, c, d, e = (store_manager.create_store(shape, name=n) for n in "abcde")
+        t1 = IndexTask("add", launch4, [
+            StoreArg(a, part, Privilege.READ), StoreArg(b, part, Privilege.READ),
+            StoreArg(c, part, Privilege.WRITE)])
+        t2 = IndexTask("add", launch4, [
+            StoreArg(c, part, Privilege.READ), StoreArg(d, part, Privilege.READ),
+            StoreArg(e, part, Privilege.WRITE)])
+        fused = FusedTask([t1, t2], combine_arguments([t1, t2], [c]), temporary_stores=[c])
+        function, binding = compose_fused_task(fused, default_registry())
+        assert len(function.loops) == 2
+        assert len(function.allocs) == 1
+        assert function.allocs[0].name in binding.temporaries
+        # Four distinct views (a, b, d, e) remain kernel parameters.
+        assert len(function.buffer_params) == 4
+
+    def test_shared_views_share_parameters(self, store_manager, launch4):
+        """dot(r, r) maps both read arguments to the same kernel buffer."""
+        shape = (16,)
+        part = natural_tiling(shape, launch4)
+        r = store_manager.create_store(shape)
+        result = store_manager.create_scalar_store()
+        task = IndexTask("dot", launch4, [
+            StoreArg(r, part, Privilege.READ),
+            StoreArg(r, part, Privilege.READ),
+            StoreArg(result, Replication(), Privilege.REDUCE, ReductionOp.ADD),
+        ])
+        function, binding = compose_task(task, default_registry())
+        assert len(function.buffer_params) == 2
+        assert set(binding.buffer_args.values()) == {0, 2}
+
+    def test_scalar_arguments_renumbered(self, store_manager, launch4):
+        shape = (16,)
+        part = natural_tiling(shape, launch4)
+        a, b, c = (store_manager.create_store(shape) for _ in range(3))
+        t1 = IndexTask("fill", launch4, [StoreArg(a, part, Privilege.WRITE)], (2.0,))
+        t2 = IndexTask("multiply_scalar", launch4, [
+            StoreArg(a, part, Privilege.READ), StoreArg(b, part, Privilege.WRITE)], (3.0,))
+        fused = FusedTask([t1, t2], combine_arguments([t1, t2]))
+        function, binding = compose_fused_task(fused, default_registry())
+        assert {p.name for p in function.scalar_params} == {"s0", "s1"}
+        assert binding.scalar_args == {"s0": 0, "s1": 1}
+
+    def test_opaque_task_raises(self, store_manager, launch4):
+        shape = (16,)
+        part = natural_tiling(shape, launch4)
+        a = store_manager.create_store(shape)
+        task = IndexTask("spmv_csr", launch4, [StoreArg(a, part, Privilege.READ)])
+        with pytest.raises(CompositionError):
+            compose_task(task, default_registry())
+
+
+class TestLoopFusion:
+    def _composed_chain(self, store_manager, launch4, temporaries):
+        tasks, a, b, intermediates = _chain_tasks(store_manager, launch4)
+        fused = FusedTask(tasks, combine_arguments(tasks, temporaries), temporary_stores=temporaries)
+        return compose_fused_task(fused, default_registry())
+
+    def test_same_space_loops_fuse(self, store_manager, launch4):
+        function, binding = self._composed_chain(store_manager, launch4, [])
+        assert count_loops(function) == 3
+        fused = fuse_loops(function, binding)
+        assert count_loops(fused) == 1
+
+    def test_fused_loop_prefers_non_temporary_index(self, store_manager, launch4):
+        tasks, a, b, intermediates = _chain_tasks(store_manager, launch4)
+        temps = intermediates[:-1]
+        fused_task = FusedTask(tasks, combine_arguments(tasks, temps), temporary_stores=temps)
+        function, binding = compose_fused_task(fused_task, default_registry())
+        fused = fuse_loops(function, binding)
+        assert count_loops(fused) == 1
+        assert fused.loops[0].index_buffer not in binding.temporaries
+
+    def test_different_spaces_do_not_fuse(self, store_manager, launch4):
+        part_small = natural_tiling((8,), launch4)
+        part_big = natural_tiling((32,), launch4)
+        a = store_manager.create_store((8,))
+        b = store_manager.create_store((8,))
+        c = store_manager.create_store((32,))
+        d = store_manager.create_store((32,))
+        t1 = IndexTask("copy", launch4, [StoreArg(a, part_small, Privilege.READ),
+                                         StoreArg(b, part_small, Privilege.WRITE)])
+        t2 = IndexTask("copy", launch4, [StoreArg(c, part_big, Privilege.READ),
+                                         StoreArg(d, part_big, Privilege.WRITE)])
+        fused = FusedTask([t1, t2], combine_arguments([t1, t2]))
+        function, binding = compose_fused_task(fused, default_registry())
+        assert count_loops(fuse_loops(function, binding)) == 2
+
+
+class TestTemporaryScalarisation:
+    def test_single_loop_temporary_becomes_local(self, store_manager, launch4):
+        tasks, a, b, intermediates = _chain_tasks(store_manager, launch4, length=2)
+        temps = intermediates[:1]
+        fused_task = FusedTask(tasks, combine_arguments(tasks, temps), temporary_stores=temps)
+        function, binding = compose_fused_task(fused_task, default_registry())
+        function = fuse_loops(function, binding)
+        function = scalarize_temporaries(function, binding)
+        assert len(function.allocs) == 0
+        # The temporary's value now flows through a loop-local scalar.
+        locals_used = [stmt for stmt in function.loops[0].body if isinstance(stmt, Assign) and stmt.is_local]
+        assert locals_used
+
+    def test_multi_loop_temporary_keeps_allocation(self, store_manager, launch4):
+        """When loops cannot fuse, the temporary stays a task-local buffer."""
+        part_a = natural_tiling((8,), launch4)
+        part_c = natural_tiling((32,), launch4)
+        a = store_manager.create_store((8,))
+        t = store_manager.create_store((8,))
+        c = store_manager.create_store((32,))
+        d = store_manager.create_store((32,))
+        t1 = IndexTask("copy", launch4, [StoreArg(a, part_a, Privilege.READ),
+                                         StoreArg(t, part_a, Privilege.WRITE)])
+        t2 = IndexTask("copy", launch4, [StoreArg(c, part_c, Privilege.READ),
+                                         StoreArg(d, part_c, Privilege.WRITE)])
+        t3 = IndexTask("copy", launch4, [StoreArg(t, part_a, Privilege.READ),
+                                         StoreArg(a, part_a, Privilege.WRITE)])
+        fused_task = FusedTask([t1, t2, t3], combine_arguments([t1, t2, t3], [t]), temporary_stores=[t])
+        function, binding = compose_fused_task(fused_task, default_registry())
+        function = fuse_loops(function, binding)
+        function = scalarize_temporaries(function, binding)
+        assert len(function.allocs) == 1
+
+
+class TestCSEAndDCE:
+    def test_cse_hoists_repeated_expression(self):
+        builder = KernelBuilder("k")
+        builder.buffers("a", "b", "c")
+        expensive = KernelBuilder.mul(KernelBuilder.add("a", "b"), KernelBuilder.add("a", "b"))
+        builder.loop("c").assign("c", expensive).end_loop()
+        function = eliminate_common_subexpressions(builder.build())
+        body = function.loops[0].body
+        locals_defined = [stmt for stmt in body if isinstance(stmt, Assign) and stmt.is_local]
+        assert len(locals_defined) == 1
+
+    def test_cse_respects_redefinition(self):
+        """Occurrences of "a + b" before and after a redefinition of ``a``
+        must not share a hoisted value; semantics are checked by executing
+        the original and optimised kernels."""
+        builder = KernelBuilder("k")
+        builder.buffers("a", "b")
+        builder.loop("b")
+        builder.assign("b", KernelBuilder.add("a", "b"))
+        builder.assign("a", 0.0)
+        builder.assign("b", KernelBuilder.add("a", "b"))
+        builder.end_loop()
+        original = builder.build()
+        optimized = eliminate_common_subexpressions(original)
+        from repro.kernel.passes.compose import KernelBinding
+
+        results = []
+        for function in (original, optimized):
+            a = np.arange(4.0)
+            b = np.full(4, 2.0)
+            lower(function, KernelBinding())({"a": a, "b": b}, {})
+            results.append((a.copy(), b.copy()))
+        np.testing.assert_allclose(results[0][0], results[1][0])
+        np.testing.assert_allclose(results[0][1], results[1][1])
+
+    def test_cse_preserves_semantics(self):
+        builder = KernelBuilder("k")
+        builder.buffers("a", "b", "out")
+        expr = KernelBuilder.add(KernelBuilder.mul("a", "b"), KernelBuilder.mul("a", "b"))
+        builder.loop("out").assign("out", expr).end_loop()
+        original = builder.build()
+        optimized = eliminate_common_subexpressions(original)
+        a = np.arange(8.0)
+        b = np.full(8, 3.0)
+        from repro.kernel.passes.compose import KernelBinding
+
+        for function in (original, optimized):
+            out = np.zeros(8)
+            lower(function, KernelBinding())({"a": a, "b": b, "out": out}, {})
+            np.testing.assert_allclose(out, 2 * a * b)
+
+    def test_dce_removes_dead_stores_and_allocs(self):
+        builder = KernelBuilder("k")
+        builder.buffers("a", "out")
+        builder.loop("out")
+        builder.assign("out", KernelBuilder.add("a", 1.0))
+        builder.end_loop()
+        function = builder.build()
+        # Manually add a dead allocation written but never read.
+        dead_loop = Loop(index_buffer="out", body=(Assign(target="dead", expr=KernelBuilder.add("a", 2.0)),))
+        function = function.with_body((Alloc("dead", "a"),) + function.body + (dead_loop,))
+        cleaned = eliminate_dead_code(function)
+        assert all(not isinstance(stmt, Alloc) for stmt in cleaned.body)
+        assert "dead" not in cleaned.buffers_written()
+
+    def test_dce_keeps_parameter_writes(self):
+        builder = KernelBuilder("k")
+        builder.buffers("a", "out")
+        builder.loop("out").assign("out", "a").end_loop()
+        function = eliminate_dead_code(builder.build())
+        assert function.buffers_written() == {"out"}
+
+    def test_dce_removes_dead_locals(self):
+        builder = KernelBuilder("k")
+        builder.buffers("a", "out")
+        builder.loop("out")
+        builder.let("unused", KernelBuilder.add("a", 1.0))
+        builder.assign("out", "a")
+        builder.end_loop()
+        cleaned = eliminate_dead_code(builder.build())
+        assert all(
+            not (isinstance(stmt, Assign) and stmt.is_local) for stmt in cleaned.loops[0].body
+        )
+
+
+class TestParallelizeAndPipeline:
+    def test_parallelize_marks_loops(self):
+        builder = KernelBuilder("k")
+        builder.buffers("a", "b")
+        builder.loop("b").assign("b", "a").end_loop()
+        function = parallelize_loops(builder.build())
+        assert all(loop.parallel for loop in function.loops)
+
+    def test_default_pipeline_produces_single_parallel_loop(self, store_manager, launch4):
+        tasks, a, b, intermediates = _chain_tasks(store_manager, launch4)
+        temps = intermediates[:-1]
+        fused_task = FusedTask(tasks, combine_arguments(tasks, temps), temporary_stores=temps)
+        function, binding = compose_fused_task(fused_task, default_registry())
+        optimized = default_pipeline().run(function, binding)
+        assert count_loops(optimized) == 1
+        assert optimized.loops[0].parallel
+        assert len(optimized.allocs) == 0
+
+    def test_disabled_pipeline_keeps_structure(self, store_manager, launch4):
+        tasks, a, b, intermediates = _chain_tasks(store_manager, launch4)
+        fused_task = FusedTask(tasks, combine_arguments(tasks))
+        function, binding = compose_fused_task(fused_task, default_registry())
+        pipeline = PassPipeline(
+            enable_loop_fusion=False,
+            enable_temporary_elimination=False,
+            enable_cse=False,
+            enable_dce=False,
+            enable_parallelize=False,
+        )
+        untouched = pipeline.run(function, binding)
+        assert count_loops(untouched) == 3
