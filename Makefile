@@ -1,0 +1,24 @@
+# Developer entry points for the reproduction.
+#
+#   make test   - tier-1 test suite (the driver's acceptance gate)
+#   make bench  - tier-1 suite + wall-clock perf harness in smoke mode;
+#                 fails if the codegen and interpreter backends diverge
+#   make bench-full - full wall-clock harness (enforces the 3x CG gate)
+#   make diff-test  - tier-1 suite with the differential kernel backend
+
+PYTHON ?= python
+PYTHONPATH_ARG = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench bench-full diff-test
+
+test:
+	$(PYTHONPATH_ARG) $(PYTHON) -m pytest -x -q
+
+bench: test
+	$(PYTHONPATH_ARG) $(PYTHON) benchmarks/perf_wallclock.py --smoke
+
+bench-full: test
+	$(PYTHONPATH_ARG) $(PYTHON) benchmarks/perf_wallclock.py
+
+diff-test:
+	$(PYTHONPATH_ARG) REPRO_KERNEL_BACKEND=differential $(PYTHON) -m pytest -x -q tests/

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Wall-clock performance harness: seed interpreter vs. codegen backend.
+
+Unlike the ``benchmarks/test_*`` suite — which reproduces the paper's
+*simulated* figures — this harness measures the reproduction's own
+**real wall-clock** execution speed, establishing the perf trajectory of
+the repository.  It runs CG, Jacobi and Black-Scholes end-to-end (fusion
+enabled) under two configurations:
+
+``baseline``
+    ``REPRO_KERNEL_BACKEND=interpreter`` + ``REPRO_HOTPATH_CACHE=0``:
+    the seed execution path — tree-walking kernel interpretation and no
+    submit→fuse→execute caching.
+
+``codegen``
+    ``REPRO_KERNEL_BACKEND=codegen`` + ``REPRO_HOTPATH_CACHE=1``: kernels
+    compiled once to NumPy closures, with sub-store rect/view caching,
+    partition interning and memoized canonical signatures.
+
+Before timing, a differential pass (``REPRO_KERNEL_BACKEND=differential``)
+runs every application once with both backends on every kernel invocation
+and aborts on any bitwise divergence; checksum equality between the timed
+runs is asserted as well.  Results are written to ``BENCH_wallclock.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_wallclock.py [--smoke] [--output PATH]
+
+``--smoke`` shrinks repeats/iterations for CI (``make bench``); the
+speedup gate is only enforced in full mode, divergence fails both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import config
+from repro.experiments.harness import (
+    ExperimentScale,
+    default_scale_for,
+    run_application_experiment,
+)
+
+#: Per-application measurement configurations.  Problem sizes sit in the
+#: paper's operating regime — many small point tasks, where launch and
+#: analysis overheads (the thing this harness measures) dominate.
+APP_CONFIGS = {
+    "cg": dict(num_gpus=8, iterations=64, warmup=2, app_kwargs={"grid_points_per_gpu": 24}),
+    "jacobi": dict(num_gpus=8, iterations=48, warmup=2, app_kwargs={"rows_per_gpu": 96}),
+    "black-scholes": dict(num_gpus=8, iterations=40, warmup=3, app_kwargs={"elements_per_gpu": 2048}),
+}
+
+SMOKE_CONFIGS = {
+    "cg": dict(num_gpus=4, iterations=10, warmup=2, app_kwargs={"grid_points_per_gpu": 24}),
+    "jacobi": dict(num_gpus=4, iterations=8, warmup=2, app_kwargs={"rows_per_gpu": 64}),
+    "black-scholes": dict(num_gpus=4, iterations=6, warmup=2, app_kwargs={"elements_per_gpu": 1024}),
+}
+
+MODES = {
+    "baseline": {"REPRO_KERNEL_BACKEND": "interpreter", "REPRO_HOTPATH_CACHE": "0"},
+    "codegen": {"REPRO_KERNEL_BACKEND": "codegen", "REPRO_HOTPATH_CACHE": "1"},
+    "differential": {"REPRO_KERNEL_BACKEND": "differential", "REPRO_HOTPATH_CACHE": "1"},
+}
+
+#: Acceptance threshold for the CG end-to-end speedup (full mode only).
+CG_SPEEDUP_THRESHOLD = 3.0
+
+
+def _set_mode(mode: str) -> None:
+    for key, value in MODES[mode].items():
+        os.environ[key] = value
+    config.reload_flags()
+
+
+def _run_once(app: str, spec: dict) -> Tuple[float, float]:
+    """One end-to-end run; returns (wall seconds, checksum)."""
+    base_scale = default_scale_for(app)
+    scale = ExperimentScale(
+        app_kwargs=dict(base_scale.app_kwargs, **spec["app_kwargs"]),
+        bandwidth_scale=base_scale.bandwidth_scale,
+        iterations=spec["iterations"],
+        warmup_iterations=spec["warmup"],
+    )
+    start = time.perf_counter()
+    result = run_application_experiment(
+        app, num_gpus=spec["num_gpus"], fusion=True, scale=scale
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, result.checksum
+
+
+def _measure(app: str, spec: dict, mode: str, repeats: int) -> Tuple[float, float]:
+    """Median wall seconds (and checksum) of ``repeats`` runs of a mode."""
+    _set_mode(mode)
+    _run_once(app, spec)  # warm the process (imports, codegen cache, numpy)
+    times: List[float] = []
+    checksum = 0.0
+    for _ in range(repeats):
+        elapsed, checksum = _run_once(app, spec)
+        times.append(elapsed)
+    return statistics.median(times), checksum
+
+
+def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> int:
+    configs = SMOKE_CONFIGS if smoke else APP_CONFIGS
+    if apps:
+        configs = {app: configs[app] for app in apps}
+    repeats = 1 if smoke else 3
+    report: Dict[str, dict] = {}
+    failures: List[str] = []
+
+    for app, spec in configs.items():
+        print(f"[{app}] differential check ...", flush=True)
+        _set_mode("differential")
+        diff_spec = dict(spec, iterations=min(spec["iterations"], 4))
+        try:
+            _run_once(app, diff_spec)
+        except Exception as error:  # noqa: BLE001 - report and fail
+            failures.append(f"{app}: differential check failed: {error}")
+            print(f"[{app}] DIVERGENCE: {error}", flush=True)
+            continue
+
+        print(f"[{app}] timing baseline (seed interpreter) ...", flush=True)
+        baseline_seconds, baseline_checksum = _measure(app, spec, "baseline", repeats)
+        print(f"[{app}] timing codegen backend ...", flush=True)
+        codegen_seconds, codegen_checksum = _measure(app, spec, "codegen", repeats)
+
+        if baseline_checksum != codegen_checksum:
+            failures.append(
+                f"{app}: checksum mismatch (baseline {baseline_checksum!r} "
+                f"vs codegen {codegen_checksum!r})"
+            )
+        speedup = baseline_seconds / codegen_seconds if codegen_seconds > 0 else float("inf")
+        report[app] = {
+            "config": {
+                "num_gpus": spec["num_gpus"],
+                "iterations": spec["iterations"],
+                "warmup_iterations": spec["warmup"],
+                **spec["app_kwargs"],
+            },
+            "baseline_seconds": round(baseline_seconds, 6),
+            "codegen_seconds": round(codegen_seconds, 6),
+            "speedup": round(speedup, 3),
+            "checksum": codegen_checksum,
+            "checksums_equal": baseline_checksum == codegen_checksum,
+            "differential_check": "passed",
+        }
+        print(
+            f"[{app}] baseline {baseline_seconds:.4f}s  codegen "
+            f"{codegen_seconds:.4f}s  speedup {speedup:.2f}x",
+            flush=True,
+        )
+
+    if not smoke and "cg" in report and report["cg"]["speedup"] < CG_SPEEDUP_THRESHOLD:
+        failures.append(
+            f"cg: speedup {report['cg']['speedup']}x below the "
+            f"{CG_SPEEDUP_THRESHOLD}x acceptance threshold"
+        )
+
+    payload = {
+        "benchmark": "wall-clock: seed interpreter vs codegen JIT backend",
+        "mode": "smoke" if smoke else "full",
+        "repeats_per_mode": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "apps": report,
+        "failures": failures,
+    }
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sweep for CI: fewer repeats/iterations, no speedup gate",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_wallclock.json"),
+        help="path of the JSON report (default: repo root BENCH_wallclock.json)",
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="*",
+        choices=sorted(APP_CONFIGS),
+        help="subset of applications to run",
+    )
+    args = parser.parse_args()
+    return run_harness(smoke=args.smoke, output=os.path.abspath(args.output), apps=args.apps)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

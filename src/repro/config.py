@@ -1,0 +1,66 @@
+"""Process-level configuration flags for the execution hot path.
+
+Two environment variables tune how the reproduction executes kernels;
+both are read lazily so tests and the wall-clock perf harness can flip
+them between runs in one process:
+
+``REPRO_KERNEL_BACKEND``
+    ``codegen`` (default) executes kernels through NumPy closures
+    compiled once per canonical kernel; ``interpreter`` uses the
+    tree-walking reference evaluator; ``differential`` runs both on
+    every invocation and raises on any bitwise divergence.
+
+``REPRO_HOTPATH_CACHE``
+    ``1`` (default) enables the submit→fuse→execute caches: sub-store
+    rect memoization, region-field view caching, partition interning,
+    per-task canonical signatures and SpMV index-conversion caching.
+    ``0`` disables all of them, restoring the seed caching behaviour;
+    ``benchmarks/perf_wallclock.py`` uses that as its baseline.  A few
+    micro-changes remain unconditional (vectorised reduction folding,
+    memoized StoreArgs, lazy hash caching) — the baseline was validated
+    within a few percent of a checkout of the actual seed commit.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the kernel execution backend.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Recognised backend names.
+BACKENDS = ("codegen", "interpreter", "differential")
+
+#: Environment variable gating the hot-path caches.
+HOTPATH_CACHE_ENV_VAR = "REPRO_HOTPATH_CACHE"
+
+
+def default_backend() -> str:
+    """The backend selected by the environment (``codegen`` by default)."""
+    backend = os.environ.get(BACKEND_ENV_VAR, "codegen").strip().lower()
+    return backend or "codegen"
+
+
+_hotpath_cache_flag: bool | None = None
+
+
+def hotpath_cache_enabled() -> bool:
+    """True unless ``REPRO_HOTPATH_CACHE`` disables the launch caches.
+
+    The flag is read from the environment once and memoized — it sits on
+    per-point-task code paths.  Call :func:`reload_flags` after changing
+    the environment variable inside a running process (the perf harness
+    and the backend tests do).
+    """
+    global _hotpath_cache_flag
+    if _hotpath_cache_flag is None:
+        _hotpath_cache_flag = os.environ.get(
+            HOTPATH_CACHE_ENV_VAR, "1"
+        ).strip().lower() not in ("0", "off", "false")
+    return _hotpath_cache_flag
+
+
+def reload_flags() -> None:
+    """Re-read the memoized environment flags on next access."""
+    global _hotpath_cache_flag
+    _hotpath_cache_flag = None

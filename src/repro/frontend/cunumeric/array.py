@@ -42,6 +42,11 @@ class ndarray:  # noqa: N801 - mirrors the NumPy class name
         self._offset = tuple(offset) if offset is not None else (0,) * store.ndim
         self._shape = tuple(shape) if shape is not None else store.shape
         self._store.add_application_reference()
+        # StoreArgs are immutable values fixed by (store, view, privilege);
+        # memoize them so repeated task submissions against the same view
+        # skip partition lookup and argument validation.
+        self._read_arg: Optional[StoreArg] = None
+        self._write_arg: Optional[StoreArg] = None
 
     def __del__(self) -> None:
         try:
@@ -108,11 +113,19 @@ class ndarray:  # noqa: N801 - mirrors the NumPy class name
 
     def read_arg(self) -> StoreArg:
         """A Read argument for this view."""
-        return StoreArg(self._store, self.partition(), Privilege.READ)
+        arg = self._read_arg
+        if arg is None:
+            arg = StoreArg(self._store, self.partition(), Privilege.READ)
+            self._read_arg = arg
+        return arg
 
     def write_arg(self) -> StoreArg:
         """A Write argument for this view."""
-        return StoreArg(self._store, self.partition(), Privilege.WRITE)
+        arg = self._write_arg
+        if arg is None:
+            arg = StoreArg(self._store, self.partition(), Privilege.WRITE)
+            self._write_arg = arg
+        return arg
 
     def reduce_arg(self, redop: ReductionOp = ReductionOp.ADD) -> StoreArg:
         """A Reduce argument for this view."""

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.config import hotpath_cache_enabled
 from repro.ir.domain import Domain, Rect, factor_domain, tile_shape_for
 from repro.ir.partition import Partition, Replication, Tiling
 from repro.ir.projection import promote_dimension
@@ -54,6 +55,15 @@ class RuntimeContext:
             config=config,
             generator_registry=generator_registry,
         )
+        # Partition descriptions are pure values derived from (shape,
+        # offset, launch domain); intern them so the thousands of array
+        # ops an application issues per iteration share one object per
+        # distinct tiling instead of rebuilding it on every task.
+        # REPRO_HOTPATH_CACHE=0 restores the seed behaviour (see
+        # repro.config), sampled once per context like the executor does.
+        self._intern_partitions = hotpath_cache_enabled()
+        self._partition_cache: Dict[tuple, Partition] = {}
+        self._launch_domain_cache: Dict[int, Domain] = {}
 
     # ------------------------------------------------------------------
     # Launch-domain and partition policy (mirrors cuPyNumeric's blocking).
@@ -65,9 +75,13 @@ class RuntimeContext:
 
     def launch_domain(self, ndim: int) -> Domain:
         """The launch domain used for arrays of the given dimensionality."""
-        if ndim == 0:
-            return Domain((1,))
-        return factor_domain(self.num_gpus, ndim)
+        if not self._intern_partitions:
+            return Domain((1,)) if ndim == 0 else factor_domain(self.num_gpus, ndim)
+        domain = self._launch_domain_cache.get(ndim)
+        if domain is None:
+            domain = Domain((1,)) if ndim == 0 else factor_domain(self.num_gpus, ndim)
+            self._launch_domain_cache[ndim] = domain
+        return domain
 
     def natural_partition(
         self,
@@ -84,14 +98,21 @@ class RuntimeContext:
         """
         shape = tuple(view_shape) if view_shape is not None else store.shape
         offset = tuple(view_offset) if view_offset is not None else (0,) * store.ndim
-        launch = self.launch_domain(len(shape))
         if store.ndim == 0 or store.volume <= 1:
             return Replication()
-        tile = tile_shape_for(shape, launch)
-        if offset == (0,) * store.ndim and shape == store.shape:
-            return Tiling.create(tile)
-        bounds = Rect(offset, tuple(o + s for o, s in zip(offset, shape)))
-        return Tiling.create(tile, offset=offset, bounds=bounds)
+        key = ("natural", store.shape, shape, offset)
+        partition = self._partition_cache.get(key) if self._intern_partitions else None
+        if partition is None:
+            launch = self.launch_domain(len(shape))
+            tile = tile_shape_for(shape, launch)
+            if offset == (0,) * store.ndim and shape == store.shape:
+                partition = Tiling.create(tile)
+            else:
+                bounds = Rect(offset, tuple(o + s for o, s in zip(offset, shape)))
+                partition = Tiling.create(tile, offset=offset, bounds=bounds)
+            if self._intern_partitions:
+                self._partition_cache[key] = partition
+        return partition
 
     def row_partition(self, store: Store, rows: int) -> Partition:
         """Partition a 2-D store by blocks of rows over a 1-D launch domain.
@@ -99,10 +120,16 @@ class RuntimeContext:
         Used for dense matrices in mat-vec products, where the launch
         domain is that of the 1-D result vector.
         """
-        launch = self.launch_domain(1)
-        row_tile = -(-rows // launch.shape[0])
-        tile = (row_tile,) + store.shape[1:]
-        return Tiling.create(tile, projection=promote_dimension(0, store.ndim))
+        key = ("rows", store.shape, rows)
+        partition = self._partition_cache.get(key) if self._intern_partitions else None
+        if partition is None:
+            launch = self.launch_domain(1)
+            row_tile = -(-rows // launch.shape[0])
+            tile = (row_tile,) + store.shape[1:]
+            partition = Tiling.create(tile, projection=promote_dimension(0, store.ndim))
+            if self._intern_partitions:
+                self._partition_cache[key] = partition
+        return partition
 
     def replication(self) -> Partition:
         """A replication partition (every GPU sees the whole store)."""

@@ -22,6 +22,7 @@ from repro.ir.privilege import Privilege
 from repro.ir.task import IndexTask, StoreArg
 from repro.frontend.cunumeric.array import ndarray
 from repro.frontend.legate.context import RuntimeContext, get_context
+from repro.config import hotpath_cache_enabled
 from repro.runtime.machine import MachineConfig
 from repro.runtime.opaque import register_opaque_task
 
@@ -30,11 +31,88 @@ from repro.runtime.opaque import register_opaque_task
 # Opaque SpMV task: y = A @ x over the rows owned by each point task.
 # Argument order: indptr, indices, data, x, y.
 # ----------------------------------------------------------------------
+#: (partition, point, store shape) -> row range.  Mirrors the executor's
+#: sub-store rect cache for the SpMV-internal row-range queries.
+_SPMV_ROWS_CACHE: Dict[Tuple, Tuple[int, int]] = {}
+_SPMV_ROWS_CACHE_LIMIT = 65536
+
+
 def _spmv_rows(task: IndexTask, point) -> Tuple[int, int]:
     """The half-open row range owned by ``point`` (from y's partition)."""
     y_arg = task.args[4]
-    rect = y_arg.partition.sub_store_rect(point, y_arg.store.shape)
-    return rect.lo[0], rect.hi[0]
+    if not hotpath_cache_enabled():
+        rect = y_arg.partition.sub_store_rect(point, y_arg.store.shape)
+        return rect.lo[0], rect.hi[0]
+    key = (y_arg.partition, point, y_arg.store.shape)
+    rows = _SPMV_ROWS_CACHE.get(key)
+    if rows is None:
+        rect = y_arg.partition.sub_store_rect(point, y_arg.store.shape)
+        rows = (rect.lo[0], rect.hi[0])
+        while len(_SPMV_ROWS_CACHE) >= _SPMV_ROWS_CACHE_LIMIT:
+            _SPMV_ROWS_CACHE.pop(next(iter(_SPMV_ROWS_CACHE)))
+        _SPMV_ROWS_CACHE[key] = rows
+    return rows
+
+
+#: id(float64 coordinate array) -> (pinning reference, int64 conversion).
+#: Stores are float64-only, so SpMV must convert ``indptr``/``indices``
+#: to integers; the coordinate arrays of a matrix never change after
+#: attach, and the region-field view cache hands back the same array
+#: object on every launch, so the conversion is computed once per matrix
+#: instead of once per point task.  Keeping the source array in the value
+#: pins its id, making the key collision-free.
+_INT_INDEX_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+_INT_INDEX_CACHE_LIMIT = 256
+
+
+def _as_int_indices(array: np.ndarray) -> np.ndarray:
+    """The int64 conversion of a CSR coordinate array, memoized."""
+    entry = _INT_INDEX_CACHE.get(id(array))
+    if entry is not None and entry[0] is array:
+        return entry[1]
+    converted = array.astype(np.int64)
+    while len(_INT_INDEX_CACHE) >= _INT_INDEX_CACHE_LIMIT:
+        # Evict oldest-first so live matrices keep their entries.
+        _INT_INDEX_CACHE.pop(next(iter(_INT_INDEX_CACHE)))
+    _INT_INDEX_CACHE[id(array)] = (array, converted)
+    return converted
+
+
+#: (id(indptr array), row range) -> pinned row-block execution plan.
+#: The sparsity pattern of a matrix never changes after attach, so the
+#: integer row offsets, gather columns and empty-row mask of each row
+#: block are computed once and replayed on every launch (the region-field
+#: view cache keeps the keyed array object stable).
+_ROW_PLAN_CACHE: Dict[Tuple[int, int, int], Tuple] = {}
+_ROW_PLAN_CACHE_LIMIT = 1024
+
+
+def _row_plan(indptr: np.ndarray, indices: np.ndarray, row_lo: int, row_hi: int):
+    """The cached ``(lo, hi, cols, offsets, empty_row_mask)`` of a row block."""
+    key = (id(indptr), row_lo, row_hi)
+    entry = _ROW_PLAN_CACHE.get(key)
+    if entry is not None and entry[0] is indptr:
+        return entry[1]
+    starts = _as_int_indices(indptr)[row_lo : row_hi + 1]
+    lo, hi = int(starts[0]), int(starts[-1])
+    cols = _as_int_indices(indices)[lo:hi]
+    offsets = starts[:-1] - lo
+    counts = np.diff(starts)
+    # reduceat assigns the value at position offsets[i] for empty rows;
+    # those rows must be patched back to zero afterwards.  The mask is
+    # None for the common all-rows-populated case so execution can skip
+    # the fix-up entirely.
+    empty_mask = None if bool(np.all(counts > 0)) else (counts > 0)
+    # Trailing empty rows make offsets[-1] == hi - lo, which reduceat
+    # rejects as out of bounds; execution pads the products with one
+    # zero so those offsets become valid (the rows are zeroed by the
+    # mask anyway, and the last real row's sum only gains + 0.0).
+    pad_products = bool(len(offsets)) and int(offsets[-1]) >= hi - lo > 0
+    plan = (lo, hi, cols, offsets, empty_mask, pad_products)
+    while len(_ROW_PLAN_CACHE) >= _ROW_PLAN_CACHE_LIMIT:
+        _ROW_PLAN_CACHE.pop(next(iter(_ROW_PLAN_CACHE)))
+    _ROW_PLAN_CACHE[key] = (indptr, plan)
+    return plan
 
 
 def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray]]):
@@ -50,6 +128,22 @@ def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray
     row_lo, row_hi = _spmv_rows(task, point)
     if row_hi <= row_lo:
         return None
+    if hotpath_cache_enabled():
+        lo, hi, cols, offsets, empty_mask, pad_products = _row_plan(
+            indptr, indices, row_lo, row_hi
+        )
+        values = data[lo:hi]
+        products = values * x[cols]
+        if len(products):
+            if pad_products:
+                products = np.concatenate((products, np.zeros(1)))
+            sums = np.add.reduceat(products, offsets)
+        else:
+            sums = np.zeros(row_hi - row_lo)
+        if empty_mask is not None:
+            sums = np.where(empty_mask, sums, 0.0)
+        y[...] = sums
+        return None
     starts = indptr[row_lo : row_hi + 1].astype(np.int64)
     lo, hi = starts[0], starts[-1]
     cols = indices[lo:hi].astype(np.int64)
@@ -57,8 +151,12 @@ def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray
     products = values * x[cols]
     offsets = starts[:-1] - lo
     # reduceat assigns the value at position offsets[i] for empty rows;
-    # patch those rows back to zero afterwards.
+    # patch those rows back to zero afterwards.  Trailing empty rows
+    # would put offsets[-1] past the end, which reduceat rejects; pad
+    # the products with one zero so those offsets stay in bounds.
     if len(products):
+        if len(offsets) and int(offsets[-1]) >= len(products):
+            products = np.concatenate((products, np.zeros(1)))
         sums = np.add.reduceat(products, offsets)
     else:
         sums = np.zeros(row_hi - row_lo)
@@ -68,12 +166,42 @@ def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray
     return None
 
 
+#: (id(indptr array), row range, index bytes, total rows, machine) ->
+#: pinned analytic SpMV cost.  Everything the cost depends on is in the
+#: key, so replayed launches skip the roofline arithmetic entirely.
+_SPMV_COST_CACHE: Dict[Tuple, Tuple[np.ndarray, float]] = {}
+_SPMV_COST_CACHE_LIMIT = 4096
+
+
 def _spmv_cost(task: IndexTask, point, buffers, machine: MachineConfig) -> float:
     indptr = buffers[0]
     row_lo, row_hi = _spmv_rows(task, point)
     rows = max(0, row_hi - row_lo)
     if indptr is None or rows == 0:
         return machine.kernel_launch_latency
+    if hotpath_cache_enabled():
+        index_bytes_key = task.scalar_args[0] if task.scalar_args else None
+        total_rows_key = task.args[4].store.shape[0]
+        key = (id(indptr), row_lo, row_hi, index_bytes_key, total_rows_key, machine)
+        entry = _SPMV_COST_CACHE.get(key)
+        if entry is not None and entry[0] is indptr:
+            return entry[1]
+        seconds = _spmv_cost_uncached(task, indptr, row_lo, row_hi, rows, machine)
+        while len(_SPMV_COST_CACHE) >= _SPMV_COST_CACHE_LIMIT:
+            _SPMV_COST_CACHE.pop(next(iter(_SPMV_COST_CACHE)))
+        _SPMV_COST_CACHE[key] = (indptr, seconds)
+        return seconds
+    return _spmv_cost_uncached(task, indptr, row_lo, row_hi, rows, machine)
+
+
+def _spmv_cost_uncached(
+    task: IndexTask,
+    indptr: np.ndarray,
+    row_lo: int,
+    row_hi: int,
+    rows: int,
+    machine: MachineConfig,
+) -> float:
     nnz = float(indptr[row_hi] - indptr[row_lo])
     index_bytes = float(task.scalar_args[0]) if task.scalar_args else 8.0
     # Per non-zero: a value (8B), a column index, and the gathered x value;

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.config import hotpath_cache_enabled as _hotpath_cache_enabled
 from repro.ir.partition import Partition
 from repro.ir.task import IndexTask
 
@@ -38,13 +39,89 @@ class FusionDecision:
     fused: bool
 
 
+#: Attribute under which a task's canonical signature is cached.  A
+#: task's arguments are immutable after construction, so the signature is
+#: computed once per task no matter how many analysis rounds replay it
+#: (store *liveness* is deliberately excluded — it changes over time and
+#: is re-read on every canonicalisation).
+_SIGNATURE_ATTR = "_memo_signature"
+
+#: One cached argument: (store, store shape, partition, privilege value,
+#: redop value or None).  The store and partition objects are kept so the
+#: window canonicalisation can translate them to De-Bruijn indices and
+#: query liveness without touching the task again.
+TaskSignature = Tuple[str, Tuple[int, ...], Tuple[Tuple, ...], int]
+
+
+def task_signature(task: IndexTask) -> TaskSignature:
+    """The window-independent part of a task's canonical form, cached."""
+    signature = getattr(task, _SIGNATURE_ATTR, None)
+    if signature is None:
+        signature = (
+            task.task_name,
+            task.launch_domain.shape,
+            tuple(
+                (
+                    arg.store,
+                    arg.store.shape,
+                    arg.partition,
+                    arg.privilege.value,
+                    arg.redop.value if arg.redop is not None else None,
+                )
+                for arg in task.args
+            ),
+            len(task.scalar_args),
+        )
+        setattr(task, _SIGNATURE_ATTR, signature)
+    return signature
+
+
 def canonicalize_window(tasks: Sequence[IndexTask]) -> Tuple[Hashable, Dict[int, int]]:
     """The canonical form of a task window.
 
     Returns ``(key, store_index_map)`` where ``key`` is hashable and
     ``store_index_map`` maps store uids to their canonical indices (needed
     to translate a cached decision's temporary set back to real stores).
+
+    Store uids are replaced by indices in order of first appearance and
+    partitions by indices into a hash-keyed table of distinct partitions —
+    partitions are small frozen value objects, so dict lookup replaces the
+    quadratic equality scan without changing which partitions dedup.
+    Per-task signatures are cached on the tasks themselves, so a replay
+    round only pays for the window-dependent index translation.  Setting
+    ``REPRO_HOTPATH_CACHE=0`` restores the seed canonicalisation path
+    (used as the baseline by ``benchmarks/perf_wallclock.py``).
     """
+    if not _hotpath_cache_enabled():
+        return _canonicalize_window_uncached(tasks)
+    store_indices: Dict[int, int] = {}
+    partition_indices: Dict[Partition, int] = {}
+    store_liveness: List[bool] = []
+
+    canonical_tasks = []
+    for task in tasks:
+        name, domain_shape, args, scalar_count = task_signature(task)
+        canonical_args = []
+        for store, shape, partition, privilege, redop in args:
+            index = store_indices.get(store.uid)
+            if index is None:
+                index = len(store_indices)
+                store_indices[store.uid] = index
+                store_liveness.append(store.has_live_application_references)
+            partition_index = partition_indices.get(partition)
+            if partition_index is None:
+                partition_index = len(partition_indices)
+                partition_indices[partition] = partition_index
+            canonical_args.append((index, shape, partition_index, privilege, redop))
+        canonical_tasks.append((name, domain_shape, tuple(canonical_args), scalar_count))
+    key = (tuple(canonical_tasks), tuple(store_liveness))
+    return key, store_indices
+
+
+def _canonicalize_window_uncached(
+    tasks: Sequence[IndexTask],
+) -> Tuple[Hashable, Dict[int, int]]:
+    """The seed canonicalisation: no signature cache, linear-scan dedup."""
     store_indices: Dict[int, int] = {}
     partition_list: List[Partition] = []
     store_liveness: List[bool] = []
@@ -125,12 +202,13 @@ def resolve_temporaries(
     temporary_indices: Sequence[int],
 ):
     """Translate canonical temporary indices back to store objects."""
+    if not temporary_indices:
+        return []
     wanted = set(temporary_indices)
-    reverse: Dict[int, int] = {index: uid for uid, index in store_index_map.items()}
     stores = []
     seen = set()
     for task in tasks:
-        for store in task.stores():
+        for store, _, _, _, _ in task_signature(task)[2]:
             index = store_index_map.get(store.uid)
             if index in wanted and store.uid not in seen:
                 seen.add(store.uid)

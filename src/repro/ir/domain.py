@@ -62,6 +62,17 @@ class Rect:
         object.__setattr__(self, "lo", as_point(self.lo))
         object.__setattr__(self, "hi", as_point(self.hi))
 
+    def __hash__(self) -> int:
+        # Rects key the sub-store view caches of the execution hot path;
+        # the hash is computed on first use and memoized (lazily, so
+        # rects that are never hashed pay nothing at construction).
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.lo, self.hi))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     @staticmethod
     def from_shape(shape: Sequence[int]) -> "Rect":
         """Build the rectangle ``[0, shape)``."""

@@ -142,6 +142,18 @@ class Tiling(Partition):
         object.__setattr__(self, "tile_shape", tile_shape)
         object.__setattr__(self, "offset", offset)
 
+    def __hash__(self) -> int:
+        # Tilings key the sub-store rect caches and the memoization
+        # tables; the hash is memoized on first use so repeated probes
+        # skip re-hashing four fields (and tilings that are never hashed
+        # pay nothing at construction).
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.tile_shape, self.offset, self.projection, self.bounds))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     @staticmethod
     def create(
         tile_shape: Sequence[int],

@@ -1,0 +1,368 @@
+"""Code generation: KIR kernels compiled to straight-line NumPy closures.
+
+The paper's Diffuse JIT-compiles fused MLIR kernels to real device code so
+that a memoized replay round executes pre-compiled kernels with no
+per-statement interpretation.  This module plays that role for the
+reproduction: a KIR :class:`~repro.kernel.kir.Function` is translated to
+Python source whose statements are vectorised NumPy expressions, compiled
+with the builtin ``compile`` exactly once, and wrapped in a
+:class:`CodegenExecutor` with the same calling convention as the
+tree-walking interpreter.
+
+The emitted code mirrors the interpreter operation for operation — the
+same NumPy calls in the same order — so results are bit-identical, which
+the differential backend (``REPRO_KERNEL_BACKEND=differential``) asserts
+on every kernel invocation.
+
+Compiled functions are cached by source text at module level.  Two
+kernels with the same canonical form produce identical source, so a
+memoization hit anywhere in the process (even from a different
+:class:`~repro.kernel.compiler.JITCompiler` instance of a weak-scaling
+sweep) reuses the already-compiled closure instead of invoking
+``compile`` again.  :func:`codegen_stats` exposes the counters that the
+regression tests assert on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.kernel.kir import (
+    Alloc,
+    Assign,
+    BinOp,
+    BinOpKind,
+    Const,
+    Expr,
+    Function,
+    Load,
+    LocalRef,
+    Loop,
+    Param,
+    ParamKind,
+    Reduce,
+    ReduceKind,
+    ScalarRef,
+    UnOp,
+    UnOpKind,
+    _erf,
+)
+from repro.kernel.lowering import KernelExecutor, ReductionPartial
+from repro.kernel.passes.compose import KernelBinding
+
+
+class CodegenError(RuntimeError):
+    """Raised when a kernel cannot be translated to Python source."""
+
+
+# ----------------------------------------------------------------------
+# Operator spellings.  Each entry mirrors the corresponding lambda in
+# ``kir._BINOP_EVAL`` / ``kir._UNOP_EVAL`` so the generated code performs
+# the exact same NumPy calls as the interpreter.
+# ----------------------------------------------------------------------
+_BINOP_FMT: Dict[BinOpKind, str] = {
+    BinOpKind.ADD: "({lhs} + {rhs})",
+    BinOpKind.SUB: "({lhs} - {rhs})",
+    BinOpKind.MUL: "({lhs} * {rhs})",
+    BinOpKind.DIV: "({lhs} / {rhs})",
+    BinOpKind.POW: "np.power({lhs}, {rhs})",
+    BinOpKind.MAX: "np.maximum({lhs}, {rhs})",
+    BinOpKind.MIN: "np.minimum({lhs}, {rhs})",
+    BinOpKind.LT: "({lhs} < {rhs}).astype(np.float64)",
+    BinOpKind.GT: "({lhs} > {rhs}).astype(np.float64)",
+    BinOpKind.LE: "({lhs} <= {rhs}).astype(np.float64)",
+    BinOpKind.GE: "({lhs} >= {rhs}).astype(np.float64)",
+    BinOpKind.EQ: "({lhs} == {rhs}).astype(np.float64)",
+}
+
+_UNOP_FMT: Dict[UnOpKind, str] = {
+    UnOpKind.NEG: "(-{operand})",
+    UnOpKind.SQRT: "np.sqrt({operand})",
+    UnOpKind.EXP: "np.exp({operand})",
+    UnOpKind.LOG: "np.log({operand})",
+    UnOpKind.ABS: "np.abs({operand})",
+    UnOpKind.ERF: "_erf({operand})",
+    UnOpKind.SIN: "np.sin({operand})",
+    UnOpKind.COS: "np.cos({operand})",
+    UnOpKind.TANH: "np.tanh({operand})",
+    UnOpKind.RECIP: "(1.0 / {operand})",
+}
+
+_REDUCE_FMT: Dict[ReduceKind, str] = {
+    ReduceKind.SUM: "float(np.sum({value}))",
+    ReduceKind.PROD: "float(np.prod({value}))",
+    ReduceKind.MAX: "float(np.max({value}))",
+    ReduceKind.MIN: "float(np.min({value}))",
+}
+
+# Spellings of ``kir.combine_reduction`` for repeated reductions into the
+# same target.
+_COMBINE_FMT: Dict[ReduceKind, str] = {
+    ReduceKind.SUM: "float({acc} + {new})",
+    ReduceKind.PROD: "float({acc} * {new})",
+    ReduceKind.MAX: "float(max({acc}, {new}))",
+    ReduceKind.MIN: "float(min({acc}, {new}))",
+}
+
+#: Globals shared by every generated kernel function.
+_KERNEL_ENV: Dict[str, object] = {
+    "np": np,
+    "_erf": _erf,
+    "ReductionPartial": ReductionPartial,
+    "ReduceKind": ReduceKind,
+}
+
+#: Source text -> compiled kernel entry point.  Keyed on the full module
+#: source so that two structurally-identical kernels (the same canonical
+#: form) share one compiled closure process-wide.
+_FUNCTION_CACHE: Dict[str, Callable] = {}
+
+
+@dataclass
+class CodegenCounters:
+    """Process-wide codegen activity counters (asserted by tests)."""
+
+    source_compilations: int = 0
+    source_cache_hits: int = 0
+
+    def reset(self) -> None:
+        self.source_compilations = 0
+        self.source_cache_hits = 0
+
+
+_COUNTERS = CodegenCounters()
+
+
+def codegen_stats() -> CodegenCounters:
+    """The process-wide codegen counters."""
+    return _COUNTERS
+
+
+def clear_function_cache() -> None:
+    """Drop all compiled closures and reset counters (tests only)."""
+    _FUNCTION_CACHE.clear()
+    _COUNTERS.reset()
+
+
+_IDENT_RE = re.compile(r"\W")
+
+
+class _NameTable:
+    """Deterministic mapping from KIR names to Python identifiers."""
+
+    def __init__(self) -> None:
+        self._names: Dict[Tuple[str, str], str] = {}
+
+    def get(self, kind: str, name: str) -> str:
+        key = (kind, name)
+        ident = self._names.get(key)
+        if ident is None:
+            ident = f"_{kind}{len(self._names)}_{_IDENT_RE.sub('_', name)}"
+            self._names[key] = ident
+        return ident
+
+
+class _SourceWriter:
+    """Accumulates indented Python source lines."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _emit_expr(expr: Expr, names: _NameTable) -> str:
+    """Render an expression tree as Python source."""
+    if isinstance(expr, Const):
+        # repr() round-trips doubles exactly; np.float64 mirrors the
+        # interpreter's Const evaluation.
+        return f"np.float64({expr.value!r})"
+    if isinstance(expr, ScalarRef):
+        return names.get("s", expr.name)
+    if isinstance(expr, Load):
+        return names.get("b", expr.buffer)
+    if isinstance(expr, LocalRef):
+        return names.get("l", expr.name)
+    if isinstance(expr, BinOp):
+        return _BINOP_FMT[expr.op].format(
+            lhs=_emit_expr(expr.lhs, names), rhs=_emit_expr(expr.rhs, names)
+        )
+    if isinstance(expr, UnOp):
+        return _UNOP_FMT[expr.op].format(operand=_emit_expr(expr.operand, names))
+    raise CodegenError(f"unknown expression {expr!r}")
+
+
+def generate_source(function: Function) -> str:
+    """Translate a KIR function into the source of ``__kernel__``.
+
+    The generated function takes the executor's ``(buffers, scalars)``
+    dictionaries and returns the reduction partials, exactly like the
+    interpreter.  Statement order, operation order and operand spellings
+    all match the interpreter so results are bit-identical.
+    """
+    names = _NameTable()
+    out = _SourceWriter()
+    out.emit(f"def __kernel__(buffers, scalars):  # kernel {function.name!r}")
+    out.indent += 1
+
+    buffer_names: Set[str] = set()
+    for param in function.params:
+        if param.kind is ParamKind.BUFFER:
+            ident = names.get("b", param.name)
+            out.emit(f"{ident} = buffers[{param.name!r}]")
+            buffer_names.add(param.name)
+        else:
+            ident = names.get("s", param.name)
+            out.emit(f"{ident} = np.float64(scalars[{param.name!r}])")
+
+    # Task-local allocations.  The reference buffer must be materialised
+    # (reduction targets are handed to the executor as None).
+    for stmt in function.body:
+        if not isinstance(stmt, Alloc):
+            continue
+        if stmt.like not in buffer_names:
+            raise CodegenError(
+                f"allocation '{stmt.name}' references unknown buffer '{stmt.like}' "
+                f"in kernel '{function.name}'"
+            )
+        like = names.get("b", stmt.like)
+        out.emit(f"if {like} is None:")
+        out.indent += 1
+        out.emit(
+            "raise RuntimeError("
+            f"\"allocation '{stmt.name}' has no reference buffer '{stmt.like}'\")"
+        )
+        out.indent -= 1
+        out.emit(f"{names.get('b', stmt.name)} = np.zeros_like({like})")
+        buffer_names.add(stmt.name)
+
+    unknown_loads = function.buffers_read() - buffer_names
+    if unknown_loads:
+        raise CodegenError(
+            f"kernel '{function.name}' loads undeclared buffers "
+            f"{sorted(unknown_loads)}"
+        )
+
+    #: Buffers already guarded against a missing materialisation.
+    guarded: Set[str] = set()
+    #: Reduction partial accumulators: target -> (ident, last ReduceKind).
+    partials: Dict[str, Tuple[str, ReduceKind]] = {}
+    temp_counter = 0
+
+    for stmt in function.body:
+        if isinstance(stmt, Alloc):
+            continue
+        if not isinstance(stmt, Loop):  # pragma: no cover - no other kinds
+            raise CodegenError(f"unknown statement {stmt!r}")
+        index_ident = (
+            names.get("b", stmt.index_buffer)
+            if stmt.index_buffer in buffer_names
+            else None
+        )
+        for inner in stmt.body:
+            if isinstance(inner, Assign):
+                value = _emit_expr(inner.expr, names)
+                if inner.is_local:
+                    out.emit(f"{names.get('l', inner.target)} = {value}")
+                    continue
+                if inner.target not in buffer_names:
+                    raise CodegenError(
+                        f"assignment to unknown buffer '{inner.target}' in "
+                        f"kernel '{function.name}'"
+                    )
+                target = names.get("b", inner.target)
+                if inner.target not in guarded:
+                    guarded.add(inner.target)
+                    out.emit(f"if {target} is None:")
+                    out.indent += 1
+                    out.emit(
+                        "raise RuntimeError("
+                        f"\"buffer '{inner.target}' is not materialised\")"
+                    )
+                    out.indent -= 1
+                out.emit(f"{target}[...] = {value}")
+            elif isinstance(inner, Reduce):
+                value = _emit_expr(inner.expr, names)
+                if index_ident:
+                    # Mirror the interpreter's runtime broadcast exactly:
+                    # a 0-d value (loop-invariant expression, or a load
+                    # from a rank-0 buffer) is broadcast over the index
+                    # space so e.g. summing a constant counts elements.
+                    tmp = f"_r{temp_counter}"
+                    temp_counter += 1
+                    out.emit(f"{tmp} = np.asarray({value})")
+                    out.emit(f"if {tmp}.ndim == 0 and {index_ident} is not None:")
+                    out.indent += 1
+                    out.emit(f"{tmp} = np.broadcast_to({tmp}, {index_ident}.shape)")
+                    out.indent -= 1
+                    value = tmp
+                folded = _REDUCE_FMT[inner.kind].format(value=value)
+                existing = partials.get(inner.target)
+                if existing is None:
+                    acc = f"_p{len(partials)}"
+                    partials[inner.target] = (acc, inner.kind)
+                    out.emit(f"{acc} = {folded}")
+                else:
+                    acc, _ = existing
+                    partials[inner.target] = (acc, inner.kind)
+                    tmp = f"_r{temp_counter}"
+                    temp_counter += 1
+                    out.emit(f"{tmp} = {folded}")
+                    out.emit(
+                        f"{acc} = "
+                        + _COMBINE_FMT[inner.kind].format(acc=acc, new=tmp)
+                    )
+            else:  # pragma: no cover - no other loop statement kinds
+                raise CodegenError(f"unknown loop statement {inner!r}")
+
+    if partials:
+        items = ", ".join(
+            f"{target!r}: ReductionPartial(kind=ReduceKind.{kind.name}, value={acc})"
+            for target, (acc, kind) in partials.items()
+        )
+        out.emit(f"return {{{items}}}")
+    else:
+        out.emit("return {}")
+    return out.source()
+
+
+def _compile_source(source: str, kernel_name: str) -> Tuple[Callable, bool]:
+    """Compile kernel source, reusing the process-wide closure cache."""
+    fn = _FUNCTION_CACHE.get(source)
+    if fn is not None:
+        _COUNTERS.source_cache_hits += 1
+        return fn, False
+    code = compile(source, f"<kir-codegen:{kernel_name}>", "exec")
+    namespace = dict(_KERNEL_ENV)
+    exec(code, namespace)
+    fn = namespace["__kernel__"]
+    _FUNCTION_CACHE[source] = fn
+    _COUNTERS.source_compilations += 1
+    return fn, True
+
+
+class CodegenExecutor(KernelExecutor):
+    """Executes a kernel through its compiled NumPy closure."""
+
+    backend = "codegen"
+
+    def __init__(self, function: Function, binding: KernelBinding) -> None:
+        super().__init__(function, binding)
+        self.source = generate_source(function)
+        self._fn, self.freshly_compiled = _compile_source(self.source, function.name)
+
+    def __call__(
+        self,
+        buffers: Dict[str, Optional[np.ndarray]],
+        scalars: Dict[str, float],
+    ) -> Dict[str, ReductionPartial]:
+        return self._fn(buffers, scalars)

@@ -78,15 +78,27 @@ class CompiledKernel:
 
 @dataclass
 class CompilerStats:
-    """Counters describing compiler activity (used by Figure 13)."""
+    """Counters describing compiler activity (used by Figure 13).
+
+    ``codegen_compilations`` counts invocations of the builtin ``compile``
+    on freshly-generated kernel source; ``codegen_reuses`` counts kernels
+    whose source matched an already-compiled closure (process-wide cache
+    in :mod:`repro.kernel.codegen`).  Together with ``cache_hits`` they
+    let tests assert that a canonical kernel key is compiled at most once
+    across an entire sweep.
+    """
 
     compilations: int = 0
     cache_hits: int = 0
+    codegen_compilations: int = 0
+    codegen_reuses: int = 0
     total_compile_seconds: float = 0.0
 
     def reset(self) -> None:
         self.compilations = 0
         self.cache_hits = 0
+        self.codegen_compilations = 0
+        self.codegen_reuses = 0
         self.total_compile_seconds = 0.0
 
 
@@ -98,10 +110,13 @@ class JITCompiler:
         registry: Optional[GeneratorRegistry] = None,
         pipeline: Optional[PassPipeline] = None,
         compile_time_model: Optional[CompileTimeModel] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.registry = registry or default_registry()
         self.pipeline = pipeline or default_pipeline()
         self.compile_time_model = compile_time_model or CompileTimeModel()
+        #: Kernel execution backend; None defers to REPRO_KERNEL_BACKEND.
+        self.backend = backend
         self.stats = CompilerStats()
         self._cache: Dict[Hashable, CompiledKernel] = {}
 
@@ -143,10 +158,21 @@ class JITCompiler:
             self.compile_time_model.estimate(composed) if charge_compile_time else 0.0
         )
         optimized = self.pipeline.run(composed, binding)
+        # The passes may scalarise or eliminate buffers; derive the access
+        # metadata from the function that actually executes.
+        binding.attach_function_metadata(optimized)
+        executor = lower(optimized, binding, backend=self.backend)
+        # The differential executor wraps a codegen executor; count the
+        # inner one so the compile-once invariant is visible in any mode.
+        codegen_executor = getattr(executor, "codegen", executor)
+        if getattr(codegen_executor, "freshly_compiled", False):
+            self.stats.codegen_compilations += 1
+        elif codegen_executor.backend == "codegen":
+            self.stats.codegen_reuses += 1
         kernel = CompiledKernel(
             function=optimized,
             binding=binding,
-            executor=lower(optimized, binding),
+            executor=executor,
             cost=analyze_kernel(optimized),
             compile_seconds=compile_seconds,
             fused_count=fused_count,

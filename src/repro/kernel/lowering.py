@@ -8,6 +8,26 @@ current loop index), executing each statement over the full index space in
 program order is observationally equivalent to the fused loop, so the
 executor is a faithful functional model of the generated device code.
 
+Two execution backends implement that contract:
+
+``codegen`` (the default)
+    :class:`~repro.kernel.codegen.CodegenExecutor` — the kernel is
+    translated to Python/NumPy source, compiled once with the builtin
+    ``compile``, and every subsequent invocation (in particular every
+    memoized replay round) runs the pre-compiled closure with zero
+    per-statement interpretation.
+
+``interpreter``
+    :class:`InterpreterExecutor` — the original tree-walking evaluator,
+    kept as the executable specification of kernel semantics.
+
+``differential``
+    :class:`DifferentialExecutor` — runs *both* backends on every kernel
+    invocation and raises :class:`BackendDivergenceError` unless all
+    written buffers and reduction partials agree bit-for-bit.  Enabled
+    with ``REPRO_KERNEL_BACKEND=differential``; the test suite and
+    ``make bench`` use it to certify the codegen backend.
+
 Reductions produce *partial* results per point task; the runtime folds
 the partials of all point tasks into the target scalar store using the
 argument's reduction operator, mirroring how Legion applies reduction
@@ -21,6 +41,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.config import BACKEND_ENV_VAR, BACKENDS, default_backend
 from repro.kernel.kir import (
     Alloc,
     Assign,
@@ -28,11 +49,11 @@ from repro.kernel.kir import (
     Loop,
     Reduce,
     ReduceKind,
+    combine_reduction,
     evaluate_expr,
     reduce_array,
 )
 from repro.kernel.passes.compose import KernelBinding
-
 
 @dataclass
 class ReductionPartial:
@@ -42,8 +63,21 @@ class ReductionPartial:
     value: float
 
 
+class BackendDivergenceError(RuntimeError):
+    """Raised when the codegen and interpreter backends disagree."""
+
+
 class KernelExecutor:
-    """Executes a lowered kernel over NumPy sub-store buffers."""
+    """Base class of kernel executors.
+
+    ``buffers`` maps kernel buffer-parameter names to the NumPy views of
+    the point task's sub-stores; pure reduction targets — which are never
+    loaded — are passed as ``None``.  ``scalars`` maps scalar parameter
+    names to immediate values.  Executors mutate written buffers in place
+    and return the reduction partials keyed by target buffer name.
+    """
+
+    backend = "abstract"
 
     def __init__(self, function: Function, binding: KernelBinding) -> None:
         self.function = function
@@ -54,23 +88,32 @@ class KernelExecutor:
         buffers: Dict[str, Optional[np.ndarray]],
         scalars: Dict[str, float],
     ) -> Dict[str, ReductionPartial]:
-        """Run the kernel.
+        raise NotImplementedError
 
-        ``buffers`` maps kernel buffer-parameter names to the NumPy views
-        of the point task's sub-stores (``None`` for pure reduction
-        targets, which are never loaded).  ``scalars`` maps scalar
-        parameter names to immediate values.  Returns the reduction
-        partials keyed by target buffer name.
-        """
-        local_buffers: Dict[str, np.ndarray] = dict(buffers)
+
+class InterpreterExecutor(KernelExecutor):
+    """Tree-walking reference executor (the semantics specification)."""
+
+    backend = "interpreter"
+
+    def __call__(
+        self,
+        buffers: Dict[str, Optional[np.ndarray]],
+        scalars: Dict[str, float],
+    ) -> Dict[str, ReductionPartial]:
+        local_buffers: Dict[str, Optional[np.ndarray]] = dict(buffers)
         partials: Dict[str, ReductionPartial] = {}
 
         for stmt in self.function.body:
             if isinstance(stmt, Alloc):
                 reference = local_buffers.get(stmt.like)
                 if reference is None:
+                    # ``stmt.like`` is missing entirely or was handed to the
+                    # executor as None (a pure reduction target, which has
+                    # no materialised backing to size the allocation from).
                     raise RuntimeError(
-                        f"allocation '{stmt.name}' has no reference buffer '{stmt.like}'"
+                        f"allocation '{stmt.name}' has no reference buffer "
+                        f"'{stmt.like}'"
                     )
                 local_buffers[stmt.name] = np.zeros_like(reference)
             elif isinstance(stmt, Loop):
@@ -80,7 +123,7 @@ class KernelExecutor:
     def _execute_loop(
         self,
         loop: Loop,
-        buffers: Dict[str, np.ndarray],
+        buffers: Dict[str, Optional[np.ndarray]],
         scalars: Dict[str, float],
         partials: Dict[str, ReductionPartial],
     ) -> None:
@@ -92,9 +135,11 @@ class KernelExecutor:
                 if stmt.is_local:
                     locals_[stmt.target] = value
                 else:
-                    target = buffers[stmt.target]
+                    target = buffers.get(stmt.target)
                     if target is None:
-                        raise RuntimeError(f"buffer '{stmt.target}' is not materialised")
+                        raise RuntimeError(
+                            f"buffer '{stmt.target}' is not materialised"
+                        )
                     target[...] = value
             elif isinstance(stmt, Reduce):
                 value = evaluate_expr(stmt.expr, buffers, scalars, locals_)
@@ -108,14 +153,96 @@ class KernelExecutor:
                 if existing is None:
                     partials[stmt.target] = ReductionPartial(kind=stmt.kind, value=partial)
                 else:
-                    from repro.kernel.kir import combine_reduction
-
                     partials[stmt.target] = ReductionPartial(
                         kind=stmt.kind,
                         value=combine_reduction(stmt.kind, existing.value, partial),
                     )
 
 
-def lower(function: Function, binding: KernelBinding) -> KernelExecutor:
-    """Lower a KIR function to an executor."""
-    return KernelExecutor(function=function, binding=binding)
+class DifferentialExecutor(KernelExecutor):
+    """Runs interpreter and codegen side by side, asserting bit-equality.
+
+    The interpreter runs on private copies of the buffers so both backends
+    observe identical inputs; the codegen backend runs on the real buffers
+    so its results are the ones the runtime keeps.
+    """
+
+    backend = "differential"
+
+    def __init__(self, function: Function, binding: KernelBinding) -> None:
+        super().__init__(function, binding)
+        from repro.kernel.codegen import CodegenExecutor
+
+        self.interpreter = InterpreterExecutor(function, binding)
+        self.codegen = CodegenExecutor(function, binding)
+
+    def __call__(
+        self,
+        buffers: Dict[str, Optional[np.ndarray]],
+        scalars: Dict[str, float],
+    ) -> Dict[str, ReductionPartial]:
+        shadow = {
+            name: None if array is None else array.copy()
+            for name, array in buffers.items()
+        }
+        expected = self.interpreter(shadow, scalars)
+        actual = self.codegen(buffers, scalars)
+        self._compare(buffers, shadow, expected, actual)
+        return actual
+
+    def _compare(
+        self,
+        buffers: Dict[str, Optional[np.ndarray]],
+        shadow: Dict[str, Optional[np.ndarray]],
+        expected: Dict[str, ReductionPartial],
+        actual: Dict[str, ReductionPartial],
+    ) -> None:
+        name = self.function.name
+        for buffer, array in buffers.items():
+            reference = shadow[buffer]
+            if array is None or reference is None:
+                continue
+            if not np.array_equal(array, reference, equal_nan=True):
+                raise BackendDivergenceError(
+                    f"kernel '{name}': codegen and interpreter disagree on "
+                    f"buffer '{buffer}'"
+                )
+        if set(expected) != set(actual):
+            raise BackendDivergenceError(
+                f"kernel '{name}': reduction targets differ "
+                f"({sorted(expected)} vs {sorted(actual)})"
+            )
+        for target, partial in expected.items():
+            other = actual[target]
+            if partial.kind is not other.kind or not _floats_equal(
+                partial.value, other.value
+            ):
+                raise BackendDivergenceError(
+                    f"kernel '{name}': reduction partial '{target}' diverged "
+                    f"({partial} vs {other})"
+                )
+
+
+def _floats_equal(a: float, b: float) -> bool:
+    return a == b or (np.isnan(a) and np.isnan(b))
+
+
+def lower(
+    function: Function,
+    binding: KernelBinding,
+    backend: Optional[str] = None,
+) -> KernelExecutor:
+    """Lower a KIR function to an executor using the selected backend."""
+    backend = (backend or default_backend()).strip().lower()
+    if backend == "codegen":
+        from repro.kernel.codegen import CodegenExecutor
+
+        return CodegenExecutor(function=function, binding=binding)
+    if backend == "interpreter":
+        return InterpreterExecutor(function=function, binding=binding)
+    if backend == "differential":
+        return DifferentialExecutor(function=function, binding=binding)
+    raise ValueError(
+        f"unknown kernel backend '{backend}' (expected one of {BACKENDS}); "
+        f"check the {BACKEND_ENV_VAR} environment variable"
+    )

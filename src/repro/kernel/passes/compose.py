@@ -51,9 +51,34 @@ class KernelBinding:
     #: buffer or alloc name -> symbolic iteration-space key.
     index_spaces: Dict[str, IndexSpaceKey] = field(default_factory=dict)
 
+    # ------------------------------------------------------------------
+    # Derived metadata, attached once per compiled kernel (after the pass
+    # pipeline ran) so the runtime executor's launch loop iterates plain
+    # tuples instead of rebuilding dict views per launch.
+    # ------------------------------------------------------------------
+    #: ``buffer_args`` items in declaration order (hot-loop iteration).
+    buffer_order: Tuple[Tuple[str, int], ...] = ()
+    #: ``scalar_args`` items in declaration order.
+    scalar_order: Tuple[Tuple[str, int], ...] = ()
+
     def arg_index_for(self, param_name: str) -> Optional[int]:
         """The task argument index backing a kernel parameter, if any."""
         return self.buffer_args.get(param_name)
+
+    def attach_function_metadata(self, function: Function) -> None:
+        """Freeze the parameter ordering of the function that executes.
+
+        The snapshot is filtered against the function's parameter list so
+        that a pass which drops a parameter also drops it from the hot
+        launch loop (no rect tables or views for dead buffers).
+        """
+        names = function.param_names()
+        self.buffer_order = tuple(
+            item for item in self.buffer_args.items() if item[0] in names
+        )
+        self.scalar_order = tuple(
+            item for item in self.scalar_args.items() if item[0] in names
+        )
 
 
 class CompositionError(RuntimeError):

@@ -102,7 +102,9 @@ class CoherenceTracker:
             # Never written by a task: the data was produced by the host
             # (or a fill) and is assumed to already be distributed.
             return 0.0
-        if state.valid_partition == partition:
+        # Identity first: the frontend interns partitions, so the common
+        # revalidation case compares equal without touching fields.
+        if state.valid_partition is partition or state.valid_partition == partition:
             return 0.0
         if isinstance(partition, Replication):
             if state.replicated:

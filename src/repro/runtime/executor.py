@@ -5,6 +5,15 @@ gathers NumPy views of its sub-stores, runs either the compiled KIR kernel
 or the task's opaque implementation, folds reduction partials into their
 target stores, and returns the analytically-modelled execution time of the
 launch (the maximum over GPUs of the per-GPU kernel time).
+
+The launch loop is the hottest path of the simulator: every iteration of
+an application replays the same partitions, points and rectangles with
+only the store identities changing.  Sub-store rectangles are therefore
+memoized per ``(partition, point, store shape)`` — partitions are small
+frozen value objects, so the cache key is exact — and the NumPy views of
+those rectangles are memoized on each region field.  Setting
+``REPRO_HOTPATH_CACHE=0`` disables both caches and restores the seed
+code path (the baseline of ``benchmarks/perf_wallclock.py``).
 """
 
 from __future__ import annotations
@@ -13,7 +22,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.ir.privilege import Privilege, ReductionOp
+from repro.config import hotpath_cache_enabled
+from repro.ir.domain import Rect
+from repro.ir.privilege import Privilege, ReductionOp, numpy_ufunc_for
 from repro.ir.task import IndexTask, StoreArg
 from repro.kernel.compiler import CompiledKernel
 from repro.kernel.lowering import ReductionPartial
@@ -21,13 +32,45 @@ from repro.runtime.machine import MachineConfig
 from repro.runtime.opaque import OpaqueTaskImpl
 from repro.runtime.region import RegionManager
 
-
 class TaskExecutor:
     """Executes index tasks functionally and models their kernel time."""
 
     def __init__(self, regions: RegionManager, machine: MachineConfig) -> None:
         self.regions = regions
         self.machine = machine
+        self.use_caches = hotpath_cache_enabled()
+        #: (partition, launch-domain shape, store shape) -> per-rank
+        #: ``(rect, volume)`` list in launch-domain iteration order.
+        self._rect_table_cache: Dict[Tuple, List[Tuple[Rect, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Sub-store geometry.
+    # ------------------------------------------------------------------
+    def _launch_rects(self, arg: StoreArg, task: IndexTask) -> List[Tuple[Rect, int]]:
+        """Per-rank sub-store rects of one argument.
+
+        The table is indexed by the rank of the point in launch-domain
+        iteration order, so the per-point lookup in the launch loop is a
+        plain list index with no hashing at all.  With the hot-path
+        caches enabled the table is memoized on (partition, launch
+        domain, store shape) — everything the geometry depends on — and
+        replayed across launches; otherwise it is rebuilt per launch,
+        matching the seed's per-point rect computation count.
+        """
+        key = None
+        if self.use_caches:
+            key = (arg.partition, task.launch_domain.shape, arg.store.shape)
+            table = self._rect_table_cache.get(key)
+            if table is not None:
+                return table
+        shape = arg.store.shape
+        table = []
+        for point in task.launch_domain.points():
+            rect = arg.partition.sub_store_rect(point, shape)
+            table.append((rect, rect.volume))
+        if key is not None:
+            self._rect_table_cache[key] = table
+        return table
 
     # ------------------------------------------------------------------
     # Compiled (KIR) execution.
@@ -36,32 +79,64 @@ class TaskExecutor:
         """Run a task through its compiled kernel; returns kernel seconds."""
         per_gpu_seconds: Dict[int, float] = {}
         reduction_totals: Dict[int, List[ReductionPartial]] = {}
+        binding = kernel.binding
+        buffer_order = binding.buffer_order or tuple(binding.buffer_args.items())
+        args = task.args
+        num_gpus = max(1, self.machine.num_gpus)
+        use_caches = self.use_caches
+
+        # Everything that does not depend on the launch point is resolved
+        # once per launch: scalar bindings, the region field and reduction
+        # flag of every buffer argument.
+        scalars = {
+            name: task.scalar_args[index]
+            for name, index in binding.scalar_args.items()
+        }
+        prepared = tuple(
+            (
+                name,
+                self.regions.field(args[arg_index].store),
+                args[arg_index].privilege is Privilege.REDUCE,
+                self._launch_rects(args[arg_index], task),
+            )
+            for name, arg_index in buffer_order
+        )
+        # Interior tiles share one shape, so the analytic kernel time is
+        # memoized per distinct tuple of sub-store volumes.
+        seconds_by_volumes: Dict[Tuple[int, ...], float] = {}
+        # Every point rebinds the same buffer names, so one dict is
+        # reused across points (executors only read it during the call).
+        buffers: Dict[str, Optional[np.ndarray]] = {}
 
         for rank, point in enumerate(task.launch_domain.points()):
-            buffers: Dict[str, Optional[np.ndarray]] = {}
-            element_counts: Dict[str, int] = {}
-            for name, arg_index in kernel.binding.buffer_args.items():
-                arg = task.args[arg_index]
-                rect = arg.partition.sub_store_rect(point, arg.store.shape)
-                element_counts[name] = rect.volume
-                if self._is_reduction_target(arg):
+            volumes: List[int] = []
+            for name, field, is_reduction, rect_table in prepared:
+                rect, volume = rect_table[rank]
+                volumes.append(volume)
+                if is_reduction:
                     buffers[name] = None
+                elif use_caches:
+                    buffers[name] = field.view(rect)
                 else:
-                    buffers[name] = self.regions.field(arg.store).view(rect)
-            scalars = {
-                name: task.scalar_args[index]
-                for name, index in kernel.binding.scalar_args.items()
-            }
+                    buffers[name] = field.data[rect.slices()]
 
             partials = kernel.executor(buffers, scalars)
             for name, partial in partials.items():
-                arg_index = kernel.binding.buffer_args.get(name)
+                arg_index = binding.buffer_args.get(name)
                 if arg_index is None:
                     continue
                 reduction_totals.setdefault(arg_index, []).append(partial)
 
-            gpu = rank % max(1, self.machine.num_gpus)
-            seconds = kernel.cost.estimate_seconds(element_counts, self.machine)
+            volume_key = tuple(volumes)
+            seconds = seconds_by_volumes.get(volume_key) if use_caches else None
+            if seconds is None:
+                element_counts = {
+                    entry[0]: volume for entry, volume in zip(prepared, volumes)
+                }
+                seconds = kernel.cost.estimate_seconds(element_counts, self.machine)
+                if use_caches:
+                    seconds_by_volumes[volume_key] = seconds
+            gpu = rank % num_gpus
             per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
 
         self._apply_reductions(task, reduction_totals)
@@ -75,14 +150,27 @@ class TaskExecutor:
         per_gpu_seconds: Dict[int, float] = {}
         reduction_totals: Dict[int, List[ReductionPartial]] = {}
 
+        use_caches = self.use_caches
+        prepared = tuple(
+            (
+                index,
+                self.regions.field(arg.store),
+                arg.privilege is Privilege.REDUCE,
+                self._launch_rects(arg, task),
+            )
+            for index, arg in enumerate(task.args)
+        )
+
         for rank, point in enumerate(task.launch_domain.points()):
             buffers: Dict[int, Optional[np.ndarray]] = {}
-            for index, arg in enumerate(task.args):
-                rect = arg.partition.sub_store_rect(point, arg.store.shape)
-                if self._is_reduction_target(arg):
+            for index, field, is_reduction, rect_table in prepared:
+                rect, _ = rect_table[rank]
+                if is_reduction:
                     buffers[index] = None
+                elif use_caches:
+                    buffers[index] = field.view(rect)
                 else:
-                    buffers[index] = self.regions.field(arg.store).view(rect)
+                    buffers[index] = field.data[rect.slices()]
             partials = impl.execute(task, point, buffers)
             if partials:
                 for arg_index, partial in partials.items():
@@ -98,16 +186,18 @@ class TaskExecutor:
     # ------------------------------------------------------------------
     # Helpers.
     # ------------------------------------------------------------------
-    @staticmethod
-    def _is_reduction_target(arg: StoreArg) -> bool:
-        return arg.privilege is Privilege.REDUCE
-
     def _apply_reductions(
         self,
         task: IndexTask,
         totals: Dict[int, List[ReductionPartial]],
     ) -> None:
-        """Fold per-point reduction partials into their target stores."""
+        """Fold per-point reduction partials into their target stores.
+
+        The partials of a launch are folded with one vectorised
+        ``ufunc.reduce`` over the partial values (the operators are
+        associative and commutative by construction), then combined with
+        the store's current value.
+        """
         for arg_index, partials in totals.items():
             if not partials:
                 continue
@@ -115,6 +205,14 @@ class TaskExecutor:
             redop = arg.redop if arg.redop is not None else ReductionOp.ADD
             field = self.regions.field(arg.store)
             accumulator = field.read_scalar()
-            for partial in partials:
-                accumulator = redop.combine_scalars(accumulator, partial.value)
-            field.write_scalar(accumulator)
+            if len(partials) == 1:
+                combined = redop.combine_scalars(accumulator, partials[0].value)
+            else:
+                values = np.fromiter(
+                    (partial.value for partial in partials),
+                    dtype=np.float64,
+                    count=len(partials),
+                )
+                folded = float(numpy_ufunc_for(redop).reduce(values))
+                combined = redop.combine_scalars(accumulator, folded)
+            field.write_scalar(combined)

@@ -20,7 +20,18 @@ from repro.ir.store import Store
 
 
 class RegionField:
-    """The backing NumPy array of one store."""
+    """The backing NumPy array of one store.
+
+    Sub-store views are memoized per rectangle: point tasks of every
+    launch touching this store ask for the same handful of rectangles
+    over and over (one per launch point), and NumPy basic slicing always
+    returns a *view* of ``data``, so a cached view observes every write
+    exactly like a freshly-sliced one.  ``data`` is never rebound after
+    construction (``RegionManager.attach`` swaps in a whole new field
+    instead), so in-place mutation — kernel writes, :meth:`fill` — keeps
+    cached views valid by construction; any future code that does rebind
+    ``data`` must call :meth:`invalidate_views`.
+    """
 
     def __init__(self, store: Store, initial: Optional[np.ndarray] = None) -> None:
         self.store = store
@@ -34,10 +45,19 @@ class RegionField:
             self.data = np.array(initial, dtype=store.dtype, copy=True)
         else:
             self.data = np.zeros(store.shape, dtype=store.dtype)
+        self._view_cache: Dict[Rect, np.ndarray] = {}
 
     def view(self, rect: Rect) -> np.ndarray:
         """A mutable NumPy view of the given rectangle of the region."""
-        return self.data[rect.slices()]
+        cached = self._view_cache.get(rect)
+        if cached is None:
+            cached = self.data[rect.slices()]
+            self._view_cache[rect] = cached
+        return cached
+
+    def invalidate_views(self) -> None:
+        """Drop all cached sub-store views."""
+        self._view_cache.clear()
 
     def read_scalar(self) -> float:
         """The value of a rank-0 / single-element region."""
