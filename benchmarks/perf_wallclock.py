@@ -1,33 +1,45 @@
 #!/usr/bin/env python
-"""Wall-clock performance harness: seed interpreter vs. codegen backend.
+"""Wall-clock performance harness: seed interpreter vs codegen vs trace.
 
 Unlike the ``benchmarks/test_*`` suite — which reproduces the paper's
 *simulated* figures — this harness measures the reproduction's own
 **real wall-clock** execution speed, establishing the perf trajectory of
 the repository.  It runs CG, Jacobi and Black-Scholes end-to-end (fusion
-enabled) under two configurations:
+enabled) under three configurations:
 
 ``baseline``
-    ``REPRO_KERNEL_BACKEND=interpreter`` + ``REPRO_HOTPATH_CACHE=0``:
-    the seed execution path — tree-walking kernel interpretation and no
-    submit→fuse→execute caching.
+    ``REPRO_KERNEL_BACKEND=interpreter`` + ``REPRO_HOTPATH_CACHE=0`` +
+    ``REPRO_TRACE=0``: the seed execution path — tree-walking kernel
+    interpretation, no submit→fuse→execute caching, eager submission.
 
 ``codegen``
-    ``REPRO_KERNEL_BACKEND=codegen`` + ``REPRO_HOTPATH_CACHE=1``: kernels
-    compiled once to NumPy closures, with sub-store rect/view caching,
-    partition interning and memoized canonical signatures.
+    ``REPRO_KERNEL_BACKEND=codegen`` + ``REPRO_HOTPATH_CACHE=1`` +
+    ``REPRO_TRACE=0``: the PR-1 path — kernels compiled once to NumPy
+    closures, sub-store rect/view caching, partition interning and
+    memoized canonical signatures, but every task still resolved through
+    the full pipeline every iteration.
 
-Before timing, a differential pass (``REPRO_KERNEL_BACKEND=differential``)
-runs every application once with both backends on every kernel invocation
-and aborts on any bitwise divergence; checksum equality between the timed
-runs is asserted as well.  Results are written to ``BENCH_wallclock.json``.
+``trace``
+    ``codegen`` plus ``REPRO_TRACE=1``: the deferred task stream with
+    iteration-trace capture and replay — repeated epochs bypass window
+    buffering, fusion analysis, memoization lookups and per-task
+    coherence recomputation and replay a captured execution plan.
+
+Before timing, a differential pass (``REPRO_KERNEL_BACKEND=differential``
+with tracing enabled, so replayed epochs are checked too) runs every
+application once with both backends on every kernel invocation and
+aborts on any bitwise divergence; checksum equality between all timed
+runs is asserted as well.  Trace hit counts and hit rates are recorded,
+and every iterative app must report >0 trace hits.  Results are written
+to ``BENCH_wallclock.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_wallclock.py [--smoke] [--output PATH]
 
 ``--smoke`` shrinks repeats/iterations for CI (``make bench``); the
-speedup gate is only enforced in full mode, divergence fails both modes.
+speedup gates are only enforced in full mode, divergence and missing
+trace hits fail both modes.
 """
 
 from __future__ import annotations
@@ -54,23 +66,41 @@ from repro.experiments.harness import (
 APP_CONFIGS = {
     "cg": dict(num_gpus=8, iterations=64, warmup=2, app_kwargs={"grid_points_per_gpu": 24}),
     "jacobi": dict(num_gpus=8, iterations=48, warmup=2, app_kwargs={"rows_per_gpu": 96}),
-    "black-scholes": dict(num_gpus=8, iterations=40, warmup=3, app_kwargs={"elements_per_gpu": 2048}),
+    "black-scholes": dict(num_gpus=8, iterations=120, warmup=3, app_kwargs={"elements_per_gpu": 512}),
 }
 
 SMOKE_CONFIGS = {
     "cg": dict(num_gpus=4, iterations=10, warmup=2, app_kwargs={"grid_points_per_gpu": 24}),
     "jacobi": dict(num_gpus=4, iterations=8, warmup=2, app_kwargs={"rows_per_gpu": 64}),
-    "black-scholes": dict(num_gpus=4, iterations=6, warmup=2, app_kwargs={"elements_per_gpu": 1024}),
+    "black-scholes": dict(num_gpus=4, iterations=10, warmup=2, app_kwargs={"elements_per_gpu": 512}),
 }
 
 MODES = {
-    "baseline": {"REPRO_KERNEL_BACKEND": "interpreter", "REPRO_HOTPATH_CACHE": "0"},
-    "codegen": {"REPRO_KERNEL_BACKEND": "codegen", "REPRO_HOTPATH_CACHE": "1"},
-    "differential": {"REPRO_KERNEL_BACKEND": "differential", "REPRO_HOTPATH_CACHE": "1"},
+    "baseline": {
+        "REPRO_KERNEL_BACKEND": "interpreter",
+        "REPRO_HOTPATH_CACHE": "0",
+        "REPRO_TRACE": "0",
+    },
+    "codegen": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "0",
+    },
+    "trace": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+    },
+    "differential": {
+        "REPRO_KERNEL_BACKEND": "differential",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+    },
 }
 
-#: Acceptance threshold for the CG end-to-end speedup (full mode only).
-CG_SPEEDUP_THRESHOLD = 3.0
+#: Acceptance thresholds on the trace-mode end-to-end speedup over the
+#: seed baseline (full mode only).
+SPEEDUP_THRESHOLDS = {"cg": 3.0, "black-scholes": 2.5}
 
 
 def _set_mode(mode: str) -> None:
@@ -79,8 +109,8 @@ def _set_mode(mode: str) -> None:
     config.reload_flags()
 
 
-def _run_once(app: str, spec: dict) -> Tuple[float, float]:
-    """One end-to-end run; returns (wall seconds, checksum)."""
+def _run_once(app: str, spec: dict):
+    """One end-to-end run; returns (wall seconds, RunResult)."""
     base_scale = default_scale_for(app)
     scale = ExperimentScale(
         app_kwargs=dict(base_scale.app_kwargs, **spec["app_kwargs"]),
@@ -93,19 +123,19 @@ def _run_once(app: str, spec: dict) -> Tuple[float, float]:
         app, num_gpus=spec["num_gpus"], fusion=True, scale=scale
     )
     elapsed = time.perf_counter() - start
-    return elapsed, result.checksum
+    return elapsed, result
 
 
-def _measure(app: str, spec: dict, mode: str, repeats: int) -> Tuple[float, float]:
-    """Median wall seconds (and checksum) of ``repeats`` runs of a mode."""
+def _measure(app: str, spec: dict, mode: str, repeats: int):
+    """Median wall seconds (and the last RunResult) of ``repeats`` runs."""
     _set_mode(mode)
     _run_once(app, spec)  # warm the process (imports, codegen cache, numpy)
     times: List[float] = []
-    checksum = 0.0
+    result = None
     for _ in range(repeats):
-        elapsed, checksum = _run_once(app, spec)
+        elapsed, result = _run_once(app, spec)
         times.append(elapsed)
-    return statistics.median(times), checksum
+    return statistics.median(times), result
 
 
 def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> int:
@@ -117,27 +147,42 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
     failures: List[str] = []
 
     for app, spec in configs.items():
-        print(f"[{app}] differential check ...", flush=True)
+        print(f"[{app}] differential check (trace replay included) ...", flush=True)
         _set_mode("differential")
-        diff_spec = dict(spec, iterations=min(spec["iterations"], 4))
+        diff_spec = dict(spec, iterations=min(spec["iterations"], 8))
         try:
-            _run_once(app, diff_spec)
+            _, diff_result = _run_once(app, diff_spec)
         except Exception as error:  # noqa: BLE001 - report and fail
             failures.append(f"{app}: differential check failed: {error}")
             print(f"[{app}] DIVERGENCE: {error}", flush=True)
             continue
+        if diff_result.trace_hits == 0:
+            failures.append(f"{app}: differential run replayed no trace epochs")
 
         print(f"[{app}] timing baseline (seed interpreter) ...", flush=True)
-        baseline_seconds, baseline_checksum = _measure(app, spec, "baseline", repeats)
-        print(f"[{app}] timing codegen backend ...", flush=True)
-        codegen_seconds, codegen_checksum = _measure(app, spec, "codegen", repeats)
+        baseline_seconds, baseline = _measure(app, spec, "baseline", repeats)
+        print(f"[{app}] timing codegen backend (trace off) ...", flush=True)
+        codegen_seconds, codegen = _measure(app, spec, "codegen", repeats)
+        print(f"[{app}] timing trace replay ...", flush=True)
+        trace_seconds, trace = _measure(app, spec, "trace", repeats)
 
-        if baseline_checksum != codegen_checksum:
+        if baseline.checksum != codegen.checksum:
             failures.append(
-                f"{app}: checksum mismatch (baseline {baseline_checksum!r} "
-                f"vs codegen {codegen_checksum!r})"
+                f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
+                f"vs codegen {codegen.checksum!r})"
             )
-        speedup = baseline_seconds / codegen_seconds if codegen_seconds > 0 else float("inf")
+        if baseline.checksum != trace.checksum:
+            failures.append(
+                f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
+                f"vs trace {trace.checksum!r})"
+            )
+        if trace.trace_hits == 0:
+            failures.append(f"{app}: trace mode reported zero trace hits")
+
+        speedup = baseline_seconds / trace_seconds if trace_seconds > 0 else float("inf")
+        codegen_speedup = (
+            baseline_seconds / codegen_seconds if codegen_seconds > 0 else float("inf")
+        )
         report[app] = {
             "config": {
                 "num_gpus": spec["num_gpus"],
@@ -147,25 +192,38 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
             },
             "baseline_seconds": round(baseline_seconds, 6),
             "codegen_seconds": round(codegen_seconds, 6),
+            "trace_seconds": round(trace_seconds, 6),
+            "codegen_speedup": round(codegen_speedup, 3),
             "speedup": round(speedup, 3),
-            "checksum": codegen_checksum,
-            "checksums_equal": baseline_checksum == codegen_checksum,
+            "trace_vs_codegen": round(
+                codegen_seconds / trace_seconds if trace_seconds > 0 else float("inf"), 3
+            ),
+            "trace_hits": trace.trace_hits,
+            "trace_misses": trace.trace_misses,
+            "trace_hit_rate": round(trace.trace_hit_rate, 4),
+            "trace_replayed_tasks": trace.trace_replayed_tasks,
+            "checksum": trace.checksum,
+            "checksums_equal": baseline.checksum == codegen.checksum == trace.checksum,
             "differential_check": "passed",
         }
         print(
             f"[{app}] baseline {baseline_seconds:.4f}s  codegen "
-            f"{codegen_seconds:.4f}s  speedup {speedup:.2f}x",
+            f"{codegen_seconds:.4f}s ({codegen_speedup:.2f}x)  trace "
+            f"{trace_seconds:.4f}s ({speedup:.2f}x, hit rate "
+            f"{trace.trace_hit_rate:.2f})",
             flush=True,
         )
 
-    if not smoke and "cg" in report and report["cg"]["speedup"] < CG_SPEEDUP_THRESHOLD:
-        failures.append(
-            f"cg: speedup {report['cg']['speedup']}x below the "
-            f"{CG_SPEEDUP_THRESHOLD}x acceptance threshold"
-        )
+    if not smoke:
+        for app, threshold in SPEEDUP_THRESHOLDS.items():
+            if app in report and report[app]["speedup"] < threshold:
+                failures.append(
+                    f"{app}: trace speedup {report[app]['speedup']}x below the "
+                    f"{threshold}x acceptance threshold"
+                )
 
     payload = {
-        "benchmark": "wall-clock: seed interpreter vs codegen JIT backend",
+        "benchmark": "wall-clock: seed interpreter vs codegen JIT vs trace replay",
         "mode": "smoke" if smoke else "full",
         "repeats_per_mode": repeats,
         "python": platform.python_version(),
@@ -190,7 +248,7 @@ def main() -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="reduced sweep for CI: fewer repeats/iterations, no speedup gate",
+        help="reduced sweep for CI: fewer repeats/iterations, no speedup gates",
     )
     parser.add_argument(
         "--output",

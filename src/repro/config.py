@@ -1,7 +1,7 @@
 """Process-level configuration flags for the execution hot path.
 
-Two environment variables tune how the reproduction executes kernels;
-both are read lazily so tests and the wall-clock perf harness can flip
+Three environment variables tune how the reproduction executes kernels;
+all are read lazily so tests and the wall-clock perf harness can flip
 them between runs in one process:
 
 ``REPRO_KERNEL_BACKEND``
@@ -19,6 +19,18 @@ them between runs in one process:
     micro-changes remain unconditional (vectorised reduction folding,
     memoized StoreArgs, lazy hash caching) — the baseline was validated
     within a few percent of a checkout of the actual seed commit.
+
+``REPRO_TRACE``
+    ``1`` (default) enables the deferred task stream with iteration-trace
+    capture and replay (``repro.runtime.trace``): the Diffuse layer
+    buffers each epoch of the task stream (delimited by the scalar reads
+    and flushes the applications already perform), hashes its canonical
+    form, records the fully-resolved sequence of fused launches on the
+    first steady occurrence, and replays that :class:`ExecutionPlan`
+    directly through the task executor on every later occurrence —
+    bypassing window buffering, dependence analysis, memoization lookups
+    and per-task coherence recomputation.  ``0`` restores the eager
+    per-task submission path.
 """
 
 from __future__ import annotations
@@ -33,6 +45,9 @@ BACKENDS = ("codegen", "interpreter", "differential")
 
 #: Environment variable gating the hot-path caches.
 HOTPATH_CACHE_ENV_VAR = "REPRO_HOTPATH_CACHE"
+
+#: Environment variable gating trace capture and replay.
+TRACE_ENV_VAR = "REPRO_TRACE"
 
 
 def default_backend() -> str:
@@ -60,7 +75,27 @@ def hotpath_cache_enabled() -> bool:
     return _hotpath_cache_flag
 
 
+_trace_flag: bool | None = None
+
+
+def trace_enabled() -> bool:
+    """True unless ``REPRO_TRACE`` disables trace capture and replay.
+
+    Memoized like :func:`hotpath_cache_enabled`; the Diffuse layer
+    additionally samples it once per engine, so call
+    :func:`reload_flags` *and* build a fresh context after changing the
+    environment variable inside a running process.
+    """
+    global _trace_flag
+    if _trace_flag is None:
+        _trace_flag = os.environ.get(
+            TRACE_ENV_VAR, "1"
+        ).strip().lower() not in ("0", "off", "false")
+    return _trace_flag
+
+
 def reload_flags() -> None:
     """Re-read the memoized environment flags on next access."""
-    global _hotpath_cache_flag
+    global _hotpath_cache_flag, _trace_flag
     _hotpath_cache_flag = None
+    _trace_flag = None

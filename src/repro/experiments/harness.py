@@ -102,6 +102,11 @@ class RunResult:
     compile_seconds: float
     #: Scalar application checksum, for cross-configuration validation.
     checksum: float
+    #: Trace subsystem counters (zero when tracing is disabled).
+    trace_hits: int = 0
+    trace_misses: int = 0
+    trace_replayed_tasks: int = 0
+    trace_hit_rate: float = 0.0
 
     @property
     def throughput_per_gpu(self) -> float:
@@ -164,6 +169,10 @@ def run_application_experiment(
         warmup_seconds=warmup_seconds,
         compile_seconds=profiler.compile_seconds,
         checksum=checksum,
+        trace_hits=profiler.trace_hits,
+        trace_misses=profiler.trace_misses,
+        trace_replayed_tasks=profiler.trace_replayed_tasks,
+        trace_hit_rate=profiler.trace_hit_rate,
     )
 
 

@@ -10,7 +10,7 @@ Legion-like runtime (the "Unfused" baseline).
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -48,8 +48,13 @@ class RuntimeContext:
             opaque_registry=opaque_registry,
         )
         self.fusion_enabled = fusion
-        config = fusion_config or FusionConfig()
-        config.enable_fusion = fusion
+        # Copy the caller's config: mutating it in place would alias
+        # fusion state across every context sharing the object (e.g. the
+        # fused and unfused runs of a benchmark sweep).
+        if fusion_config is not None:
+            config = replace(fusion_config, enable_fusion=fusion)
+        else:
+            config = FusionConfig(enable_fusion=fusion)
         self.diffuse = DiffuseRuntime(
             runtime=self.legion,
             config=config,
@@ -148,6 +153,7 @@ class RuntimeContext:
 
     def attach(self, store: Store, data: np.ndarray) -> None:
         """Attach host data to a store (not a task launch)."""
+        self.diffuse.notify_host_write(store)
         self.legion.attach_array(store, data)
 
     # ------------------------------------------------------------------

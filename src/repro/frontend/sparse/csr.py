@@ -31,6 +31,16 @@ from repro.runtime.opaque import register_opaque_task
 # Opaque SpMV task: y = A @ x over the rows owned by each point task.
 # Argument order: indptr, indices, data, x, y.
 # ----------------------------------------------------------------------
+def _evict_oldest(cache: Dict, limit: int) -> None:
+    """Drop oldest-first entries until the cache is below its limit.
+
+    Dicts iterate in insertion order, so evicting ``next(iter(cache))``
+    is FIFO — live matrices (re-inserted on attach) keep their entries.
+    """
+    while len(cache) >= limit:
+        cache.pop(next(iter(cache)))
+
+
 #: (partition, point, store shape) -> row range.  Mirrors the executor's
 #: sub-store rect cache for the SpMV-internal row-range queries.
 _SPMV_ROWS_CACHE: Dict[Tuple, Tuple[int, int]] = {}
@@ -48,8 +58,7 @@ def _spmv_rows(task: IndexTask, point) -> Tuple[int, int]:
     if rows is None:
         rect = y_arg.partition.sub_store_rect(point, y_arg.store.shape)
         rows = (rect.lo[0], rect.hi[0])
-        while len(_SPMV_ROWS_CACHE) >= _SPMV_ROWS_CACHE_LIMIT:
-            _SPMV_ROWS_CACHE.pop(next(iter(_SPMV_ROWS_CACHE)))
+        _evict_oldest(_SPMV_ROWS_CACHE, _SPMV_ROWS_CACHE_LIMIT)
         _SPMV_ROWS_CACHE[key] = rows
     return rows
 
@@ -71,9 +80,7 @@ def _as_int_indices(array: np.ndarray) -> np.ndarray:
     if entry is not None and entry[0] is array:
         return entry[1]
     converted = array.astype(np.int64)
-    while len(_INT_INDEX_CACHE) >= _INT_INDEX_CACHE_LIMIT:
-        # Evict oldest-first so live matrices keep their entries.
-        _INT_INDEX_CACHE.pop(next(iter(_INT_INDEX_CACHE)))
+    _evict_oldest(_INT_INDEX_CACHE, _INT_INDEX_CACHE_LIMIT)
     _INT_INDEX_CACHE[id(array)] = (array, converted)
     return converted
 
@@ -109,8 +116,7 @@ def _row_plan(indptr: np.ndarray, indices: np.ndarray, row_lo: int, row_hi: int)
     # mask anyway, and the last real row's sum only gains + 0.0).
     pad_products = bool(len(offsets)) and int(offsets[-1]) >= hi - lo > 0
     plan = (lo, hi, cols, offsets, empty_mask, pad_products)
-    while len(_ROW_PLAN_CACHE) >= _ROW_PLAN_CACHE_LIMIT:
-        _ROW_PLAN_CACHE.pop(next(iter(_ROW_PLAN_CACHE)))
+    _evict_oldest(_ROW_PLAN_CACHE, _ROW_PLAN_CACHE_LIMIT)
     _ROW_PLAN_CACHE[key] = (indptr, plan)
     return plan
 
@@ -187,8 +193,7 @@ def _spmv_cost(task: IndexTask, point, buffers, machine: MachineConfig) -> float
         if entry is not None and entry[0] is indptr:
             return entry[1]
         seconds = _spmv_cost_uncached(task, indptr, row_lo, row_hi, rows, machine)
-        while len(_SPMV_COST_CACHE) >= _SPMV_COST_CACHE_LIMIT:
-            _SPMV_COST_CACHE.pop(next(iter(_SPMV_COST_CACHE)))
+        _evict_oldest(_SPMV_COST_CACHE, _SPMV_COST_CACHE_LIMIT)
         _SPMV_COST_CACHE[key] = (indptr, seconds)
         return seconds
     return _spmv_cost_uncached(task, indptr, row_lo, row_hi, rows, machine)

@@ -25,10 +25,12 @@ from repro.fusion.memoization import (
     canonicalize_window,
     resolve_temporaries,
 )
+from repro.config import trace_enabled
 from repro.kernel.compiler import JITCompiler
 from repro.kernel.generators import GeneratorRegistry, default_registry
 from repro.kernel.passes.pipeline import PassPipeline
 from repro.runtime.runtime import LegionRuntime
+from repro.runtime.trace import TraceController, TraceRecorder
 
 
 @dataclass
@@ -45,6 +47,10 @@ class FusionConfig:
     enable_temporary_elimination: bool = True
     #: Memoize the fusion analysis on canonical task streams.
     enable_memoization: bool = True
+    #: Defer the task stream into epochs and capture/replay execution
+    #: plans for repeated epochs (also gated by the ``REPRO_TRACE``
+    #: environment variable; requires fusion and memoization).
+    enable_tracing: bool = True
     #: Task-window sizing (paper Figure 9 reports the adaptive result).
     initial_window_size: int = 5
     max_window_size: int = 256
@@ -93,6 +99,18 @@ class DiffuseRuntime:
         self.cache = MemoizationCache()
         self.stats = FusionStatistics()
         self._charged_compile_keys: Set[Hashable] = set()
+        #: Deferred task stream with trace capture/replay, or None when
+        #: tracing is disabled (flag sampled once per engine, like the
+        #: hot-path caches are sampled once per context).
+        self.trace: Optional[TraceController] = None
+        if (
+            self.config.enable_fusion
+            and self.config.enable_memoization
+            and self.config.enable_tracing
+            and trace_enabled()
+        ):
+            self.trace = TraceController(self)
+        self._recorder: Optional[TraceRecorder] = None
 
     # ------------------------------------------------------------------
     # Task submission (the library-facing API).
@@ -104,17 +122,49 @@ class DiffuseRuntime:
             self.stats.forwarded_tasks += 1
             self.runtime.submit(task)
             return
+        if self.trace is not None:
+            self.trace.add(task)
+            return
+        self.window_submit(task)
+
+    def window_submit(self, task: IndexTask) -> None:
+        """Feed one task into the fusion window (the eager pipeline)."""
         self.window.add(task)
         if self.window.full:
             self._process_round()
 
     def flush_window(self) -> None:
-        """Send all pending tasks through fusion to the runtime."""
+        """Send all pending tasks through fusion to the runtime.
+
+        With tracing enabled this is an epoch boundary: the deferred
+        stream is either replayed from a captured plan or recorded while
+        it runs through the eager pipeline.
+        """
+        if self.trace is not None:
+            self.trace.boundary()
+            return
+        self.drain_window()
+
+    def drain_window(self) -> None:
+        """Process window rounds until the window is empty."""
         while not self.window.empty:
             self._process_round()
 
     # Alias matching the paper's pseudocode.
     flush = flush_window
+
+    # ------------------------------------------------------------------
+    # Trace capture hooks (driven by the TraceController).
+    # ------------------------------------------------------------------
+    def begin_capture(self, recorder: TraceRecorder) -> None:
+        """Route launches and charges of the current epoch to ``recorder``."""
+        self._recorder = recorder
+        self.runtime.trace_recorder = recorder
+
+    def end_capture(self) -> None:
+        """Stop routing launches to the epoch recorder."""
+        self._recorder = None
+        self.runtime.trace_recorder = None
 
     # ------------------------------------------------------------------
     # Future / scalar access (forces a flush like Legion futures do).
@@ -132,6 +182,18 @@ class DiffuseRuntime:
     def begin_iteration(self) -> None:
         """Mark an application iteration boundary in the profiler."""
         self.runtime.profiler.begin_iteration()
+
+    def notify_host_write(self, store: Store) -> None:
+        """A host-side write to ``store`` is about to happen.
+
+        With the deferred task stream a host write to a store referenced
+        by a buffered task would be reordered ahead of that task; force
+        an epoch boundary in that case (the eager pipeline needs no such
+        check because it never defers past a host interaction that the
+        applications perform).
+        """
+        if self.trace is not None and self.trace.references(store):
+            self.trace.boundary()
 
     # ------------------------------------------------------------------
     # One round of window processing.
@@ -204,6 +266,8 @@ class DiffuseRuntime:
             else self.config.analysis_seconds_per_task
         )
         seconds = per_task * analyzed_tasks
+        if self._recorder is not None:
+            self._recorder.note_analysis(seconds, replay)
         self.runtime.add_simulated_seconds(seconds)
         self.runtime.profiler.record_analysis_time(seconds)
         self.runtime.profiler.add_iteration_seconds(seconds)
@@ -215,6 +279,8 @@ class DiffuseRuntime:
             if key in self._charged_compile_keys:
                 return
             self._charged_compile_keys.add(key)
+        if self._recorder is not None:
+            self._recorder.note_compile(seconds)
         self.runtime.add_simulated_seconds(seconds)
         self.runtime.profiler.record_compile_time(seconds)
         self.runtime.profiler.add_iteration_seconds(seconds)

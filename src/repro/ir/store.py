@@ -33,6 +33,7 @@ class Store:
         "name",
         "_application_refs",
         "_runtime_refs",
+        "_pending_stream_refs",
         "_manager",
     )
 
@@ -50,6 +51,7 @@ class Store:
         self.name = name if name is not None else f"store{uid}"
         self._application_refs = 0
         self._runtime_refs = 0
+        self._pending_stream_refs = 0
         self._manager = manager
 
     # ------------------------------------------------------------------
@@ -103,15 +105,44 @@ class Store:
         """Number of live application references."""
         return self._application_refs
 
+    def add_pending_stream_reference(self) -> None:
+        """Record that a deferred (not yet analysed) task references this store.
+
+        The deferred task stream of the trace subsystem buffers whole
+        epochs of tasks before feeding them through the fusion window.
+        A store referenced by a still-buffered task must count as live
+        for temporary-store elimination — in the eager pipeline the
+        application handle used to build that later task would still
+        have been alive when the window was analysed, so this keeps the
+        deferred pipeline's liveness a faithful model of the eager one.
+        """
+        self._pending_stream_refs += 1
+
+    def remove_pending_stream_reference(self) -> None:
+        """Drop a deferred-task reference (the task entered the window)."""
+        if self._pending_stream_refs <= 0:
+            raise ValueError(f"{self} has no pending stream references to remove")
+        self._pending_stream_refs -= 1
+
     @property
     def runtime_references(self) -> int:
         """Number of live runtime references."""
         return self._runtime_refs
 
     @property
+    def pending_stream_references(self) -> int:
+        """Number of deferred (not yet analysed) tasks referencing this store."""
+        return self._pending_stream_refs
+
+    @property
     def has_live_application_references(self) -> bool:
-        """True when user code could still observe effects on this store."""
-        return self._application_refs > 0
+        """True when user code could still observe effects on this store.
+
+        Stores referenced by tasks still buffered in the deferred task
+        stream count as live: a later task reading the store is exactly
+        as observing as a live application handle.
+        """
+        return self._application_refs > 0 or self._pending_stream_refs > 0
 
     # ------------------------------------------------------------------
     # Identity semantics: two stores are the same object iff same uid.

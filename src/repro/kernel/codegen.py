@@ -151,6 +151,161 @@ def clear_function_cache() -> None:
 _IDENT_RE = re.compile(r"\W")
 
 
+# ----------------------------------------------------------------------
+# Single-use temporary folding.
+#
+# The composed kernels materialise every intermediate value: scalarised
+# temporaries become one generated statement each and surviving
+# task-local allocations become ``np.zeros_like`` + a full-array copy.
+# A temporary that is assigned once and consumed once can instead be
+# folded into its consumer's expression — the same NumPy operations run
+# in the same order on the same operands, so results stay bit-identical
+# (asserted by the differential backend on every invocation), while the
+# kernel executes fewer statements and, for folded allocations, skips
+# the zero-fill and the copy pass entirely.
+# ----------------------------------------------------------------------
+def _count_expr_refs(expr: Expr, buffer_loads, local_refs) -> None:
+    """Count Load/LocalRef occurrences (with multiplicity) in ``expr``."""
+    if isinstance(expr, Load):
+        buffer_loads[expr.buffer] = buffer_loads.get(expr.buffer, 0) + 1
+    elif isinstance(expr, LocalRef):
+        local_refs[expr.name] = local_refs.get(expr.name, 0) + 1
+    elif isinstance(expr, BinOp):
+        _count_expr_refs(expr.lhs, buffer_loads, local_refs)
+        _count_expr_refs(expr.rhs, buffer_loads, local_refs)
+    elif isinstance(expr, UnOp):
+        _count_expr_refs(expr.operand, buffer_loads, local_refs)
+
+
+def _transitive_refs(
+    expr: Expr, plan: Dict[Tuple[str, str], Expr]
+) -> Tuple[Set[str], Set[str]]:
+    """(buffers, locals) the expression reads once folded temps are inlined.
+
+    Folded names resolve recursively through their defining expressions;
+    the returned sets contain only names that will actually be evaluated
+    at the fold site, which is what the hazard analysis must guard.
+    """
+    loads: Dict[str, int] = {}
+    locals_: Dict[str, int] = {}
+    _count_expr_refs(expr, loads, locals_)
+    buffers: Set[str] = set()
+    local_refs: Set[str] = set()
+    for name in loads:
+        if ("b", name) in plan:
+            inner_buffers, inner_locals = _transitive_refs(plan[("b", name)], plan)
+            buffers |= inner_buffers
+            local_refs |= inner_locals
+        else:
+            buffers.add(name)
+    for name in locals_:
+        if ("l", name) in plan:
+            inner_buffers, inner_locals = _transitive_refs(plan[("l", name)], plan)
+            buffers |= inner_buffers
+            local_refs |= inner_locals
+        else:
+            local_refs.add(name)
+    return buffers, local_refs
+
+
+def _statement_refs(stmt) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """(buffer loads, local refs) of one loop statement's expression."""
+    loads: Dict[str, int] = {}
+    locals_: Dict[str, int] = {}
+    _count_expr_refs(stmt.expr, loads, locals_)
+    return loads, locals_
+
+
+def _fold_plan(function: Function, buffer_params: Set[str]) -> Dict[Tuple[str, str], Expr]:
+    """Decide which single-use temporaries fold into their consumer.
+
+    Returns ``(kind, name) -> defining expression`` where ``kind`` is
+    ``"l"`` for loop-local scalars and ``"b"`` for task-local (alloc'd)
+    buffers.  A temporary folds when it is defined exactly once, used
+    exactly once *after* its definition in the same loop, and no buffer
+    its (transitively folded) definition loads is written between the
+    definition and the use — folding moves evaluation to the use site,
+    so intervening writes would change the observed values.
+    """
+    alloc_names = {s.name for s in function.body if isinstance(s, Alloc)}
+    alloc_likes = {s.like for s in function.body if isinstance(s, Alloc)}
+
+    buffer_writes: Dict[str, int] = {}
+    buffer_loads: Dict[str, int] = {}
+    local_defs: Dict[str, int] = {}
+    local_uses: Dict[str, int] = {}
+    reduce_targets: Set[str] = set()
+    index_buffers: Set[str] = set()
+    loops = [stmt for stmt in function.body if isinstance(stmt, Loop)]
+    for loop in loops:
+        index_buffers.add(loop.index_buffer)
+        for inner in loop.body:
+            if isinstance(inner, Assign):
+                if inner.is_local:
+                    local_defs[inner.target] = local_defs.get(inner.target, 0) + 1
+                else:
+                    buffer_writes[inner.target] = buffer_writes.get(inner.target, 0) + 1
+                _count_expr_refs(inner.expr, buffer_loads, local_uses)
+            elif isinstance(inner, Reduce):
+                reduce_targets.add(inner.target)
+                _count_expr_refs(inner.expr, buffer_loads, local_uses)
+
+    plan: Dict[Tuple[str, str], Expr] = {}
+    for loop in loops:
+        body = loop.body
+        for index, stmt in enumerate(body):
+            if not isinstance(stmt, Assign):
+                continue
+            name = stmt.target
+            if stmt.is_local:
+                if local_defs.get(name) != 1 or local_uses.get(name) != 1:
+                    continue
+                kind = "l"
+            else:
+                if name not in alloc_names or name in buffer_params:
+                    continue
+                if buffer_writes.get(name) != 1 or buffer_loads.get(name) != 1:
+                    continue
+                if name in alloc_likes or name in index_buffers or name in reduce_targets:
+                    continue
+                kind = "b"
+
+            use_at = None
+            for later in range(index + 1, len(body)):
+                loads, locals_ = _statement_refs(body[later])
+                refs = locals_ if kind == "l" else loads
+                if name in refs:
+                    use_at = later
+                    break
+            if use_at is None:
+                continue
+
+            loaded, local_refs = _transitive_refs(stmt.expr, plan)
+            if kind == "b" and not loaded:
+                # A load-free definition may be zero-dimensional; the
+                # materialised buffer would have the allocation's full
+                # shape, so folding could change reduction semantics.
+                continue
+            hazard = False
+            for between in range(index + 1, use_at):
+                other = body[between]
+                if not isinstance(other, Assign):
+                    continue
+                # Folding moves evaluation to the use site: a write to
+                # any buffer — or a reassignment of any (unfolded) local
+                # — that the expression reads would change its value.
+                if other.is_local:
+                    if other.target in local_refs:
+                        hazard = True
+                        break
+                elif other.target in loaded:
+                    hazard = True
+                    break
+            if not hazard:
+                plan[(kind, name)] = stmt.expr
+    return plan
+
+
 class _NameTable:
     """Deterministic mapping from KIR names to Python identifiers."""
 
@@ -180,8 +335,17 @@ class _SourceWriter:
         return "\n".join(self.lines) + "\n"
 
 
-def _emit_expr(expr: Expr, names: _NameTable) -> str:
-    """Render an expression tree as Python source."""
+def _emit_expr(
+    expr: Expr,
+    names: _NameTable,
+    folded: Optional[Dict[Tuple[str, str], Expr]] = None,
+) -> str:
+    """Render an expression tree as Python source.
+
+    References to folded single-use temporaries are replaced by their
+    (recursively rendered) defining expressions; every rendered form is
+    self-delimiting, so substitution needs no extra parentheses.
+    """
     if isinstance(expr, Const):
         # repr() round-trips doubles exactly; np.float64 mirrors the
         # interpreter's Const evaluation.
@@ -189,15 +353,22 @@ def _emit_expr(expr: Expr, names: _NameTable) -> str:
     if isinstance(expr, ScalarRef):
         return names.get("s", expr.name)
     if isinstance(expr, Load):
+        if folded is not None and ("b", expr.buffer) in folded:
+            return _emit_expr(folded[("b", expr.buffer)], names, folded)
         return names.get("b", expr.buffer)
     if isinstance(expr, LocalRef):
+        if folded is not None and ("l", expr.name) in folded:
+            return _emit_expr(folded[("l", expr.name)], names, folded)
         return names.get("l", expr.name)
     if isinstance(expr, BinOp):
         return _BINOP_FMT[expr.op].format(
-            lhs=_emit_expr(expr.lhs, names), rhs=_emit_expr(expr.rhs, names)
+            lhs=_emit_expr(expr.lhs, names, folded),
+            rhs=_emit_expr(expr.rhs, names, folded),
         )
     if isinstance(expr, UnOp):
-        return _UNOP_FMT[expr.op].format(operand=_emit_expr(expr.operand, names))
+        return _UNOP_FMT[expr.op].format(
+            operand=_emit_expr(expr.operand, names, folded)
+        )
     raise CodegenError(f"unknown expression {expr!r}")
 
 
@@ -224,10 +395,18 @@ def generate_source(function: Function) -> str:
             ident = names.get("s", param.name)
             out.emit(f"{ident} = np.float64(scalars[{param.name!r}])")
 
+    # Single-use temporaries folded into their consumer expressions:
+    # their definitions are never emitted and folded allocations skip
+    # materialisation (no zero-fill, no copy pass).
+    folded = _fold_plan(function, buffer_names)
+    folded_allocs = {name for kind, name in folded if kind == "b"}
+
     # Task-local allocations.  The reference buffer must be materialised
     # (reduction targets are handed to the executor as None).
     for stmt in function.body:
         if not isinstance(stmt, Alloc):
+            continue
+        if stmt.name in folded_allocs:
             continue
         if stmt.like not in buffer_names:
             raise CodegenError(
@@ -245,7 +424,7 @@ def generate_source(function: Function) -> str:
         out.emit(f"{names.get('b', stmt.name)} = np.zeros_like({like})")
         buffer_names.add(stmt.name)
 
-    unknown_loads = function.buffers_read() - buffer_names
+    unknown_loads = function.buffers_read() - buffer_names - folded_allocs
     if unknown_loads:
         raise CodegenError(
             f"kernel '{function.name}' loads undeclared buffers "
@@ -270,7 +449,12 @@ def generate_source(function: Function) -> str:
         )
         for inner in stmt.body:
             if isinstance(inner, Assign):
-                value = _emit_expr(inner.expr, names)
+                fold_key = ("l" if inner.is_local else "b", inner.target)
+                if fold_key in folded:
+                    # Deferred: the expression is rendered inline at the
+                    # temporary's single use site.
+                    continue
+                value = _emit_expr(inner.expr, names, folded)
                 if inner.is_local:
                     out.emit(f"{names.get('l', inner.target)} = {value}")
                     continue
@@ -291,7 +475,7 @@ def generate_source(function: Function) -> str:
                     out.indent -= 1
                 out.emit(f"{target}[...] = {value}")
             elif isinstance(inner, Reduce):
-                value = _emit_expr(inner.expr, names)
+                value = _emit_expr(inner.expr, names, folded)
                 if index_ident:
                     # Mirror the interpreter's runtime broadcast exactly:
                     # a 0-d value (loop-invariant expression, or a load
@@ -305,18 +489,18 @@ def generate_source(function: Function) -> str:
                     out.emit(f"{tmp} = np.broadcast_to({tmp}, {index_ident}.shape)")
                     out.indent -= 1
                     value = tmp
-                folded = _REDUCE_FMT[inner.kind].format(value=value)
+                reduced = _REDUCE_FMT[inner.kind].format(value=value)
                 existing = partials.get(inner.target)
                 if existing is None:
                     acc = f"_p{len(partials)}"
                     partials[inner.target] = (acc, inner.kind)
-                    out.emit(f"{acc} = {folded}")
+                    out.emit(f"{acc} = {reduced}")
                 else:
                     acc, _ = existing
                     partials[inner.target] = (acc, inner.kind)
                     tmp = f"_r{temp_counter}"
                     temp_counter += 1
-                    out.emit(f"{tmp} = {folded}")
+                    out.emit(f"{tmp} = {reduced}")
                     out.emit(
                         f"{acc} = "
                         + _COMBINE_FMT[inner.kind].format(acc=acc, new=tmp)

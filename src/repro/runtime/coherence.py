@@ -149,6 +149,43 @@ class CoherenceTracker:
         return self.machine.allreduce_time(bytes_per_gpu)
 
     # ------------------------------------------------------------------
+    # Trace support: the per-epoch communication of a captured execution
+    # plan is only valid while the stores enter the epoch in the same
+    # layout, so the trace key embeds a snapshot of the entry states and
+    # replay applies the captured exit states wholesale instead of
+    # re-deriving them task by task.
+    # ------------------------------------------------------------------
+    def state_key(self, store: Store) -> Optional[Tuple]:
+        """A hashable snapshot of the store's current layout.
+
+        ``None`` for stores the tracker has never seen.  A tracked state
+        with no valid partition and no replicas behaves identically to
+        an untracked one for every cost decision, so it normalises to
+        ``None`` as well — otherwise the trace key of an epoch would
+        spuriously change between the first occurrence (stores unseen)
+        and the second (default states created by pricing), costing one
+        guaranteed extra re-record per application.
+        """
+        state = self._states.get(store.uid)
+        if state is None:
+            return None
+        if state.valid_partition is None and not state.replicated:
+            return None
+        return (state.valid_partition, state.valid_domain, state.replicated)
+
+    def apply_state_key(self, store: Store, key: Optional[Tuple]) -> None:
+        """Restore a layout snapshot produced by :meth:`state_key`."""
+        if key is None:
+            self._states.pop(store.uid, None)
+            return
+        state = self.state(store)
+        state.valid_partition, state.valid_domain, state.replicated = key
+
+    def add_bytes_moved(self, bytes_moved: float) -> None:
+        """Account data movement charged wholesale by a replayed plan."""
+        self.total_bytes_moved += bytes_moved
+
+    # ------------------------------------------------------------------
     # Host interactions.
     # ------------------------------------------------------------------
     def invalidate(self, store: Store) -> None:

@@ -72,6 +72,16 @@ class TaskExecutor:
             self._rect_table_cache[key] = table
         return table
 
+    def launch_rects(self, arg: StoreArg, task: IndexTask) -> List[Tuple[Rect, int]]:
+        """Public accessor for the per-rank rect table of one argument.
+
+        The trace recorder captures these tables into execution plans;
+        they depend only on (partition, launch domain, store shape), all
+        of which are part of the trace key, so a captured table is valid
+        for every replay of the plan.
+        """
+        return self._launch_rects(arg, task)
+
     # ------------------------------------------------------------------
     # Compiled (KIR) execution.
     # ------------------------------------------------------------------
@@ -203,16 +213,25 @@ class TaskExecutor:
                 continue
             arg = task.args[arg_index]
             redop = arg.redop if arg.redop is not None else ReductionOp.ADD
-            field = self.regions.field(arg.store)
-            accumulator = field.read_scalar()
-            if len(partials) == 1:
-                combined = redop.combine_scalars(accumulator, partials[0].value)
-            else:
-                values = np.fromiter(
-                    (partial.value for partial in partials),
-                    dtype=np.float64,
-                    count=len(partials),
-                )
-                folded = float(numpy_ufunc_for(redop).reduce(values))
-                combined = redop.combine_scalars(accumulator, folded)
-            field.write_scalar(combined)
+            self.apply_reduction_partials(arg.store, redop, partials)
+
+    def apply_reduction_partials(self, store, redop: ReductionOp, partials) -> None:
+        """Fold a launch's reduction partials into a target store.
+
+        Shared by the eager submit path and the trace-replay path (which
+        resolves targets through captured slot bindings instead of task
+        arguments).
+        """
+        field = self.regions.field(store)
+        accumulator = field.read_scalar()
+        if len(partials) == 1:
+            combined = redop.combine_scalars(accumulator, partials[0].value)
+        else:
+            values = np.fromiter(
+                (partial.value for partial in partials),
+                dtype=np.float64,
+                count=len(partials),
+            )
+            folded = float(numpy_ufunc_for(redop).reduce(values))
+            combined = redop.combine_scalars(accumulator, folded)
+        field.write_scalar(combined)

@@ -26,6 +26,9 @@ class TaskRecord:
     overhead_seconds: float
     launches: int
     fused: bool
+    #: True when the launch was replayed from a captured execution plan
+    #: (trace hit) rather than resolved through the full pipeline.
+    replayed: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -51,6 +54,12 @@ class Profiler:
         self.iterations: List[IterationRecord] = []
         self.compile_seconds: float = 0.0
         self.analysis_seconds: float = 0.0
+        #: Trace subsystem counters: epochs replayed from a captured plan
+        #: vs. epochs that went through the full resolve pipeline.
+        self.trace_hits: int = 0
+        self.trace_misses: int = 0
+        #: Library tasks whose resolution was bypassed by trace replay.
+        self.trace_replayed_tasks: int = 0
         self._current_iteration: Optional[IterationRecord] = None
 
     # ------------------------------------------------------------------
@@ -79,6 +88,7 @@ class Profiler:
         overhead_seconds: float,
         launches: int,
         fused: bool,
+        replayed: bool = False,
     ) -> TaskRecord:
         """Record one launched index task."""
         record = TaskRecord(
@@ -90,6 +100,7 @@ class Profiler:
             overhead_seconds=overhead_seconds,
             launches=launches,
             fused=fused,
+            replayed=replayed,
         )
         self.records.append(record)
         if self._current_iteration is not None:
@@ -101,6 +112,21 @@ class Profiler:
     def record_compile_time(self, seconds: float) -> None:
         """Attribute JIT compilation time (fusion path only)."""
         self.compile_seconds += seconds
+
+    def record_trace_hit(self, tasks: int) -> None:
+        """Record an epoch replayed from a captured execution plan."""
+        self.trace_hits += 1
+        self.trace_replayed_tasks += tasks
+
+    def record_trace_miss(self) -> None:
+        """Record an epoch that went through the full resolve pipeline."""
+        self.trace_misses += 1
+
+    @property
+    def trace_hit_rate(self) -> float:
+        """Fraction of trace-delimited epochs replayed from a plan."""
+        total = self.trace_hits + self.trace_misses
+        return self.trace_hits / total if total else 0.0
 
     def record_analysis_time(self, seconds: float) -> None:
         """Attribute fusion-analysis time."""
@@ -174,4 +200,7 @@ class Profiler:
         self.iterations.clear()
         self.compile_seconds = 0.0
         self.analysis_seconds = 0.0
+        self.trace_hits = 0
+        self.trace_misses = 0
+        self.trace_replayed_tasks = 0
         self._current_iteration = None

@@ -9,6 +9,7 @@ forwards (possibly fused) tasks, exactly as in the paper's architecture.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
@@ -20,13 +21,32 @@ from repro.kernel.generators import GeneratorRegistry, default_registry
 from repro.runtime.coherence import CoherenceTracker
 from repro.runtime.executor import TaskExecutor
 from repro.runtime.machine import MachineConfig
-from repro.runtime.opaque import OpaqueTaskRegistry, default_opaque_registry
+from repro.runtime.opaque import OpaqueTaskImpl, OpaqueTaskRegistry, default_opaque_registry
 from repro.runtime.profiler import Profiler
 from repro.runtime.region import RegionManager
 
 
 class UnexecutableTaskError(RuntimeError):
     """Raised when a task has neither a kernel generator nor an opaque impl."""
+
+
+@dataclass
+class ResolvedLaunch:
+    """A task whose execution resources and charges are fully resolved.
+
+    Splitting :meth:`LegionRuntime.submit` into *resolve* (coherence
+    pricing, kernel/opaque-impl selection) and *execute* lets a captured
+    :class:`~repro.runtime.trace.ExecutionPlan` drive execution directly:
+    replay skips resolution entirely and feeds pre-resolved launches to
+    the executor.
+    """
+
+    task: IndexTask
+    communication_seconds: float
+    #: Compiled kernel, or None for opaque execution.
+    kernel: Optional[CompiledKernel]
+    #: Opaque implementation, or None for compiled execution.
+    opaque_impl: Optional[OpaqueTaskImpl]
 
 
 class LegionRuntime:
@@ -51,43 +71,59 @@ class LegionRuntime:
         )
         self._task_variant_cache: Dict[Hashable, CompiledKernel] = {}
         self.simulated_seconds: float = 0.0
+        #: When set, every executed launch is reported to the recorder so
+        #: the trace subsystem can capture the epoch's execution plan.
+        self.trace_recorder = None
 
     # ------------------------------------------------------------------
     # Task submission.
     # ------------------------------------------------------------------
-    def submit(self, task: IndexTask, compiled: Optional[CompiledKernel] = None) -> float:
-        """Execute a task; returns the simulated seconds it took."""
+    def resolve(
+        self, task: IndexTask, compiled: Optional[CompiledKernel] = None
+    ) -> ResolvedLaunch:
+        """Price the task's communication and select its execution vehicle."""
         communication = self.coherence.communication_seconds(task)
-
         if compiled is not None:
-            kernel_seconds = self.executor.execute_compiled(task, compiled)
-            launches = compiled.launches
-        elif self._task_variant_compiler.can_compile(task):
+            return ResolvedLaunch(task, communication, kernel=compiled, opaque_impl=None)
+        if self._task_variant_compiler.can_compile(task):
             kernel = self._task_variant_kernel(task)
-            kernel_seconds = self.executor.execute_compiled(task, kernel)
-            launches = kernel.launches
-        elif self.opaque_registry.has(task.task_name):
+            return ResolvedLaunch(task, communication, kernel=kernel, opaque_impl=None)
+        if self.opaque_registry.has(task.task_name):
             impl = self.opaque_registry.get(task.task_name)
-            kernel_seconds = self.executor.execute_opaque(task, impl)
-            launches = 1
+            return ResolvedLaunch(task, communication, kernel=None, opaque_impl=impl)
+        raise UnexecutableTaskError(
+            f"task '{task.task_name}' has neither a kernel generator nor an "
+            "opaque implementation"
+        )
+
+    def execute_resolved(self, launch: ResolvedLaunch) -> float:
+        """Execute a resolved launch; returns the simulated seconds it took."""
+        task = launch.task
+        if launch.kernel is not None:
+            kernel_seconds = self.executor.execute_compiled(task, launch.kernel)
+            launches = launch.kernel.launches
         else:
-            raise UnexecutableTaskError(
-                f"task '{task.task_name}' has neither a kernel generator nor an "
-                "opaque implementation"
-            )
+            kernel_seconds = self.executor.execute_opaque(task, launch.opaque_impl)
+            launches = 1
 
         overhead = self.machine.task_launch_overhead
         record = self.profiler.record_task(
             name=task.task_name,
             constituents=task.constituent_count(),
             kernel_seconds=kernel_seconds,
-            communication_seconds=communication,
+            communication_seconds=launch.communication_seconds,
             overhead_seconds=overhead,
             launches=launches,
             fused=task.is_fused,
         )
         self.simulated_seconds += record.total_seconds
+        if self.trace_recorder is not None:
+            self.trace_recorder.record_launch(launch, record)
         return record.total_seconds
+
+    def submit(self, task: IndexTask, compiled: Optional[CompiledKernel] = None) -> float:
+        """Resolve and execute a task; returns the simulated seconds it took."""
+        return self.execute_resolved(self.resolve(task, compiled))
 
     def _task_variant_kernel(self, task: IndexTask) -> CompiledKernel:
         # The kernel binding depends on which arguments alias the same

@@ -1,0 +1,634 @@
+"""Deferred task stream with iteration-trace capture and replay.
+
+Iterative applications issue an isomorphic stream of tasks every
+iteration, delimited by the synchronisation points they already contain
+(scalar reads of dot products and convergence checks, explicit flushes
+at iteration boundaries).  The eager pipeline pays the full
+submit→buffer→canonicalize→coherence→profile cost for every task of
+every iteration even though the fusion *decisions* are memoized.  This
+module removes that overhead wholesale, in the spirit of Legion's
+dynamic tracing and Bohrium's runtime fusion of array operations:
+
+1. The Diffuse layer defers submitted tasks into an *epoch* buffer
+   instead of eagerly feeding its fusion window (the deferred task
+   stream).  An epoch ends at the next synchronisation point.
+2. At the boundary the epoch's task stream is canonicalized (store uids
+   and partitions replaced by De-Bruijn-style indices, exactly like the
+   memoization of paper Section 5.2) and hashed together with the
+   entry-coherence state of every store it touches.
+3. On the first *steady* occurrence of a key — an occurrence whose
+   window rounds were all memoization hits and charged no compile time —
+   a :class:`TraceRecorder` captures the fully-resolved sequence of
+   launches the pipeline produced (compiled kernels, per-rank rect
+   tables, coherence charges, analysis-time charges) as an immutable
+   :class:`ExecutionPlan`.
+4. Every later occurrence of the key bypasses window buffering,
+   dependence analysis, memoization lookups and per-task coherence
+   recomputation entirely: the plan is replayed straight through
+   :class:`~repro.runtime.executor.TaskExecutor`, binding the current
+   epoch's stores into the captured slots.
+
+Correctness notes:
+
+* Scalar task arguments (``alpha``/``beta`` of CG, fill constants) are
+  *not* baked into plans or keys — replay rebinds them from the current
+  epoch's tasks, so value-changing iterations replay the same plan.
+* Captured kernel times depend only on launch geometry, which is fully
+  covered by the key (shapes, partitions, launch domains).  Opaque
+  tasks (SpMV, GEMV) are re-executed through their cost model because
+  their time may depend on data (e.g. the sparsity pattern), which the
+  alpha-equivalent key deliberately does not capture.
+* Stores referenced by still-buffered tasks hold *pending stream
+  references* so temporary-store elimination sees the same liveness the
+  eager pipeline would have seen (see ``Store.add_pending_stream_reference``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.ir.domain import Domain, Rect
+from repro.ir.partition import Partition
+from repro.ir.privilege import Privilege, ReductionOp
+from repro.ir.store import Store
+from repro.ir.task import FusedTask, IndexTask, StoreArg
+
+#: Upper bound on the deferred epoch buffer.  An application that never
+#: synchronises still gets deterministic segmentation: the buffer is
+#: processed as a (partial) epoch whenever it reaches this many tasks.
+EPOCH_TASK_LIMIT = 2048
+
+
+# ----------------------------------------------------------------------
+# Canonical epoch streams.
+# ----------------------------------------------------------------------
+@dataclass
+class CanonicalStream:
+    """The canonical form of one epoch's task stream."""
+
+    #: Hashable trace key (stream structure + liveness + concrete
+    #: partitions + entry coherence are combined by the controller).
+    stream_key: Hashable
+    #: Canonical slot -> the store bound to it in this epoch.
+    slot_stores: List[Store]
+    #: Store uid -> canonical slot.
+    slot_of_uid: Dict[int, int]
+    #: Task uid -> position in the epoch stream.
+    position_of_uid: Dict[int, int]
+    #: Distinct partitions in first-appearance order (part of the key:
+    #: captured rect tables and communication are only valid for the
+    #: concrete partitions, not just their canonical indices).
+    partition_table: Tuple[Partition, ...]
+
+
+def canonicalize_stream(tasks: Sequence[IndexTask]) -> CanonicalStream:
+    """Canonicalize a whole epoch (cf. ``fusion.memoization``).
+
+    Liveness is sampled from *application* references only: pending
+    stream references held by the epoch buffer itself are excluded,
+    because they exist for every store of the stream by construction.
+    Together with the stream structure they fully determine the liveness
+    each window round will observe while the epoch is fed through the
+    pipeline (the application is blocked during the flush, so its
+    reference counts cannot change mid-feed).
+    """
+    from repro.fusion.memoization import task_signature
+
+    slot_of_uid: Dict[int, int] = {}
+    slot_stores: List[Store] = []
+    partition_indices: Dict[Partition, int] = {}
+    partition_table: List[Partition] = []
+    liveness: List[bool] = []
+    position_of_uid: Dict[int, int] = {}
+
+    canonical_tasks = []
+    for position, task in enumerate(tasks):
+        position_of_uid[task.uid] = position
+        name, domain_shape, args, scalar_count = task_signature(task)
+        canonical_args = []
+        for store, shape, partition, privilege, redop in args:
+            slot = slot_of_uid.get(store.uid)
+            if slot is None:
+                slot = len(slot_stores)
+                slot_of_uid[store.uid] = slot
+                slot_stores.append(store)
+                liveness.append(store.application_references > 0)
+            partition_index = partition_indices.get(partition)
+            if partition_index is None:
+                partition_index = len(partition_table)
+                partition_indices[partition] = partition_index
+                partition_table.append(partition)
+            canonical_args.append((slot, shape, partition_index, privilege, redop))
+        canonical_tasks.append((name, domain_shape, tuple(canonical_args), scalar_count))
+
+    stream_key = (tuple(canonical_tasks), tuple(liveness))
+    return CanonicalStream(
+        stream_key=stream_key,
+        slot_stores=slot_stores,
+        slot_of_uid=slot_of_uid,
+        position_of_uid=position_of_uid,
+        partition_table=tuple(partition_table),
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan steps.
+# ----------------------------------------------------------------------
+@dataclass
+class CompiledStep:
+    """One captured launch executed through a compiled kernel."""
+
+    kernel: object  # CompiledKernel (kept untyped to avoid an import cycle)
+    task_name: str
+    fused: bool
+    constituents: int
+    launches: int
+    num_points: int
+    #: (buffer name, canonical slot, is_reduction, per-rank rect table).
+    buffer_bindings: Tuple[Tuple[str, int, bool, list], ...]
+    #: (scalar name, index into the concatenated scalar tuple).
+    scalar_order: Tuple[Tuple[str, int], ...]
+    #: Epoch positions of the constituent tasks whose ``scalar_args``
+    #: concatenate (in order) into the kernel's scalar tuple.
+    scalar_positions: Tuple[int, ...]
+    #: Buffer name -> (canonical slot, reduction operator).
+    reductions: Dict[str, Tuple[int, ReductionOp]]
+    kernel_seconds: float
+    communication_seconds: float
+    overhead_seconds: float
+
+
+@dataclass
+class OpaqueStep:
+    """One captured launch executed through an opaque implementation."""
+
+    impl: object  # OpaqueTaskImpl
+    task_name: str
+    launch_domain: Domain
+    #: (canonical slot, partition, privilege, redop) per argument.
+    arg_specs: Tuple[Tuple[int, Partition, Privilege, Optional[ReductionOp]], ...]
+    #: Epoch position of the task (its scalar args are rebound at replay).
+    position: int
+    communication_seconds: float
+    overhead_seconds: float
+
+
+@dataclass
+class AnalysisCharge:
+    """An analysis-time charge, captured in stream order.
+
+    Replaying charges at their recorded positions (not as one lump sum)
+    reproduces the eager pipeline's exact floating-point accumulation
+    order, so per-iteration simulated seconds are bit-identical between
+    traced and untraced execution.
+    """
+
+    seconds: float
+
+
+@dataclass
+class ExecutionPlan:
+    """The immutable resolved execution of one canonical epoch."""
+
+    #: Launches and analysis charges in recorded (program) order.
+    steps: Tuple[object, ...]
+    #: Per-slot coherence snapshots at epoch exit, applied wholesale on
+    #: replay instead of re-deriving coherence transitions per task.
+    exit_states: Tuple[Tuple[int, Optional[Tuple]], ...]
+    #: Data movement charged during the recorded epoch.
+    bytes_moved: float
+    #: Total analysis-time charge of the recorded epoch (observability;
+    #: the per-step :class:`AnalysisCharge` entries carry the values).
+    analysis_seconds: float
+    #: FusionStatistics deltas of the recorded epoch.
+    forwarded_tasks: int
+    fused_tasks: int
+    fused_constituents: int
+    temporaries_eliminated: int
+    #: Number of library tasks the plan stands for.
+    task_count: int
+
+
+# ----------------------------------------------------------------------
+# Recording.
+# ----------------------------------------------------------------------
+class TraceRecorder:
+    """Captures the resolved launches of one epoch into a plan.
+
+    Installed as ``LegionRuntime.trace_recorder`` while the epoch's
+    tasks are fed through the eager pipeline; the runtime reports every
+    executed launch.  The recorder also observes the Diffuse layer's
+    analysis/compile charges to decide whether the epoch was *steady*
+    (all memoization hits, no fresh compilation) — only steady epochs
+    are worth capturing, and only their charges are safe to replay.
+    """
+
+    def __init__(self, runtime, stream: CanonicalStream) -> None:
+        self.runtime = runtime
+        self.stream = stream
+        self.steps: List[object] = []
+        self.steady = True
+        self.analysis_seconds = 0.0
+        self._start_bytes = runtime.coherence.total_bytes_moved
+
+    # -- notifications from the Diffuse layer ---------------------------
+    def note_analysis(self, seconds: float, replay: bool) -> None:
+        """Observe an analysis charge; a miss-rate charge spoils steadiness."""
+        self.analysis_seconds += seconds
+        self.steps.append(AnalysisCharge(seconds))
+        if not replay:
+            self.steady = False
+
+    def note_compile(self, seconds: float) -> None:
+        """Observe a fresh compile-time charge (never steady)."""
+        if seconds > 0.0:
+            self.steady = False
+
+    # -- notifications from the runtime ---------------------------------
+    def record_launch(self, launch, record) -> None:
+        """Capture one executed :class:`ResolvedLaunch` and its record."""
+        try:
+            if launch.kernel is not None:
+                step = self._compiled_step(launch, record)
+            else:
+                step = self._opaque_step(launch, record)
+        except KeyError:
+            # The launch referenced a store or constituent outside the
+            # canonicalized epoch; never let tracing break execution —
+            # simply refuse to capture this epoch.
+            self.steady = False
+            return
+        self.steps.append(step)
+
+    def _compiled_step(self, launch, record) -> CompiledStep:
+        task = launch.task
+        kernel = launch.kernel
+        binding = kernel.binding
+        executor = self.runtime.executor
+        slot_of_uid = self.stream.slot_of_uid
+        args = task.args
+
+        buffer_order = binding.buffer_order or tuple(binding.buffer_args.items())
+        bindings = []
+        num_points = 0
+        for name, arg_index in buffer_order:
+            arg = args[arg_index]
+            table = executor.launch_rects(arg, task)
+            num_points = len(table)
+            bindings.append(
+                (
+                    name,
+                    slot_of_uid[arg.store.uid],
+                    arg.privilege is Privilege.REDUCE,
+                    table,
+                )
+            )
+        if not bindings:
+            num_points = sum(1 for _ in task.launch_domain.points())
+
+        reductions: Dict[str, Tuple[int, ReductionOp]] = {}
+        for name, arg_index in binding.buffer_args.items():
+            arg = args[arg_index]
+            if arg.privilege is Privilege.REDUCE:
+                redop = arg.redop if arg.redop is not None else ReductionOp.ADD
+                reductions[name] = (slot_of_uid[arg.store.uid], redop)
+
+        constituents = (
+            task.constituents if isinstance(task, FusedTask) else (task,)
+        )
+        position_of_uid = self.stream.position_of_uid
+        scalar_positions = tuple(position_of_uid[t.uid] for t in constituents)
+        scalar_order = binding.scalar_order or tuple(binding.scalar_args.items())
+
+        bindings, num_points = self._batch_whole_domain(
+            bindings, num_points, reductions
+        )
+
+        return CompiledStep(
+            kernel=kernel,
+            task_name=task.task_name,
+            fused=task.is_fused,
+            constituents=task.constituent_count(),
+            launches=record.launches,
+            num_points=num_points,
+            buffer_bindings=tuple(bindings),
+            scalar_order=tuple(scalar_order),
+            scalar_positions=scalar_positions,
+            reductions=reductions,
+            kernel_seconds=record.kernel_seconds,
+            communication_seconds=record.communication_seconds,
+            overhead_seconds=record.overhead_seconds,
+        )
+
+    @staticmethod
+    def _batch_whole_domain(bindings, num_points, reductions):
+        """Collapse a purely element-wise launch into one whole-array call.
+
+        When every buffer's rect table tiles its full (1-D) store
+        contiguously in rank order and the kernel performs no
+        reductions, executing the closure once over the full backing
+        arrays is element-for-element identical to executing it per
+        point (NumPy ufuncs are elementwise, the tiles are disjoint and
+        cover the stores).  Replay then pays one set of ufunc calls per
+        epoch instead of one per launch point — the dominant cost of
+        long fusible chains like Black-Scholes.  The modelled kernel
+        time is untouched: it was captured from the per-point execution.
+        """
+        if reductions or num_points <= 1 or not bindings:
+            return tuple(bindings), num_points
+        batched = []
+        for name, slot, is_reduction, table in bindings:
+            if len(table) != num_points:
+                return tuple(bindings), num_points
+            cursor = 0
+            for rect, _volume in table:
+                if len(rect.lo) != 1 or rect.lo[0] != cursor:
+                    return tuple(bindings), num_points
+                cursor = rect.hi[0]
+            full_rect = Rect((0,), (cursor,))
+            batched.append((name, slot, is_reduction, [(full_rect, cursor)]))
+        return tuple(batched), 1
+
+    def _opaque_step(self, launch, record) -> OpaqueStep:
+        task = launch.task
+        slot_of_uid = self.stream.slot_of_uid
+        arg_specs = tuple(
+            (slot_of_uid[arg.store.uid], arg.partition, arg.privilege, arg.redop)
+            for arg in task.args
+        )
+        return OpaqueStep(
+            impl=launch.opaque_impl,
+            task_name=task.task_name,
+            launch_domain=task.launch_domain,
+            arg_specs=arg_specs,
+            position=self.stream.position_of_uid[task.uid],
+            communication_seconds=record.communication_seconds,
+            overhead_seconds=record.overhead_seconds,
+        )
+
+    # -- plan construction ----------------------------------------------
+    def build_plan(self, stats_deltas: Tuple[int, int, int, int]) -> ExecutionPlan:
+        """Freeze the captured epoch into an immutable plan."""
+        coherence = self.runtime.coherence
+        exit_states = tuple(
+            (slot, coherence.state_key(store))
+            for slot, store in enumerate(self.stream.slot_stores)
+        )
+        forwarded, fused, fused_constituents, temporaries = stats_deltas
+        return ExecutionPlan(
+            steps=tuple(self.steps),
+            exit_states=exit_states,
+            bytes_moved=coherence.total_bytes_moved - self._start_bytes,
+            analysis_seconds=self.analysis_seconds,
+            forwarded_tasks=forwarded,
+            fused_tasks=fused,
+            fused_constituents=fused_constituents,
+            temporaries_eliminated=temporaries,
+            task_count=len(self.stream.position_of_uid),
+        )
+
+
+# ----------------------------------------------------------------------
+# Replay.
+# ----------------------------------------------------------------------
+def execute_plan(
+    plan: ExecutionPlan,
+    engine,
+    slot_stores: Sequence[Store],
+    tasks: Sequence[IndexTask],
+) -> None:
+    """Replay a captured plan against the current epoch's stores.
+
+    ``tasks`` is the current epoch's stream (program order); it supplies
+    the scalar arguments, which are rebound on every replay.
+    """
+    runtime = engine.runtime
+    executor = runtime.executor
+    regions = runtime.regions
+    profiler = runtime.profiler
+
+    for step in plan.steps:
+        if isinstance(step, AnalysisCharge):
+            runtime.add_simulated_seconds(step.seconds)
+            profiler.record_analysis_time(step.seconds)
+            profiler.add_iteration_seconds(step.seconds)
+            continue
+        if isinstance(step, CompiledStep):
+            scalars: Dict[str, float] = {}
+            if step.scalar_order:
+                flat: List[float] = []
+                for position in step.scalar_positions:
+                    flat.extend(tasks[position].scalar_args)
+                for name, index in step.scalar_order:
+                    scalars[name] = flat[index]
+            _replay_compiled(step, executor, regions, slot_stores, scalars)
+            record = profiler.record_task(
+                name=step.task_name,
+                constituents=step.constituents,
+                kernel_seconds=step.kernel_seconds,
+                communication_seconds=step.communication_seconds,
+                overhead_seconds=step.overhead_seconds,
+                launches=step.launches,
+                fused=step.fused,
+                replayed=True,
+            )
+        else:
+            task = _rebuild_opaque_task(step, slot_stores, tasks)
+            kernel_seconds = executor.execute_opaque(task, step.impl)
+            record = profiler.record_task(
+                name=step.task_name,
+                constituents=1,
+                kernel_seconds=kernel_seconds,
+                communication_seconds=step.communication_seconds,
+                overhead_seconds=step.overhead_seconds,
+                launches=1,
+                fused=False,
+                replayed=True,
+            )
+        runtime.simulated_seconds += record.total_seconds
+
+    # Apply the captured coherence transitions wholesale.
+    coherence = runtime.coherence
+    for slot, state_key in plan.exit_states:
+        coherence.apply_state_key(slot_stores[slot], state_key)
+    if plan.bytes_moved:
+        coherence.add_bytes_moved(plan.bytes_moved)
+
+    stats = engine.stats
+    stats.forwarded_tasks += plan.forwarded_tasks
+    stats.fused_tasks += plan.fused_tasks
+    stats.fused_constituents += plan.fused_constituents
+    stats.temporaries_eliminated += plan.temporaries_eliminated
+
+
+def _replay_compiled(
+    step: CompiledStep,
+    executor,
+    regions,
+    slot_stores: Sequence[Store],
+    scalars: Dict[str, float],
+) -> None:
+    """Run a compiled step's kernel over every launch point."""
+    prepared = tuple(
+        (
+            name,
+            None if is_reduction else regions.field(slot_stores[slot]),
+            is_reduction,
+            table,
+        )
+        for name, slot, is_reduction, table in step.buffer_bindings
+    )
+    kernel_fn = step.kernel.executor
+    reductions = step.reductions
+    totals: Dict[str, list] = {}
+    buffers: Dict[str, Optional[object]] = {}
+    for rank in range(step.num_points):
+        for name, field, is_reduction, table in prepared:
+            if is_reduction:
+                buffers[name] = None
+            else:
+                buffers[name] = field.view(table[rank][0])
+        partials = kernel_fn(buffers, scalars)
+        if partials:
+            for name, partial in partials.items():
+                if name in reductions:
+                    totals.setdefault(name, []).append(partial)
+    for name, partials in totals.items():
+        slot, redop = reductions[name]
+        executor.apply_reduction_partials(slot_stores[slot], redop, partials)
+
+
+def _rebuild_opaque_task(
+    step: OpaqueStep,
+    slot_stores: Sequence[Store],
+    tasks: Sequence[IndexTask],
+) -> IndexTask:
+    """Reconstruct an opaque launch's task with the current epoch's stores."""
+    args = tuple(
+        StoreArg(slot_stores[slot], partition, privilege, redop)
+        for slot, partition, privilege, redop in step.arg_specs
+    )
+    return IndexTask(
+        task_name=step.task_name,
+        launch_domain=step.launch_domain,
+        args=args,
+        scalar_args=tasks[step.position].scalar_args,
+    )
+
+
+# ----------------------------------------------------------------------
+# The controller: deferred stream + trace cache.
+# ----------------------------------------------------------------------
+class TraceController:
+    """Owns the deferred epoch buffer and the plan cache of one engine."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.cache: Dict[Hashable, ExecutionPlan] = {}
+        self._pending: List[IndexTask] = []
+        #: Plans captured / replayed (observability; the profiler holds
+        #: the canonical hit/miss counters).
+        self.captured_plans = 0
+        self.replayed_epochs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of tasks buffered in the current epoch."""
+        return len(self._pending)
+
+    def add(self, task: IndexTask) -> None:
+        """Defer one submitted task into the current epoch.
+
+        References are taken per *argument* (not per distinct store):
+        add/remove are symmetric, so the per-task dedup of
+        ``task.stores()`` would only cost allocations on the hot path.
+        """
+        for arg in task.args:
+            arg.store.add_pending_stream_reference()
+        self._pending.append(task)
+        if len(self._pending) >= EPOCH_TASK_LIMIT:
+            self.boundary()
+
+    def references(self, store: Store) -> bool:
+        """True when a buffered task touches ``store``.
+
+        Used by host-side mutations (``attach``) to decide whether they
+        must force an epoch boundary to preserve program order.  The
+        pending-stream counter maintained by :meth:`add` answers this in
+        O(1); it can over-approximate when several engines buffer tasks
+        on the same store, which only makes the forced boundary (a
+        no-op for the uninvolved engine) conservative.
+        """
+        return store.pending_stream_references > 0
+
+    # ------------------------------------------------------------------
+    def boundary(self) -> None:
+        """Process the buffered epoch (replay a plan or record one)."""
+        engine = self.engine
+        if not self._pending:
+            engine.drain_window()
+            return
+        tasks = self._pending
+        self._pending = []
+
+        stream = canonicalize_stream(tasks)
+        coherence = engine.runtime.coherence
+        entry_states = tuple(
+            coherence.state_key(store) for store in stream.slot_stores
+        )
+        key = (stream.stream_key, stream.partition_table, entry_states)
+
+        profiler = engine.runtime.profiler
+        plan = self.cache.get(key)
+        if plan is not None:
+            profiler.record_trace_hit(len(tasks))
+            self.replayed_epochs += 1
+            try:
+                execute_plan(plan, engine, stream.slot_stores, tasks)
+            finally:
+                self._release(tasks, 0)
+            return
+
+        profiler.record_trace_miss()
+        recorder = TraceRecorder(engine.runtime, stream)
+        stats = engine.stats
+        stats_before = (
+            stats.forwarded_tasks,
+            stats.fused_tasks,
+            stats.fused_constituents,
+            stats.temporaries_eliminated,
+        )
+        engine.begin_capture(recorder)
+        fed = 0
+        try:
+            for task in tasks:
+                for arg in task.args:
+                    arg.store.remove_pending_stream_reference()
+                fed += 1
+                engine.window_submit(task)
+            engine.drain_window()
+        finally:
+            engine.end_capture()
+            self._release(tasks, fed)
+
+        captured_launches = any(
+            not isinstance(step, AnalysisCharge) for step in recorder.steps
+        )
+        if recorder.steady and captured_launches:
+            stats_deltas = (
+                stats.forwarded_tasks - stats_before[0],
+                stats.fused_tasks - stats_before[1],
+                stats.fused_constituents - stats_before[2],
+                stats.temporaries_eliminated - stats_before[3],
+            )
+            self.cache[key] = recorder.build_plan(stats_deltas)
+            self.captured_plans += 1
+
+    @staticmethod
+    def _release(tasks: Sequence[IndexTask], already_fed: int) -> None:
+        """Drop the pending references of tasks not yet handed on."""
+        for task in tasks[already_fed:]:
+            for arg in task.args:
+                arg.store.remove_pending_stream_reference()

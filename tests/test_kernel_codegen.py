@@ -343,11 +343,18 @@ class TestCompileOnce:
             compilations = compiler.stats.compilations
             cache_size = compiler.cache_size
             hits_before = context.diffuse.cache.hits
+            trace_hits_before = context.profiler.trace_hits
             assert compilations > 0
-            app.run(5)  # replay rounds: memoization hits only
+            app.run(5)  # replay rounds: memoization or trace hits only
             assert compiler.stats.compilations == compilations
             assert compiler.cache_size == cache_size
-            assert context.diffuse.cache.hits > hits_before
+            # Repeated rounds are absorbed either by the memoization
+            # cache or — once an epoch's plan is captured — by trace
+            # replay, which bypasses the memoization lookup entirely.
+            assert (
+                context.diffuse.cache.hits > hits_before
+                or context.profiler.trace_hits > trace_hits_before
+            )
             # Each cached canonical key was compiled exactly once.
             assert compiler.stats.compilations >= compiler.cache_size
             assert compiler.stats.cache_hits > 0
@@ -437,3 +444,177 @@ class TestRegionViewCache:
         fresh = field.view(rect)
         assert fresh is not first
         np.testing.assert_array_equal(fresh, field.data[2:6])
+
+
+class TestSingleUseTemporaryFolding:
+    """Single-use temporaries fold into their consumer expressions.
+
+    The generated source must skip the definition statement (and, for
+    task-local allocations, the zeros_like materialisation and the copy
+    pass) while staying bit-identical to the interpreter — folding only
+    reorders *where* the same NumPy expression is evaluated, never what
+    it computes.
+    """
+
+    def _alloc_chain(self, middle=()):
+        """t = x * y (t alloc'd), [middle...], out = t + y."""
+        body = (
+            (Alloc(name="t", like="x"),)
+            + (
+                Loop(
+                    index_buffer="x",
+                    body=(
+                        Assign(
+                            target="t",
+                            expr=KernelBuilder.mul("x", "y"),
+                        ),
+                    )
+                    + tuple(middle)
+                    + (
+                        Assign(
+                            target="out",
+                            expr=KernelBuilder.add(Load("t"), Load("y")),
+                        ),
+                    ),
+                ),
+            )
+        )
+        return Function(
+            name="fold_alloc",
+            params=(Param.buffer("x"), Param.buffer("y"), Param.buffer("out")),
+            body=body,
+        )
+
+    def test_single_use_local_folded(self):
+        builder = KernelBuilder("fold_local")
+        builder.buffers("x", "y", "out")
+        builder.loop("out")
+        local = builder.let("t", KernelBuilder.mul("x", "y"))
+        builder.assign("out", KernelBuilder.add(local, "y"))
+        builder.end_loop()
+        function = builder.build()
+        source = generate_source(function)
+        # No local definition statement survives: the expression is
+        # rendered inline at its single use.
+        assert " = " in source
+        assert not any(
+            line.strip().startswith("_l") for line in source.splitlines()
+        ), source
+        rng = np.random.default_rng(3)
+        _assert_identical(function, *_make_buffers(function, rng))
+
+    def test_multi_use_local_kept(self):
+        builder = KernelBuilder("keep_local")
+        builder.buffers("x", "out")
+        builder.loop("out")
+        local = builder.let("t", KernelBuilder.mul("x", "x"))
+        builder.assign("out", KernelBuilder.add(local, local))
+        builder.end_loop()
+        function = builder.build()
+        source = generate_source(function)
+        assert any(
+            line.strip().startswith("_l") for line in source.splitlines()
+        ), source
+        rng = np.random.default_rng(4)
+        _assert_identical(function, *_make_buffers(function, rng))
+
+    def test_single_use_alloc_folded(self):
+        function = self._alloc_chain()
+        source = generate_source(function)
+        assert "zeros_like" not in source, source
+        rng = np.random.default_rng(5)
+        _assert_identical(function, *_make_buffers(function, rng))
+
+    def test_intervening_write_prevents_folding(self):
+        # t = x * y; y[...] = x; out = t + y — folding t would read the
+        # *new* y, so t must stay materialised.
+        middle = (Assign(target="y", expr=Load("x")),)
+        function = self._alloc_chain(middle)
+        source = generate_source(function)
+        assert "zeros_like" in source, source
+        rng = np.random.default_rng(6)
+        _assert_identical(function, *_make_buffers(function, rng))
+
+    def test_load_free_alloc_not_folded(self):
+        # A definition without any buffer load may evaluate to a 0-d
+        # value; the materialised buffer has full shape, so folding
+        # could change downstream reduction semantics.
+        function = Function(
+            name="scalar_alloc",
+            params=(Param.buffer("x"), Param.buffer("acc")),
+            body=(
+                Alloc(name="t", like="x"),
+                Loop(
+                    index_buffer="x",
+                    body=(
+                        Assign(target="t", expr=KernelBuilder.mul(2.0, 3.0)),
+                        Reduce(target="acc", kind=ReduceKind.SUM, expr=Load("t")),
+                    ),
+                ),
+            ),
+        )
+        source = generate_source(function)
+        assert "zeros_like" in source, source
+        buffers = {"x": np.arange(8.0), "acc": None}
+        _assert_identical(function, buffers, {})
+
+    def test_fused_application_kernels_still_identical(self, monkeypatch):
+        """End-to-end: folding leaves app checksums bit-identical."""
+        scale = ExperimentScale({"elements_per_gpu": 128}, 4e-5, 3, 2)
+        results = {}
+        try:
+            for backend in ("interpreter", "codegen"):
+                monkeypatch.setenv("REPRO_KERNEL_BACKEND", backend)
+                config.reload_flags()
+                results[backend] = run_application_experiment(
+                    "black-scholes", num_gpus=4, fusion=True, scale=scale
+                ).checksum
+        finally:
+            # monkeypatch restores the environment after the test; the
+            # memoized flag must be re-read from the restored value.
+            monkeypatch.undo()
+            config.reload_flags()
+        assert results["interpreter"] == results["codegen"]
+
+    def test_local_reassignment_prevents_folding(self):
+        # t = l * y with l reassigned between t's definition and use:
+        # folding t to the use site would read the *new* l.
+        from repro.kernel.kir import BinOp, BinOpKind, LocalRef
+
+        function = Function(
+            name="local_hazard",
+            params=(
+                Param.buffer("x"),
+                Param.buffer("y"),
+                Param.buffer("z"),
+                Param.buffer("out"),
+            ),
+            body=(
+                Loop(
+                    index_buffer="out",
+                    body=(
+                        Assign(target="l", expr=Load("x"), is_local=True),
+                        Assign(
+                            target="t",
+                            expr=BinOp(BinOpKind.MUL, LocalRef("l"), Load("y")),
+                            is_local=True,
+                        ),
+                        Assign(target="l", expr=Load("z"), is_local=True),
+                        Assign(
+                            target="out",
+                            expr=BinOp(BinOpKind.ADD, LocalRef("t"), LocalRef("l")),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        rng = np.random.default_rng(9)
+        buffers, scalars = _make_buffers(function, rng)
+        _assert_identical(function, buffers, scalars)
+        # And the expected value is the unfolded one: out = x*y + z.
+        executor = lower(function, KernelBinding(), backend="codegen")
+        local = {name: array.copy() for name, array in buffers.items()}
+        executor(local, {})
+        np.testing.assert_array_equal(
+            local["out"], buffers["x"] * buffers["y"] + buffers["z"]
+        )
