@@ -20,18 +20,32 @@ enabled) under three configurations:
     the full pipeline every iteration.
 
 ``trace``
-    ``codegen`` plus ``REPRO_TRACE=1``: the deferred task stream with
-    iteration-trace capture and replay — repeated epochs bypass window
+    ``codegen`` plus ``REPRO_TRACE=1`` with ``REPRO_WORKERS=1`` and
+    ``REPRO_NORMALIZE=0``: the PR-2 path — repeated epochs bypass window
     buffering, fusion analysis, memoization lookups and per-task
-    coherence recomputation and replay a captured execution plan.
+    coherence recomputation and replay a captured execution plan, step
+    by step with the PR-2 kernel shapes.
+
+``scheduler``
+    ``trace`` plus the PR-3 plan scheduler: ``REPRO_WORKERS=4`` executes
+    each captured plan through its dependence partition (independent
+    steps overlap on the worker pool) and ``REPRO_NORMALIZE=1`` enables
+    the algebraic-normalisation/CSE improvements (bit-exact erf/negation
+    rewrites, value-deduplicated scalar parameters) that ship with it.
+
+The ``scheduler`` mode is additionally timed against ``trace`` on a
+kernel-dominated gate configuration (Black-Scholes with a large batch,
+where the deduplicated transcendentals dominate); full mode enforces a
+>= 1.2x scheduler-over-trace speedup there.
 
 Before timing, a differential pass (``REPRO_KERNEL_BACKEND=differential``
-with tracing enabled, so replayed epochs are checked too) runs every
-application once with both backends on every kernel invocation and
-aborts on any bitwise divergence; checksum equality between all timed
-runs is asserted as well.  Trace hit counts and hit rates are recorded,
-and every iterative app must report >0 trace hits.  Results are written
-to ``BENCH_wallclock.json``.
+with tracing and the scheduler enabled, so replayed/scheduled epochs are
+checked too) runs every application once with both backends on every
+kernel invocation and aborts on any bitwise divergence; checksum
+equality between all timed runs is asserted as well.  Trace hit counts,
+hit rates and plan-scheduler statistics (DAG width, worker utilisation)
+are recorded, and every iterative app must report >0 trace hits.
+Results are written to ``BENCH_wallclock.json``.
 
 Usage::
 
@@ -80,27 +94,54 @@ MODES = {
         "REPRO_KERNEL_BACKEND": "interpreter",
         "REPRO_HOTPATH_CACHE": "0",
         "REPRO_TRACE": "0",
+        "REPRO_WORKERS": "1",
+        "REPRO_NORMALIZE": "0",
     },
     "codegen": {
         "REPRO_KERNEL_BACKEND": "codegen",
         "REPRO_HOTPATH_CACHE": "1",
         "REPRO_TRACE": "0",
+        "REPRO_WORKERS": "1",
+        "REPRO_NORMALIZE": "0",
     },
     "trace": {
         "REPRO_KERNEL_BACKEND": "codegen",
         "REPRO_HOTPATH_CACHE": "1",
         "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "1",
+        "REPRO_NORMALIZE": "0",
+    },
+    "scheduler": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_NORMALIZE": "1",
     },
     "differential": {
         "REPRO_KERNEL_BACKEND": "differential",
         "REPRO_HOTPATH_CACHE": "1",
         "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_NORMALIZE": "1",
     },
 }
 
 #: Acceptance thresholds on the trace-mode end-to-end speedup over the
 #: seed baseline (full mode only).
 SPEEDUP_THRESHOLDS = {"cg": 3.0, "black-scholes": 2.5}
+
+#: Scheduler gate: a kernel-dominated configuration where the plan
+#: scheduler's dispatch path plus the normalisation satellite must beat
+#: the PR-2 trace path end to end (full mode only).
+SCHEDULER_GATE_APP = "black-scholes"
+SCHEDULER_GATE_CONFIG = dict(
+    num_gpus=8, iterations=24, warmup=3, app_kwargs={"elements_per_gpu": 16384}
+)
+SCHEDULER_GATE_SMOKE_CONFIG = dict(
+    num_gpus=4, iterations=6, warmup=2, app_kwargs={"elements_per_gpu": 4096}
+)
+SCHEDULER_SPEEDUP_THRESHOLD = 1.2
 
 
 def _set_mode(mode: str) -> None:
@@ -163,8 +204,10 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
         baseline_seconds, baseline = _measure(app, spec, "baseline", repeats)
         print(f"[{app}] timing codegen backend (trace off) ...", flush=True)
         codegen_seconds, codegen = _measure(app, spec, "codegen", repeats)
-        print(f"[{app}] timing trace replay ...", flush=True)
+        print(f"[{app}] timing trace replay (PR-2 serial path) ...", flush=True)
         trace_seconds, trace = _measure(app, spec, "trace", repeats)
+        print(f"[{app}] timing plan scheduler ...", flush=True)
+        scheduler_seconds, scheduler = _measure(app, spec, "scheduler", repeats)
 
         if baseline.checksum != codegen.checksum:
             failures.append(
@@ -176,12 +219,27 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
                 f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
                 f"vs trace {trace.checksum!r})"
             )
+        if baseline.checksum != scheduler.checksum:
+            failures.append(
+                f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
+                f"vs scheduler {scheduler.checksum!r})"
+            )
         if trace.trace_hits == 0:
             failures.append(f"{app}: trace mode reported zero trace hits")
+        if scheduler.trace_hits == 0:
+            failures.append(f"{app}: scheduler mode reported zero trace hits")
+        if scheduler.plan_replays == 0:
+            failures.append(f"{app}: scheduler mode never used the plan scheduler")
 
         speedup = baseline_seconds / trace_seconds if trace_seconds > 0 else float("inf")
         codegen_speedup = (
             baseline_seconds / codegen_seconds if codegen_seconds > 0 else float("inf")
+        )
+        scheduler_speedup = (
+            baseline_seconds / scheduler_seconds if scheduler_seconds > 0 else float("inf")
+        )
+        all_checksums_equal = (
+            baseline.checksum == codegen.checksum == trace.checksum == scheduler.checksum
         )
         report[app] = {
             "config": {
@@ -193,26 +251,82 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
             "baseline_seconds": round(baseline_seconds, 6),
             "codegen_seconds": round(codegen_seconds, 6),
             "trace_seconds": round(trace_seconds, 6),
+            "scheduler_seconds": round(scheduler_seconds, 6),
             "codegen_speedup": round(codegen_speedup, 3),
             "speedup": round(speedup, 3),
+            "scheduler_speedup": round(scheduler_speedup, 3),
             "trace_vs_codegen": round(
                 codegen_seconds / trace_seconds if trace_seconds > 0 else float("inf"), 3
+            ),
+            "scheduler_vs_trace": round(
+                trace_seconds / scheduler_seconds if scheduler_seconds > 0 else float("inf"),
+                3,
             ),
             "trace_hits": trace.trace_hits,
             "trace_misses": trace.trace_misses,
             "trace_hit_rate": round(trace.trace_hit_rate, 4),
             "trace_replayed_tasks": trace.trace_replayed_tasks,
+            "plan_replays": scheduler.plan_replays,
+            "plan_width_max": scheduler.plan_width_max,
+            "plan_average_width": round(scheduler.plan_average_width, 3),
+            "worker_utilization": round(scheduler.worker_utilization, 4),
             "checksum": trace.checksum,
-            "checksums_equal": baseline.checksum == codegen.checksum == trace.checksum,
+            "checksums_equal": all_checksums_equal,
             "differential_check": "passed",
         }
         print(
             f"[{app}] baseline {baseline_seconds:.4f}s  codegen "
             f"{codegen_seconds:.4f}s ({codegen_speedup:.2f}x)  trace "
             f"{trace_seconds:.4f}s ({speedup:.2f}x, hit rate "
-            f"{trace.trace_hit_rate:.2f})",
+            f"{trace.trace_hit_rate:.2f})  scheduler "
+            f"{scheduler_seconds:.4f}s ({scheduler_speedup:.2f}x)",
             flush=True,
         )
+
+    # ------------------------------------------------------------------
+    # Scheduler gate: PR-3 vs the PR-2 trace path on a kernel-dominated
+    # configuration (where the scheduler's dispatch + the normalisation
+    # satellite carry the win).
+    # ------------------------------------------------------------------
+    gate_spec = SCHEDULER_GATE_SMOKE_CONFIG if smoke else SCHEDULER_GATE_CONFIG
+    gate_report = None
+    if apps is None or SCHEDULER_GATE_APP in (apps or []):
+        app = SCHEDULER_GATE_APP
+        print(f"[scheduler-gate] timing {app} {gate_spec['app_kwargs']} ...", flush=True)
+        gate_trace_seconds, gate_trace = _measure(app, gate_spec, "trace", repeats)
+        gate_sched_seconds, gate_sched = _measure(app, gate_spec, "scheduler", repeats)
+        gate_speedup = (
+            gate_trace_seconds / gate_sched_seconds if gate_sched_seconds > 0 else float("inf")
+        )
+        if gate_trace.checksum != gate_sched.checksum:
+            failures.append(
+                f"scheduler-gate: checksum mismatch (trace {gate_trace.checksum!r} "
+                f"vs scheduler {gate_sched.checksum!r})"
+            )
+        gate_report = {
+            "app": app,
+            "config": {
+                "num_gpus": gate_spec["num_gpus"],
+                "iterations": gate_spec["iterations"],
+                "warmup_iterations": gate_spec["warmup"],
+                **gate_spec["app_kwargs"],
+            },
+            "trace_seconds": round(gate_trace_seconds, 6),
+            "scheduler_seconds": round(gate_sched_seconds, 6),
+            "scheduler_vs_trace": round(gate_speedup, 3),
+            "threshold": SCHEDULER_SPEEDUP_THRESHOLD,
+            "checksums_equal": gate_trace.checksum == gate_sched.checksum,
+        }
+        print(
+            f"[scheduler-gate] trace {gate_trace_seconds:.4f}s  scheduler "
+            f"{gate_sched_seconds:.4f}s ({gate_speedup:.2f}x)",
+            flush=True,
+        )
+        if not smoke and gate_speedup < SCHEDULER_SPEEDUP_THRESHOLD:
+            failures.append(
+                f"scheduler-gate: {gate_speedup:.3f}x below the "
+                f"{SCHEDULER_SPEEDUP_THRESHOLD}x acceptance threshold"
+            )
 
     if not smoke:
         for app, threshold in SPEEDUP_THRESHOLDS.items():
@@ -223,12 +337,16 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
                 )
 
     payload = {
-        "benchmark": "wall-clock: seed interpreter vs codegen JIT vs trace replay",
+        "benchmark": (
+            "wall-clock: seed interpreter vs codegen JIT vs trace replay "
+            "vs plan scheduler"
+        ),
         "mode": "smoke" if smoke else "full",
         "repeats_per_mode": repeats,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "apps": report,
+        "scheduler_gate": gate_report,
         "failures": failures,
     }
     with open(output, "w") as handle:

@@ -1,8 +1,8 @@
 """Process-level configuration flags for the execution hot path.
 
-Three environment variables tune how the reproduction executes kernels;
-all are read lazily so tests and the wall-clock perf harness can flip
-them between runs in one process:
+Several environment variables tune how the reproduction executes
+kernels; all are read lazily so tests and the wall-clock perf harness
+can flip them between runs in one process:
 
 ``REPRO_KERNEL_BACKEND``
     ``codegen`` (default) executes kernels through NumPy closures
@@ -31,6 +31,26 @@ them between runs in one process:
     bypassing window buffering, dependence analysis, memoization lookups
     and per-task coherence recomputation.  ``0`` restores the eager
     per-task submission path.
+
+``REPRO_WORKERS``
+    Size of the persistent worker pool used by the plan scheduler
+    (``repro.runtime.scheduler``) to execute independent steps of a
+    captured :class:`ExecutionPlan` concurrently.  Unset defaults to
+    ``os.cpu_count()`` bounded to 8; ``1`` restores the serial replay
+    path of the trace layer.  Results are bit-identical for every value.
+
+``REPRO_OVERLAP_MODEL``
+    ``1`` makes the plan scheduler charge overlap-aware simulated time:
+    the simulated seconds of a dependence level are the maximum over its
+    steps rather than their sum.  ``0`` (default) keeps the serial time
+    accounting, which is bit-identical to eager execution.
+
+``REPRO_NORMALIZE``
+    ``1`` (default) enables the algebraic normalisation pass that runs
+    before CSE (bit-exact negation pushing through division and the odd
+    ``erf``) together with value-based scalar-parameter deduplication in
+    fused kernels.  ``0`` restores the PR-2 kernel shapes (used by the
+    wall-clock harness to time the historical trace path).
 """
 
 from __future__ import annotations
@@ -48,6 +68,18 @@ HOTPATH_CACHE_ENV_VAR = "REPRO_HOTPATH_CACHE"
 
 #: Environment variable gating trace capture and replay.
 TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: Environment variable sizing the plan-scheduler worker pool.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Environment variable enabling overlap-aware simulated-time accounting.
+OVERLAP_MODEL_ENV_VAR = "REPRO_OVERLAP_MODEL"
+
+#: Environment variable gating algebraic normalisation before CSE.
+NORMALIZE_ENV_VAR = "REPRO_NORMALIZE"
+
+#: Upper bound on the default worker count (explicit settings may exceed it).
+MAX_DEFAULT_WORKERS = 8
 
 
 def default_backend() -> str:
@@ -94,8 +126,62 @@ def trace_enabled() -> bool:
     return _trace_flag
 
 
+_worker_count: int | None = None
+
+
+def worker_count() -> int:
+    """Size of the plan-scheduler worker pool (``REPRO_WORKERS``).
+
+    Unset defaults to ``os.cpu_count()`` bounded to
+    :data:`MAX_DEFAULT_WORKERS`; explicit values are clamped to at least
+    1.  ``1`` restores the serial trace-replay path.  Memoized like the
+    other flags — call :func:`reload_flags` after changing the variable.
+    """
+    global _worker_count
+    if _worker_count is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                _worker_count = max(1, int(raw))
+            except ValueError:
+                _worker_count = 1
+        else:
+            _worker_count = max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+    return _worker_count
+
+
+_overlap_model_flag: bool | None = None
+
+
+def overlap_model_enabled() -> bool:
+    """True when ``REPRO_OVERLAP_MODEL`` enables level-max time accounting."""
+    global _overlap_model_flag
+    if _overlap_model_flag is None:
+        _overlap_model_flag = os.environ.get(
+            OVERLAP_MODEL_ENV_VAR, "0"
+        ).strip().lower() in ("1", "on", "true")
+    return _overlap_model_flag
+
+
+_normalize_flag: bool | None = None
+
+
+def normalize_enabled() -> bool:
+    """True unless ``REPRO_NORMALIZE`` disables algebraic normalisation."""
+    global _normalize_flag
+    if _normalize_flag is None:
+        _normalize_flag = os.environ.get(
+            NORMALIZE_ENV_VAR, "1"
+        ).strip().lower() not in ("0", "off", "false")
+    return _normalize_flag
+
+
 def reload_flags() -> None:
     """Re-read the memoized environment flags on next access."""
-    global _hotpath_cache_flag, _trace_flag
+    global _hotpath_cache_flag, _trace_flag, _worker_count
+    global _overlap_model_flag, _normalize_flag
     _hotpath_cache_flag = None
     _trace_flag = None
+    _worker_count = None
+    _overlap_model_flag = None
+    _normalize_flag = None

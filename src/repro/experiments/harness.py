@@ -107,6 +107,11 @@ class RunResult:
     trace_misses: int = 0
     trace_replayed_tasks: int = 0
     trace_hit_rate: float = 0.0
+    #: Plan-scheduler counters (zero when ``REPRO_WORKERS=1``).
+    plan_replays: int = 0
+    plan_width_max: int = 0
+    plan_average_width: float = 0.0
+    worker_utilization: float = 0.0
 
     @property
     def throughput_per_gpu(self) -> float:
@@ -173,6 +178,10 @@ def run_application_experiment(
         trace_misses=profiler.trace_misses,
         trace_replayed_tasks=profiler.trace_replayed_tasks,
         trace_hit_rate=profiler.trace_hit_rate,
+        plan_replays=profiler.plan_replays,
+        plan_width_max=profiler.plan_width_max,
+        plan_average_width=profiler.plan_average_width,
+        worker_utilization=profiler.worker_utilization,
     )
 
 

@@ -36,9 +36,15 @@ def _evict_oldest(cache: Dict, limit: int) -> None:
 
     Dicts iterate in insertion order, so evicting ``next(iter(cache))``
     is FIFO — live matrices (re-inserted on attach) keep their entries.
+    Tolerates concurrent plan-scheduler workers evicting the same key
+    (``pop`` with a default never raises; ``StopIteration`` from a
+    just-emptied cache ends the sweep).
     """
     while len(cache) >= limit:
-        cache.pop(next(iter(cache)))
+        try:
+            cache.pop(next(iter(cache)), None)
+        except (StopIteration, RuntimeError):
+            break
 
 
 #: (partition, point, store shape) -> row range.  Mirrors the executor's

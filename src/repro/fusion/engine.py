@@ -88,6 +88,7 @@ class DiffuseRuntime:
         pipeline = PassPipeline(
             enable_loop_fusion=self.config.enable_kernel_fusion,
             enable_temporary_elimination=self.config.enable_kernel_fusion,
+            enable_normalize=self.config.enable_kernel_fusion,
             enable_cse=self.config.enable_kernel_fusion,
         )
         self.compiler = JITCompiler(registry=self.registry, pipeline=pipeline)

@@ -23,7 +23,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.config import hotpath_cache_enabled as _hotpath_cache_enabled
 from repro.ir.partition import Partition
-from repro.ir.task import IndexTask
+from repro.ir.task import IndexTask, stream_scalar_pattern
 
 
 @dataclass(frozen=True)
@@ -114,7 +114,15 @@ def canonicalize_window(tasks: Sequence[IndexTask]) -> Tuple[Hashable, Dict[int,
                 partition_indices[partition] = partition_index
             canonical_args.append((index, shape, partition_index, privilege, redop))
         canonical_tasks.append((name, domain_shape, tuple(canonical_args), scalar_count))
-    key = (tuple(canonical_tasks), tuple(store_liveness))
+    # The *equality pattern* of the window's scalar operands (not the
+    # values) is part of the key: fused-kernel composition deduplicates
+    # scalar parameters that carry bit-identical values, so a cached
+    # decision/kernel is only valid for windows with the same pattern.
+    key = (
+        tuple(canonical_tasks),
+        tuple(store_liveness),
+        stream_scalar_pattern(tasks),
+    )
     return key, store_indices
 
 
@@ -161,7 +169,11 @@ def _canonicalize_window_uncached(
                 len(task.scalar_args),
             )
         )
-    key = (tuple(canonical_tasks), tuple(store_liveness))
+    key = (
+        tuple(canonical_tasks),
+        tuple(store_liveness),
+        stream_scalar_pattern(tasks),
+    )
     return key, store_indices
 
 

@@ -12,6 +12,7 @@ by tests that validate the scale-free analysis against a brute-force one.
 from __future__ import annotations
 
 import itertools
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -99,6 +100,50 @@ class PointTask:
             if own.store == sub.store and predicate(privilege) and own.intersects(sub):
                 return True
         return False
+
+
+def scalar_bits(value: float) -> bytes:
+    """The exact IEEE-754 bit pattern of a scalar operand.
+
+    Used as the grouping key for value-based scalar canonicalisation:
+    unlike ``==``, the bit pattern distinguishes ``-0.0`` from ``0.0``
+    and never equates distinct NaNs, so two scalar positions are grouped
+    only when substituting one for the other is bit-exact.
+    """
+    return struct.pack("<d", value)
+
+
+def scalar_group_pattern(values: Iterable[float]) -> Tuple[int, ...]:
+    """Group scalar operands by bit pattern in first-appearance order.
+
+    The pattern — not the values — is embedded in the memoization and
+    trace keys: iteration-dependent scalars (``alpha``/``beta``) keep
+    hitting the caches as long as their *equality structure* is stable,
+    while fused-kernel scalar deduplication stays sound because any
+    stream whose equalities differ produces a different key.
+    """
+    groups: Dict[bytes, int] = {}
+    pattern: List[int] = []
+    for value in values:
+        key = scalar_bits(value)
+        index = groups.get(key)
+        if index is None:
+            index = len(groups)
+            groups[key] = index
+        pattern.append(index)
+    return tuple(pattern)
+
+
+def stream_scalar_pattern(tasks: Iterable["IndexTask"]) -> Tuple[int, ...]:
+    """The scalar equality pattern of a task stream, in program order.
+
+    The single definition shared by the memoization window key and the
+    trace stream key — the two must never diverge, or a replayed plan
+    could bind a deduplicated scalar parameter to the wrong value.
+    """
+    return scalar_group_pattern(
+        value for task in tasks for value in task.scalar_args
+    )
 
 
 class IndexTask:

@@ -507,6 +507,13 @@ def _erf(x):
     SciPy is an optional dependency, so the kernel executor carries its own
     erf good to ~1.5e-7 absolute error, which is ample for the
     Black-Scholes benchmark.
+
+    The final ``copysign`` makes the function *exactly* odd for every
+    input, zeros and NaNs included (``erf(-0.0) == -0.0``, as IEEE libm
+    defines it): for nonzero ``x`` the product already carries ``x``'s
+    sign, so the copy is a bitwise no-op, and ``np.sign(±0.0) == 0.0``
+    keeps ``erf(±0.0)`` exactly zero.  The normalisation pass relies on
+    this to rewrite ``erf(neg(x))`` as ``neg(erf(x))`` bit-exactly.
     """
     x = np.asarray(x, dtype=np.float64)
     sign = np.sign(x)
@@ -516,7 +523,7 @@ def _erf(x):
         0.254829592
         + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
     )
-    return sign * (1.0 - poly * np.exp(-ax * ax))
+    return np.copysign(sign * (1.0 - poly * np.exp(-ax * ax)), x)
 
 
 _UNOP_EVAL = {

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.partition import Partition
 from repro.ir.store import Store
-from repro.ir.task import FusedTask, IndexTask
+from repro.ir.task import FusedTask, IndexTask, scalar_bits
 from repro.kernel.generators import GeneratorRegistry
 from repro.kernel.kir import (
     Alloc,
@@ -93,7 +93,12 @@ def compose_task(
     task: IndexTask,
     registry: GeneratorRegistry,
 ) -> Tuple[Function, KernelBinding]:
-    """Build the kernel for a single (unfused) task."""
+    """Build the kernel for a single (unfused) task.
+
+    Scalar parameters are never deduplicated here: single-task kernels
+    are cached by the runtime's task-variant cache, whose key does not
+    include scalar values.
+    """
     return _compose(task, [task], temporaries=(), registry=registry)
 
 
@@ -101,8 +106,23 @@ def compose_fused_task(
     fused: FusedTask,
     registry: GeneratorRegistry,
 ) -> Tuple[Function, KernelBinding]:
-    """Build the kernel for a fused task from its constituents."""
-    return _compose(fused, fused.constituents, fused.temporary_stores, registry)
+    """Build the kernel for a fused task from its constituents.
+
+    Scalar parameters carrying bit-identical values are deduplicated
+    into one kernel parameter (bound to the first flat scalar position).
+    This is sound because both the memoization key and the trace key
+    embed the window's scalar *equality pattern* — a stream whose scalar
+    equalities differ compiles (and replays) a different kernel.
+    """
+    from repro.config import normalize_enabled
+
+    return _compose(
+        fused,
+        fused.constituents,
+        fused.temporary_stores,
+        registry,
+        dedupe_scalars=normalize_enabled(),
+    )
 
 
 def _compose(
@@ -110,6 +130,7 @@ def _compose(
     constituents: Sequence[IndexTask],
     temporaries: Sequence[Store],
     registry: GeneratorRegistry,
+    dedupe_scalars: bool = False,
 ) -> Tuple[Function, KernelBinding]:
     binding = KernelBinding()
     temp_ids = {store.uid for store in temporaries}
@@ -144,6 +165,7 @@ def _compose(
     # 3. Generate, rename and concatenate each constituent's body.
     body: List[Stmt] = []
     scalar_params: List[Param] = []
+    scalar_names: Dict[bytes, str] = {}
     scalar_cursor = 0
     for task in constituents:
         fragment = registry.generate(task)
@@ -158,11 +180,22 @@ def _compose(
                 mapping[positional] = temp_names[arg.store.uid]
             else:
                 mapping[positional] = view_names[_view_key(arg.store, arg.partition)]
-        for position in range(len(task.scalar_args)):
-            mapping_name = f"s{scalar_cursor + position}"
+        for position, value in enumerate(task.scalar_args):
+            flat_index = scalar_cursor + position
+            mapping_name = None
+            if dedupe_scalars:
+                bits = scalar_bits(value)
+                mapping_name = scalar_names.get(bits)
+                if mapping_name is None:
+                    mapping_name = f"s{flat_index}"
+                    scalar_names[bits] = mapping_name
+                    scalar_params.append(Param.scalar(mapping_name))
+                    binding.scalar_args[mapping_name] = flat_index
+            else:
+                mapping_name = f"s{flat_index}"
+                scalar_params.append(Param.scalar(mapping_name))
+                binding.scalar_args[mapping_name] = flat_index
             mapping[f"s{position}"] = mapping_name
-            scalar_params.append(Param.scalar(mapping_name))
-            binding.scalar_args[mapping_name] = scalar_cursor + position
         scalar_cursor += len(task.scalar_args)
 
         # Rename the fragment's body in place.  The fragment's parameter

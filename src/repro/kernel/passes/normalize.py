@@ -1,0 +1,223 @@
+"""Algebraic normalisation of kernel bodies (runs before CSE).
+
+Fused kernels frequently compute a value and its negation through
+separate constituent chains — Black-Scholes prices its put leg from
+``erf(-d1/√2)`` while the call leg already computed ``erf(d1/√2)``.
+Structural CSE cannot see through the sign difference, so the pair costs
+two transcendental evaluations.  This pass rewrites each loop body into
+a sign-normal form using only *bit-exact* identities, after which CSE
+deduplicates the shared core:
+
+* ``neg(neg(x)) == x``
+* ``neg(x) / y == x / neg(y) == neg(x / y)`` (IEEE-754 division derives
+  the sign by xor; the magnitude rounding is sign-independent)
+* ``neg(x) * y == x * neg(y) == neg(x * y)`` (same argument)
+* ``recip(neg(x)) == neg(recip(x))``
+* ``abs(neg(x)) == abs(x)``
+* ``erf(neg(x)) == neg(erf(x))`` (the executor's polynomial ``erf`` is
+  computed as ``sign(x) * f(|x|)`` with a final ``copysign`` on the
+  input, so it is odd bit-for-bit for every input — zeros included)
+
+One caveat bounds "bit-exact": when a division/multiplication *invalidly*
+produces a NaN (``0/0``, ``inf/inf``, ``0*inf``), the hardware returns
+the default quiet NaN irrespective of operand signs, so pulling the
+negation out can flip the NaN's sign bit.  Every equality predicate in
+this repository — ``np.array_equal(..., equal_nan=True)`` in the
+differential executor, the isnan-pair scalar comparison, checksum
+equality (which any NaN already poisons regardless of sign) — is blind
+to NaN sign and payload, so the rewrite is unobservable there; kernels
+whose *finite* results must stay bit-identical are exactly preserved.
+
+Three statement-level rewrites make the expression rules effective
+across the locals produced by temporary scalarisation:
+
+* *Copy propagation*: a single-assignment local defined as a bare local,
+  scalar or constant reference is substituted into its uses.
+* *Negation propagation*: a single-assignment local defined as
+  ``neg(core)`` stores ``core`` instead, and every use reads
+  ``neg(local)`` — the sign then keeps bubbling outward through the
+  rules above.  Locals are private to the kernel, so flipping a local's
+  stored sign is unobservable as long as every use is rewritten.
+* *Sign-aware local value numbering*: when a single-assignment local's
+  (sign-normalised) defining expression is structurally identical to an
+  earlier local's, later uses read the earlier local (negated when the
+  signs differ) and the duplicate definition is left dead for DCE.
+  This is what actually deduplicates the ``erf(±d1/√2)`` pair: the two
+  chains differ only in intermediate local names, which structural CSE
+  cannot see through.
+
+All rewrites are restricted to loop-local scalars: buffer elements are
+kernel outputs (or inputs whose loads must observe interleaved writes),
+so their stored values are never altered.  Value-numbering entries whose
+expressions read a buffer are invalidated when that buffer is written.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.kernel.kir import (
+    Assign,
+    BinOp,
+    BinOpKind,
+    Const,
+    Expr,
+    Function,
+    LocalRef,
+    Loop,
+    LoopStmt,
+    Reduce,
+    ScalarRef,
+    UnOp,
+    UnOpKind,
+)
+
+#: Binary operators through which a negation factors bit-exactly.
+_SIGN_XOR_BINOPS = (BinOpKind.DIV, BinOpKind.MUL)
+
+#: Unary operators that commute with negation bit-exactly.
+_ODD_UNOPS = (UnOpKind.ERF, UnOpKind.RECIP)
+
+
+def normalize_function(function: Function) -> Function:
+    """Apply algebraic normalisation to every loop of the function."""
+    body = []
+    for stmt in function.body:
+        if isinstance(stmt, Loop):
+            body.append(_normalize_loop(stmt))
+        else:
+            body.append(stmt)
+    return function.with_body(body)
+
+
+def _normalize_loop(loop: Loop) -> Loop:
+    assign_counts: Dict[str, int] = {}
+    for stmt in loop.body:
+        if isinstance(stmt, Assign) and stmt.is_local:
+            assign_counts[stmt.target] = assign_counts.get(stmt.target, 0) + 1
+
+    substitutions: Dict[str, Expr] = {}
+    #: Sign-normalised defining expression -> name of the local holding it.
+    value_numbers: Dict[Expr, str] = {}
+    new_body: List[LoopStmt] = []
+    for stmt in loop.body:
+        if not isinstance(stmt, (Assign, Reduce)):  # pragma: no cover
+            new_body.append(stmt)
+            continue
+        expr = _substitute(stmt.expr, substitutions)
+        core, negated = _pull_negations(expr)
+        if (
+            isinstance(stmt, Assign)
+            and stmt.is_local
+            and assign_counts.get(stmt.target) == 1
+        ):
+            if _is_propagatable_copy(core, assign_counts):
+                # Copy propagation: uses read the source directly (under
+                # the sign, if any); the dead copy is left for DCE.
+                substitutions[stmt.target] = _materialize(core, negated)
+                new_body.append(Assign(target=stmt.target, expr=core, is_local=True))
+                continue
+            existing = value_numbers.get(core)
+            if existing is not None:
+                # Value numbering: reuse the earlier local computing the
+                # same core, reconciling the sign difference at the uses.
+                substitutions[stmt.target] = _materialize(LocalRef(existing), negated)
+                new_body.append(
+                    Assign(target=stmt.target, expr=LocalRef(existing), is_local=True)
+                )
+                continue
+            value_numbers[core] = stmt.target
+            if negated:
+                # Store the positive core; later uses read ``neg(local)``
+                # and keep pushing the sign outward.
+                substitutions[stmt.target] = UnOp(UnOpKind.NEG, LocalRef(stmt.target))
+            new_body.append(Assign(target=stmt.target, expr=core, is_local=True))
+            continue
+        materialized = _materialize(core, negated)
+        if isinstance(stmt, Assign):
+            new_stmt: LoopStmt = Assign(
+                target=stmt.target, expr=materialized, is_local=stmt.is_local
+            )
+        else:
+            new_stmt = Reduce(target=stmt.target, kind=stmt.kind, expr=materialized)
+        new_body.append(new_stmt)
+        # A buffer write — or a redefinition of a multi-assigned local —
+        # invalidates value numbers that read it.
+        written = new_stmt.buffers_written()
+        if written:
+            stale = [e for e in value_numbers if e.buffers_read() & written]
+            for e in stale:
+                del value_numbers[e]
+        if isinstance(new_stmt, Assign) and new_stmt.is_local:
+            stale = [e for e in value_numbers if new_stmt.target in e.locals_read()]
+            for e in stale:
+                del value_numbers[e]
+
+    return Loop(index_buffer=loop.index_buffer, body=tuple(new_body), parallel=loop.parallel)
+
+
+def _is_propagatable_copy(expr: Expr, assign_counts: Dict[str, int]) -> bool:
+    """True when substituting ``expr`` for a local is always sound.
+
+    Buffer loads are excluded: an interleaved write to the buffer between
+    the copy and a use would change the observed value.  Local references
+    are only propagated when the source local is itself single-assignment.
+    """
+    if isinstance(expr, (ScalarRef, Const)):
+        return True
+    if isinstance(expr, LocalRef):
+        return assign_counts.get(expr.name) == 1
+    return False
+
+
+def _substitute(expr: Expr, substitutions: Dict[str, Expr]) -> Expr:
+    if not substitutions:
+        return expr
+    if isinstance(expr, LocalRef):
+        return substitutions.get(expr.name, expr)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _substitute(expr.lhs, substitutions),
+            _substitute(expr.rhs, substitutions),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _substitute(expr.operand, substitutions))
+    return expr
+
+
+def _pull_negations(expr: Expr) -> Tuple[Expr, bool]:
+    """Rewrite ``expr`` as ``(core, sign)`` with negations pulled outward.
+
+    ``sign`` is True when the expression's value is ``neg(core)``.  Only
+    the bit-exact identities listed in the module docstring are applied.
+    """
+    if isinstance(expr, UnOp):
+        if expr.op is UnOpKind.NEG:
+            core, negated = _pull_negations(expr.operand)
+            return core, not negated
+        if expr.op in _ODD_UNOPS:
+            core, negated = _pull_negations(expr.operand)
+            return UnOp(expr.op, core), negated
+        if expr.op is UnOpKind.ABS:
+            core, _ = _pull_negations(expr.operand)
+            return UnOp(UnOpKind.ABS, core), False
+        return UnOp(expr.op, _materialize(*_pull_negations(expr.operand))), False
+    if isinstance(expr, BinOp):
+        if expr.op in _SIGN_XOR_BINOPS:
+            lhs_core, lhs_neg = _pull_negations(expr.lhs)
+            rhs_core, rhs_neg = _pull_negations(expr.rhs)
+            return BinOp(expr.op, lhs_core, rhs_core), lhs_neg != rhs_neg
+        return (
+            BinOp(
+                expr.op,
+                _materialize(*_pull_negations(expr.lhs)),
+                _materialize(*_pull_negations(expr.rhs)),
+            ),
+            False,
+        )
+    return expr, False
+
+
+def _materialize(core: Expr, negated: bool) -> Expr:
+    return UnOp(UnOpKind.NEG, core) if negated else core

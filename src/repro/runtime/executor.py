@@ -18,6 +18,7 @@ code path (the baseline of ``benchmarks/perf_wallclock.py``).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -41,7 +42,11 @@ class TaskExecutor:
         self.use_caches = hotpath_cache_enabled()
         #: (partition, launch-domain shape, store shape) -> per-rank
         #: ``(rect, volume)`` list in launch-domain iteration order.
+        #: Insertion is serialised so plan-scheduler workers resolving the
+        #: same launch geometry concurrently agree on one canonical table
+        #: (lookups stay lock-free; tables are immutable once published).
         self._rect_table_cache: Dict[Tuple, List[Tuple[Rect, int]]] = {}
+        self._rect_table_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Sub-store geometry.
@@ -69,7 +74,8 @@ class TaskExecutor:
             rect = arg.partition.sub_store_rect(point, shape)
             table.append((rect, rect.volume))
         if key is not None:
-            self._rect_table_cache[key] = table
+            with self._rect_table_lock:
+                table = self._rect_table_cache.setdefault(key, table)
         return table
 
     def launch_rects(self, arg: StoreArg, task: IndexTask) -> List[Tuple[Rect, int]]:
@@ -157,6 +163,22 @@ class TaskExecutor:
     # ------------------------------------------------------------------
     def execute_opaque(self, task: IndexTask, impl: OpaqueTaskImpl) -> float:
         """Run a task through its opaque implementation; returns kernel seconds."""
+        seconds, reduction_totals = self.execute_opaque_deferred(task, impl)
+        self._apply_reductions(task, reduction_totals)
+        return seconds
+
+    def execute_opaque_deferred(
+        self, task: IndexTask, impl: OpaqueTaskImpl
+    ) -> Tuple[float, Dict[int, List[ReductionPartial]]]:
+        """Run an opaque task but defer folding its reduction partials.
+
+        The plan scheduler executes independent steps concurrently and
+        folds each step's partials at its dependence level's join point
+        (in recorded order), so the compute part must not touch the
+        target stores.  Returns ``(kernel seconds, partials per argument
+        index)``; :meth:`execute_opaque` is the fold-immediately wrapper
+        used by the eager pipeline and the serial replay path.
+        """
         per_gpu_seconds: Dict[int, float] = {}
         reduction_totals: Dict[int, List[ReductionPartial]] = {}
 
@@ -190,8 +212,14 @@ class TaskExecutor:
             seconds = impl.cost_seconds(task, point, buffers, self.machine)
             per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
 
-        self._apply_reductions(task, reduction_totals)
-        return max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
+        kernel_seconds = max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
+        return kernel_seconds, reduction_totals
+
+    def apply_deferred_reductions(
+        self, task: IndexTask, totals: Dict[int, List[ReductionPartial]]
+    ) -> None:
+        """Fold partials returned by :meth:`execute_opaque_deferred`."""
+        self._apply_reductions(task, totals)
 
     # ------------------------------------------------------------------
     # Helpers.

@@ -104,5 +104,19 @@ class MachineConfig:
         """Time to reduce one scalar future across the machine."""
         return self.allreduce_time(8.0)
 
+    # ------------------------------------------------------------------
+    # Overlap-aware time accounting (plan scheduler).
+    # ------------------------------------------------------------------
+    def overlapped_level_seconds(self, step_seconds) -> float:
+        """Simulated time of one dependence level of a replayed plan.
+
+        Under ``REPRO_OVERLAP_MODEL=1`` the runtime overlaps independent
+        launches across the machine, so a level costs the *maximum* of
+        its steps' modelled times rather than their sum (the serial
+        model).  Steps within one level are provably independent — the
+        plan scheduler derived that from the privilege footprints.
+        """
+        return max(step_seconds, default=0.0)
+
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"Machine({self.num_gpus} GPUs over {self.num_nodes} nodes)"

@@ -60,6 +60,15 @@ class Profiler:
         self.trace_misses: int = 0
         #: Library tasks whose resolution was bypassed by trace replay.
         self.trace_replayed_tasks: int = 0
+        #: Plan-scheduler counters: replays that went through dependence
+        #: analysis, aggregate step/level/width figures of their DAGs,
+        #: and how many steps ran on the worker pool (the rest ran
+        #: inline on the scheduling thread).
+        self.plan_replays: int = 0
+        self.plan_steps: int = 0
+        self.plan_levels: int = 0
+        self.plan_width_max: int = 0
+        self.plan_dispatched_steps: int = 0
         self._current_iteration: Optional[IterationRecord] = None
 
     # ------------------------------------------------------------------
@@ -89,8 +98,15 @@ class Profiler:
         launches: int,
         fused: bool,
         replayed: bool = False,
+        accumulate_iteration: bool = True,
     ) -> TaskRecord:
-        """Record one launched index task."""
+        """Record one launched index task.
+
+        ``accumulate_iteration=False`` records the task (and counts it
+        toward the iteration's task totals) without adding its seconds to
+        the iteration — the plan scheduler's overlap model attributes a
+        whole dependence level's max instead.
+        """
         record = TaskRecord(
             name=name,
             iteration=self.current_iteration,
@@ -106,7 +122,8 @@ class Profiler:
         if self._current_iteration is not None:
             self._current_iteration.index_tasks += 1
             self._current_iteration.constituent_tasks += constituents
-            self._current_iteration.seconds += record.total_seconds
+            if accumulate_iteration:
+                self._current_iteration.seconds += record.total_seconds
         return record
 
     def record_compile_time(self, seconds: float) -> None:
@@ -121,6 +138,30 @@ class Profiler:
     def record_trace_miss(self) -> None:
         """Record an epoch that went through the full resolve pipeline."""
         self.trace_misses += 1
+
+    def record_plan_execution(
+        self,
+        steps: int,
+        levels: int,
+        width: int,
+        dispatched: int,
+    ) -> None:
+        """Record one plan replay executed by the dependence scheduler."""
+        self.plan_replays += 1
+        self.plan_steps += steps
+        self.plan_levels += levels
+        self.plan_width_max = max(self.plan_width_max, width)
+        self.plan_dispatched_steps += dispatched
+
+    @property
+    def plan_average_width(self) -> float:
+        """Average DAG width (steps per level) over scheduled replays."""
+        return self.plan_steps / self.plan_levels if self.plan_levels else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of scheduled steps that ran on the worker pool."""
+        return self.plan_dispatched_steps / self.plan_steps if self.plan_steps else 0.0
 
     @property
     def trace_hit_rate(self) -> float:
@@ -203,4 +244,9 @@ class Profiler:
         self.trace_hits = 0
         self.trace_misses = 0
         self.trace_replayed_tasks = 0
+        self.plan_replays = 0
+        self.plan_steps = 0
+        self.plan_levels = 0
+        self.plan_width_max = 0
+        self.plan_dispatched_steps = 0
         self._current_iteration = None

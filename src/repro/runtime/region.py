@@ -11,6 +11,7 @@ performance model is what the benchmarks measure.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 import numpy as np
@@ -48,11 +49,16 @@ class RegionField:
         self._view_cache: Dict[Rect, np.ndarray] = {}
 
     def view(self, rect: Rect) -> np.ndarray:
-        """A mutable NumPy view of the given rectangle of the region."""
+        """A mutable NumPy view of the given rectangle of the region.
+
+        Thread-safe under concurrent plan-scheduler workers: the cache is
+        populated with ``setdefault`` (atomic in CPython), so all callers
+        observe one canonical view object per rectangle — which keeps
+        ``id()``-keyed downstream caches (e.g. the SpMV row plans) stable.
+        """
         cached = self._view_cache.get(rect)
         if cached is None:
-            cached = self.data[rect.slices()]
-            self._view_cache[rect] = cached
+            cached = self._view_cache.setdefault(rect, self.data[rect.slices()])
         return cached
 
     def invalidate_views(self) -> None:
@@ -78,13 +84,20 @@ class RegionManager:
 
     def __init__(self) -> None:
         self._fields: Dict[int, RegionField] = {}
+        # First-use allocation must be serialised: two plan-scheduler
+        # workers racing to create the same field would otherwise write
+        # through different backing arrays.
+        self._allocate_lock = threading.Lock()
 
     def field(self, store: Store) -> RegionField:
         """The region field of ``store``, allocated on first use."""
         existing = self._fields.get(store.uid)
         if existing is None:
-            existing = RegionField(store)
-            self._fields[store.uid] = existing
+            with self._allocate_lock:
+                existing = self._fields.get(store.uid)
+                if existing is None:
+                    existing = RegionField(store)
+                    self._fields[store.uid] = existing
         return existing
 
     def attach(self, store: Store, data: np.ndarray) -> RegionField:

@@ -74,6 +74,16 @@ class LegionRuntime:
         #: When set, every executed launch is reported to the recorder so
         #: the trace subsystem can capture the epoch's execution plan.
         self.trace_recorder = None
+        self._plan_scheduler = None
+
+    @property
+    def plan_scheduler(self):
+        """The dependence-partitioned plan scheduler (created lazily)."""
+        if self._plan_scheduler is None:
+            from repro.runtime.scheduler import PlanScheduler
+
+            self._plan_scheduler = PlanScheduler(self)
+        return self._plan_scheduler
 
     # ------------------------------------------------------------------
     # Task submission.

@@ -1,0 +1,603 @@
+"""Dependence-partitioned execution of captured execution plans.
+
+PR 2's trace layer resolves every launch of a repeated epoch ahead of
+execution, but still replays the captured :class:`ExecutionPlan` strictly
+step by step.  This module supplies the missing half of the paper's
+runtime story (Section 4): independent launches overlap across the
+machine.  It is organised as two phases, mirroring runtime dependence-
+graph schedulers of fused array operations (Kristensen et al.,
+arXiv:1601.05400) and the horizontal-fusion argument of Li et al.
+(arXiv:2007.01277):
+
+1. **Plan analysis** (:func:`analyze_plan`) — computed once per captured
+   plan and cached on it.  The read/write/reduce store footprints
+   recorded in every :class:`CompiledStep` / :class:`OpaqueStep` induce
+   the step-level dependence DAG (RAW, WAR and WAW hazards over
+   canonical slots; reductions count as mutations).  The DAG is
+   levelized: steps in one level are pairwise independent.
+2. **Dispatch** (:class:`PlanScheduler.execute`) — executes the levels in
+   order.  Within a level, steps large enough to amortise handoff run
+   concurrently on a persistent worker pool (``REPRO_WORKERS``); the
+   rest run inline in recorded order.  Workers only *compute*: they run
+   kernels over region-field views (write sets of a level are disjoint
+   by construction) and collect reduction partials.  All side effects
+   that carry ordering semantics are folded at join points **in recorded
+   order** — reduction partials at each level's join, profiler records
+   and simulated-seconds accounting after the last level — so buffers
+   and simulated time are bit-identical to serial replay for every
+   worker count.
+
+``REPRO_WORKERS=1`` (with the overlap model off) takes none of this
+machinery: :func:`_execute_plan_serial` is the PR-2 replay path, kept
+verbatim.
+
+With ``REPRO_OVERLAP_MODEL=1`` the scheduler additionally switches the
+*simulated* time accounting to the overlap-aware model: each dependence
+level is charged the maximum of its steps' modelled times
+(:meth:`MachineConfig.overlapped_level_seconds`) instead of their sum.
+This deliberately changes simulated seconds and is therefore off by
+default; buffers remain bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import config
+from repro.ir.store import Store
+from repro.ir.task import IndexTask, StoreArg
+from repro.runtime.trace import (
+    AnalysisCharge,
+    CompiledStep,
+    ExecutionPlan,
+    OpaqueStep,
+)
+
+#: Minimum number of elements a step must touch before it is handed to
+#: the worker pool; smaller steps run inline because the handoff latency
+#: exceeds their compute time.  Tests lower this to force pool execution
+#: on tiny problems — the results are bit-identical either way, so the
+#: threshold is a pure performance knob.
+MIN_DISPATCH_VOLUME = 16384
+
+
+# ----------------------------------------------------------------------
+# Plan analysis: dependence DAG and levelization.
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduledStep:
+    """One executable plan step with its dependence metadata."""
+
+    #: Position of the step in ``plan.steps`` (recorded order).
+    plan_index: int
+    step: object  # CompiledStep | OpaqueStep
+    compiled: bool
+    #: Indices (into ``PlanSchedule.steps``) this step depends on.
+    deps: Tuple[int, ...]
+    level: int
+    #: Total elements touched (the pool-dispatch size heuristic).
+    volume: int
+    #: Compiled steps: precomputed ``(name, epoch position, inner index)``
+    #: scalar rebinding plan — the stream key pins every task's scalar
+    #: count, so the flat-offset arithmetic is done once per plan.
+    scalar_binds: Tuple[Tuple[str, int, int], ...] = ()
+
+
+@dataclass
+class PlanSchedule:
+    """The cached dependence partition of one captured plan."""
+
+    steps: Tuple[ScheduledStep, ...]
+    #: Levels in dependence order; each level lists indices into
+    #: ``steps`` in recorded order (so join-point folds are ordered).
+    levels: Tuple[Tuple[int, ...], ...]
+    width: int
+    #: ``plan.steps`` position -> index into ``steps`` (accounting fold).
+    index_by_plan: Dict[int, int]
+
+    @property
+    def level_count(self) -> int:
+        return len(self.levels)
+
+
+def analyze_plan(
+    plan: ExecutionPlan,
+    slot_stores: Sequence[Store],
+    tasks: Sequence[IndexTask] = (),
+) -> PlanSchedule:
+    """Build the step-level dependence DAG of a plan and levelize it.
+
+    Dependencies are derived purely from the captured per-slot privilege
+    footprints: a step depends on the last mutator (writer or reducer)
+    of every slot it touches, and a mutation additionally depends on all
+    reads of the slot since that mutator (WAR).  Slot shapes are part of
+    the trace key, so the schedule — cached on the plan — is valid for
+    every replay.
+    """
+    scheduled: List[ScheduledStep] = []
+    last_mutator: Dict[int, int] = {}
+    readers_since: Dict[int, List[int]] = {}
+    levels_of: List[int] = []
+
+    for plan_index, step in enumerate(plan.steps):
+        if isinstance(step, AnalysisCharge):
+            continue
+        index = len(scheduled)
+        deps = set()
+        footprint = step.footprint
+        for slot, reads, writes, reduces in footprint:
+            mutates = writes or reduces
+            mutator = last_mutator.get(slot)
+            if mutator is not None and (reads or mutates):
+                deps.add(mutator)
+            if mutates:
+                deps.update(readers_since.get(slot, ()))
+        for slot, reads, writes, reduces in footprint:
+            if writes or reduces:
+                last_mutator[slot] = index
+                readers_since[slot] = []
+            elif reads:
+                readers_since.setdefault(slot, []).append(index)
+        level = 1 + max((levels_of[d] for d in deps), default=-1)
+        levels_of.append(level)
+        compiled = isinstance(step, CompiledStep)
+        scheduled.append(
+            ScheduledStep(
+                plan_index=plan_index,
+                step=step,
+                compiled=compiled,
+                deps=tuple(sorted(deps)),
+                level=level,
+                volume=_step_volume(step, slot_stores),
+                scalar_binds=_scalar_binds(step, tasks) if compiled else (),
+            )
+        )
+
+    level_count = (max(levels_of) + 1) if levels_of else 0
+    level_lists: List[List[int]] = [[] for _ in range(level_count)]
+    for index, level in enumerate(levels_of):
+        level_lists[level].append(index)
+    levels = tuple(tuple(level) for level in level_lists)
+    width = max((len(level) for level in levels), default=0)
+    index_by_plan = {entry.plan_index: index for index, entry in enumerate(scheduled)}
+    return PlanSchedule(
+        steps=tuple(scheduled),
+        levels=levels,
+        width=width,
+        index_by_plan=index_by_plan,
+    )
+
+
+def _scalar_binds(
+    step: CompiledStep, tasks: Sequence[IndexTask]
+) -> Tuple[Tuple[str, int, int], ...]:
+    """Translate a step's flat scalar indices into (position, inner) pairs."""
+    if not step.scalar_order or not tasks:
+        return ()
+    spans: List[Tuple[int, int]] = []  # (epoch position, scalar count)
+    total = 0
+    for position in step.scalar_positions:
+        count = len(tasks[position].scalar_args)
+        spans.append((position, count))
+        total += count
+    binds: List[Tuple[str, int, int]] = []
+    for name, flat_index in step.scalar_order:
+        offset = flat_index
+        for position, count in spans:
+            if offset < count:
+                binds.append((name, position, offset))
+                break
+            offset -= count
+    return tuple(binds)
+
+
+def _step_volume(step: object, slot_stores: Sequence[Store]) -> int:
+    """Elements a step touches (used only for the dispatch heuristic)."""
+    if isinstance(step, CompiledStep):
+        total = 0
+        for _name, _slot, _is_reduction, table in step.buffer_bindings:
+            total += sum(volume for _rect, volume in table)
+        return total
+    total = 0
+    for slot, _partition, _privilege, _redop in step.arg_specs:
+        store = slot_stores[slot]
+        size = 1
+        for extent in store.shape:
+            size *= extent
+        total += size
+    return total
+
+
+# ----------------------------------------------------------------------
+# The serial replay path (PR-2 semantics, kept verbatim).
+# ----------------------------------------------------------------------
+def _execute_plan_serial(
+    plan: ExecutionPlan,
+    engine,
+    slot_stores: Sequence[Store],
+    tasks: Sequence[IndexTask],
+) -> None:
+    """Replay a captured plan step by step (``REPRO_WORKERS=1``)."""
+    runtime = engine.runtime
+    executor = runtime.executor
+    regions = runtime.regions
+    profiler = runtime.profiler
+
+    for step in plan.steps:
+        if isinstance(step, AnalysisCharge):
+            runtime.add_simulated_seconds(step.seconds)
+            profiler.record_analysis_time(step.seconds)
+            profiler.add_iteration_seconds(step.seconds)
+            continue
+        if isinstance(step, CompiledStep):
+            scalars = _bind_scalars(step, tasks)
+            totals = _run_compiled(step, regions, slot_stores, scalars)
+            _fold_compiled(step, executor, slot_stores, totals)
+            record = profiler.record_task(
+                name=step.task_name,
+                constituents=step.constituents,
+                kernel_seconds=step.kernel_seconds,
+                communication_seconds=step.communication_seconds,
+                overhead_seconds=step.overhead_seconds,
+                launches=step.launches,
+                fused=step.fused,
+                replayed=True,
+            )
+        else:
+            task = _rebuild_opaque_task(step, slot_stores, tasks)
+            kernel_seconds = executor.execute_opaque(task, step.impl)
+            record = profiler.record_task(
+                name=step.task_name,
+                constituents=1,
+                kernel_seconds=kernel_seconds,
+                communication_seconds=step.communication_seconds,
+                overhead_seconds=step.overhead_seconds,
+                launches=1,
+                fused=False,
+                replayed=True,
+            )
+        runtime.simulated_seconds += record.total_seconds
+
+    _apply_plan_epilogue(plan, engine, slot_stores)
+
+
+def _apply_plan_epilogue(plan: ExecutionPlan, engine, slot_stores: Sequence[Store]) -> None:
+    """Apply captured coherence transitions and statistics wholesale."""
+    coherence = engine.runtime.coherence
+    for slot, state_key in plan.exit_states:
+        coherence.apply_state_key(slot_stores[slot], state_key)
+    if plan.bytes_moved:
+        coherence.add_bytes_moved(plan.bytes_moved)
+
+    stats = engine.stats
+    stats.forwarded_tasks += plan.forwarded_tasks
+    stats.fused_tasks += plan.fused_tasks
+    stats.fused_constituents += plan.fused_constituents
+    stats.temporaries_eliminated += plan.temporaries_eliminated
+
+
+# ----------------------------------------------------------------------
+# Step compute helpers (shared by the serial and scheduled paths).
+# ----------------------------------------------------------------------
+def _bind_scalars(step: CompiledStep, tasks: Sequence[IndexTask]) -> Dict[str, float]:
+    """Rebind the current epoch's scalar arguments into a compiled step."""
+    scalars: Dict[str, float] = {}
+    if step.scalar_order:
+        flat: List[float] = []
+        for position in step.scalar_positions:
+            flat.extend(tasks[position].scalar_args)
+        for name, index in step.scalar_order:
+            scalars[name] = flat[index]
+    return scalars
+
+
+def _run_compiled(
+    step: CompiledStep,
+    regions,
+    slot_stores: Sequence[Store],
+    scalars: Dict[str, float],
+    fields: Optional[Dict[int, object]] = None,
+) -> Dict[str, list]:
+    """Run a compiled step's kernel over every launch point.
+
+    Pure compute: kernels write their (disjoint) output views in place;
+    reduction partials are returned unapplied, keyed by buffer name and
+    ordered by launch rank.  ``fields`` optionally memoizes slot→field
+    resolution across the steps of one replay.
+    """
+    prepared = []
+    for name, slot, is_reduction, table in step.buffer_bindings:
+        if is_reduction:
+            field = None
+        elif fields is None:
+            field = regions.field(slot_stores[slot])
+        else:
+            field = fields.get(slot)
+            if field is None:
+                field = regions.field(slot_stores[slot])
+                fields[slot] = field
+        prepared.append((name, field, is_reduction, table))
+
+    kernel_fn = step.kernel.executor
+    reductions = step.reductions
+    totals: Dict[str, list] = {}
+    buffers: Dict[str, Optional[object]] = {}
+    for rank in range(step.num_points):
+        for name, field, is_reduction, table in prepared:
+            if is_reduction:
+                buffers[name] = None
+            else:
+                buffers[name] = field.view(table[rank][0])
+        partials = kernel_fn(buffers, scalars)
+        if partials:
+            for name, partial in partials.items():
+                if name in reductions:
+                    totals.setdefault(name, []).append(partial)
+    return totals
+
+
+def _fold_compiled(
+    step: CompiledStep,
+    executor,
+    slot_stores: Sequence[Store],
+    totals: Dict[str, list],
+) -> None:
+    """Fold a compiled step's reduction partials (join-point side effect)."""
+    for name, partials in totals.items():
+        slot, redop = step.reductions[name]
+        executor.apply_reduction_partials(slot_stores[slot], redop, partials)
+
+
+def _rebuild_opaque_task(
+    step: OpaqueStep,
+    slot_stores: Sequence[Store],
+    tasks: Sequence[IndexTask],
+) -> IndexTask:
+    """Reconstruct an opaque launch's task with the current epoch's stores."""
+    args = tuple(
+        StoreArg(slot_stores[slot], partition, privilege, redop)
+        for slot, partition, privilege, redop in step.arg_specs
+    )
+    return IndexTask(
+        task_name=step.task_name,
+        launch_domain=step.launch_domain,
+        args=args,
+        scalar_args=tasks[step.position].scalar_args,
+    )
+
+
+# ----------------------------------------------------------------------
+# The persistent worker pool.
+# ----------------------------------------------------------------------
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_SIZE = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _worker_pool(workers: int) -> ThreadPoolExecutor:
+    """The process-wide plan-scheduler pool, resized on demand."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE != workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-plan-worker"
+            )
+            _POOL_SIZE = workers
+        return _POOL
+
+
+# ----------------------------------------------------------------------
+# The scheduler.
+# ----------------------------------------------------------------------
+class PlanScheduler:
+    """Executes captured plans level by level on a worker pool."""
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        engine,
+        slot_stores: Sequence[Store],
+        tasks: Sequence[IndexTask],
+    ) -> None:
+        """Replay ``plan`` against the current epoch's stores."""
+        workers = config.worker_count()
+        overlap = config.overlap_model_enabled()
+        if workers <= 1 and not overlap:
+            _execute_plan_serial(plan, engine, slot_stores, tasks)
+            return
+
+        schedule = plan.schedule
+        if schedule is None:
+            schedule = analyze_plan(plan, slot_stores, tasks)
+            plan.schedule = schedule
+        if schedule.width <= 1 and not overlap:
+            # A pure dependence chain has nothing to overlap: record the
+            # DAG statistics and take the (bit-identical) serial path,
+            # skipping the per-step closure and fold machinery.
+            self.runtime.profiler.record_plan_execution(
+                steps=len(schedule.steps),
+                levels=schedule.level_count,
+                width=schedule.width,
+                dispatched=0,
+            )
+            _execute_plan_serial(plan, engine, slot_stores, tasks)
+            return
+        self._execute_scheduled(
+            plan, schedule, engine, slot_stores, tasks, workers, overlap
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_scheduled(
+        self,
+        plan: ExecutionPlan,
+        schedule: PlanSchedule,
+        engine,
+        slot_stores: Sequence[Store],
+        tasks: Sequence[IndexTask],
+        workers: int,
+        overlap: bool,
+    ) -> None:
+        runtime = self.runtime
+        executor = runtime.executor
+        regions = runtime.regions
+        profiler = runtime.profiler
+
+        #: Per-replay slot -> region field memo shared across all steps.
+        fields: Dict[int, object] = {}
+        #: Per-step compute results, indexed like ``schedule.steps``.
+        results: List[object] = [None] * len(schedule.steps)
+        dispatched = 0
+        pool = _worker_pool(workers) if workers > 1 else None
+
+        for level in schedule.levels:
+            pending: List[Tuple[int, object]] = []
+            for index in level:
+                entry = schedule.steps[index]
+                work = self._prepare_work(entry, regions, slot_stores, tasks, fields)
+                if (
+                    pool is not None
+                    and len(level) > 1
+                    and entry.volume >= MIN_DISPATCH_VOLUME
+                ):
+                    pending.append((index, pool.submit(work)))
+                    dispatched += 1
+                else:
+                    results[index] = work()
+            for index, future in pending:
+                results[index] = future.result()
+            # Join point: fold the level's reduction partials in recorded
+            # order so dependent levels (and the final buffers) are
+            # bit-identical to serial replay.
+            for index in level:
+                entry = schedule.steps[index]
+                if entry.compiled:
+                    _fold_compiled(entry.step, executor, slot_stores, results[index])
+                else:
+                    task, _seconds, totals = results[index]
+                    executor.apply_deferred_reductions(task, totals)
+
+        self._account(plan, schedule, results, runtime, profiler, overlap)
+        _apply_plan_epilogue(plan, engine, slot_stores)
+        profiler.record_plan_execution(
+            steps=len(schedule.steps),
+            levels=schedule.level_count,
+            width=schedule.width,
+            dispatched=dispatched,
+        )
+
+    def _prepare_work(
+        self,
+        entry: ScheduledStep,
+        regions,
+        slot_stores: Sequence[Store],
+        tasks: Sequence[IndexTask],
+        fields: Dict[int, object],
+    ) -> Callable[[], object]:
+        """Build a step's compute closure on the scheduling thread.
+
+        Everything order-sensitive (scalar rebinding, field resolution,
+        opaque-task reconstruction) happens here; the returned closure
+        only computes and is safe to run on any worker.
+        """
+        if entry.compiled:
+            step = entry.step
+            if entry.scalar_binds:
+                scalars = {
+                    name: tasks[position].scalar_args[inner]
+                    for name, position, inner in entry.scalar_binds
+                }
+            else:
+                scalars = _bind_scalars(step, tasks)
+            # Resolve fields eagerly so workers never mutate the shared
+            # per-replay memo dict.
+            for _name, slot, is_reduction, _table in step.buffer_bindings:
+                if not is_reduction and slot not in fields:
+                    fields[slot] = regions.field(slot_stores[slot])
+
+            def work() -> object:
+                return _run_compiled(step, regions, slot_stores, scalars, fields)
+
+            return work
+
+        step = entry.step
+        task = _rebuild_opaque_task(step, slot_stores, tasks)
+        executor = self.runtime.executor
+
+        def opaque_work() -> object:
+            seconds, totals = executor.execute_opaque_deferred(task, step.impl)
+            return (task, seconds, totals)
+
+        return opaque_work
+
+    # ------------------------------------------------------------------
+    def _account(
+        self,
+        plan: ExecutionPlan,
+        schedule: PlanSchedule,
+        results: List[object],
+        runtime,
+        profiler,
+        overlap: bool,
+    ) -> None:
+        """Fold the plan's time accounting in recorded order.
+
+        With the overlap model off this reproduces the serial replay's
+        accumulation order exactly (bit-identical simulated seconds);
+        with it on, each dependence level is charged its max step time.
+        """
+        step_records: Dict[int, object] = {}
+        entry_by_plan_index = schedule.index_by_plan
+
+        for plan_index, step in enumerate(plan.steps):
+            if isinstance(step, AnalysisCharge):
+                runtime.add_simulated_seconds(step.seconds)
+                profiler.record_analysis_time(step.seconds)
+                profiler.add_iteration_seconds(step.seconds)
+                continue
+            index = entry_by_plan_index[plan_index]
+            if isinstance(step, CompiledStep):
+                record = profiler.record_task(
+                    name=step.task_name,
+                    constituents=step.constituents,
+                    kernel_seconds=step.kernel_seconds,
+                    communication_seconds=step.communication_seconds,
+                    overhead_seconds=step.overhead_seconds,
+                    launches=step.launches,
+                    fused=step.fused,
+                    replayed=True,
+                    accumulate_iteration=not overlap,
+                )
+            else:
+                _task, kernel_seconds, _totals = results[index]
+                record = profiler.record_task(
+                    name=step.task_name,
+                    constituents=1,
+                    kernel_seconds=kernel_seconds,
+                    communication_seconds=step.communication_seconds,
+                    overhead_seconds=step.overhead_seconds,
+                    launches=1,
+                    fused=False,
+                    replayed=True,
+                    accumulate_iteration=not overlap,
+                )
+            if overlap:
+                step_records[index] = record
+            else:
+                runtime.simulated_seconds += record.total_seconds
+
+        if overlap:
+            machine = runtime.machine
+            for level in schedule.levels:
+                level_seconds = machine.overlapped_level_seconds(
+                    [step_records[index].total_seconds for index in level]
+                )
+                runtime.simulated_seconds += level_seconds
+                profiler.add_iteration_seconds(level_seconds)

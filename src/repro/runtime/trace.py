@@ -52,7 +52,7 @@ from repro.ir.domain import Domain, Rect
 from repro.ir.partition import Partition
 from repro.ir.privilege import Privilege, ReductionOp
 from repro.ir.store import Store
-from repro.ir.task import FusedTask, IndexTask, StoreArg
+from repro.ir.task import FusedTask, IndexTask, stream_scalar_pattern
 
 #: Upper bound on the deferred epoch buffer.  An application that never
 #: synchronises still gets deterministic segmentation: the buffer is
@@ -122,7 +122,15 @@ def canonicalize_stream(tasks: Sequence[IndexTask]) -> CanonicalStream:
             canonical_args.append((slot, shape, partition_index, privilege, redop))
         canonical_tasks.append((name, domain_shape, tuple(canonical_args), scalar_count))
 
-    stream_key = (tuple(canonical_tasks), tuple(liveness))
+    # The scalar *equality pattern* is part of the key (the same helper
+    # the memoization window key uses): captured kernels may deduplicate
+    # scalar parameters with bit-identical values, so a plan is only
+    # valid for epochs with the same pattern.
+    stream_key = (
+        tuple(canonical_tasks),
+        tuple(liveness),
+        stream_scalar_pattern(tasks),
+    )
     return CanonicalStream(
         stream_key=stream_key,
         slot_stores=slot_stores,
@@ -135,6 +143,13 @@ def canonicalize_stream(tasks: Sequence[IndexTask]) -> CanonicalStream:
 # ----------------------------------------------------------------------
 # Plan steps.
 # ----------------------------------------------------------------------
+#: Per-slot access summary of one captured step: ``(canonical slot,
+#: reads, writes, reduces)`` with the privileges of all arguments touching
+#: the slot merged.  The plan scheduler derives the step-level dependence
+#: DAG of a plan from these footprints alone.
+StepFootprint = Tuple[Tuple[int, bool, bool, bool], ...]
+
+
 @dataclass
 class CompiledStep:
     """One captured launch executed through a compiled kernel."""
@@ -154,6 +169,8 @@ class CompiledStep:
     scalar_positions: Tuple[int, ...]
     #: Buffer name -> (canonical slot, reduction operator).
     reductions: Dict[str, Tuple[int, ReductionOp]]
+    #: Read/write/reduce store footprint (from the launch's privileges).
+    footprint: StepFootprint
     kernel_seconds: float
     communication_seconds: float
     overhead_seconds: float
@@ -170,6 +187,8 @@ class OpaqueStep:
     arg_specs: Tuple[Tuple[int, Partition, Privilege, Optional[ReductionOp]], ...]
     #: Epoch position of the task (its scalar args are rebound at replay).
     position: int
+    #: Read/write/reduce store footprint (from the launch's privileges).
+    footprint: StepFootprint
     communication_seconds: float
     overhead_seconds: float
 
@@ -208,6 +227,10 @@ class ExecutionPlan:
     temporaries_eliminated: int
     #: Number of library tasks the plan stands for.
     task_count: int
+    #: Lazily-computed dependence schedule (``runtime.scheduler``), cached
+    #: on the plan so the DAG is built once per captured plan, not once
+    #: per replay.
+    schedule: Optional[object] = None
 
 
 # ----------------------------------------------------------------------
@@ -316,9 +339,31 @@ class TraceRecorder:
             scalar_order=tuple(scalar_order),
             scalar_positions=scalar_positions,
             reductions=reductions,
+            footprint=self._footprint(task.args),
             kernel_seconds=record.kernel_seconds,
             communication_seconds=record.communication_seconds,
             overhead_seconds=record.overhead_seconds,
+        )
+
+    def _footprint(self, args) -> StepFootprint:
+        """Merge the privileges of a launch's arguments per canonical slot."""
+        slot_of_uid = self.stream.slot_of_uid
+        merged: Dict[int, List[bool]] = {}
+        for arg in args:
+            slot = slot_of_uid[arg.store.uid]
+            entry = merged.get(slot)
+            if entry is None:
+                entry = merged[slot] = [False, False, False]
+            privilege = arg.privilege
+            if privilege.reads:
+                entry[0] = True
+            if privilege.writes:
+                entry[1] = True
+            if privilege.reduces:
+                entry[2] = True
+        return tuple(
+            (slot, reads, writes, reduces)
+            for slot, (reads, writes, reduces) in sorted(merged.items())
         )
 
     @staticmethod
@@ -363,6 +408,7 @@ class TraceRecorder:
             launch_domain=task.launch_domain,
             arg_specs=arg_specs,
             position=self.stream.position_of_uid[task.uid],
+            footprint=self._footprint(task.args),
             communication_seconds=record.communication_seconds,
             overhead_seconds=record.overhead_seconds,
         )
@@ -390,133 +436,10 @@ class TraceRecorder:
 
 
 # ----------------------------------------------------------------------
-# Replay.
-# ----------------------------------------------------------------------
-def execute_plan(
-    plan: ExecutionPlan,
-    engine,
-    slot_stores: Sequence[Store],
-    tasks: Sequence[IndexTask],
-) -> None:
-    """Replay a captured plan against the current epoch's stores.
-
-    ``tasks`` is the current epoch's stream (program order); it supplies
-    the scalar arguments, which are rebound on every replay.
-    """
-    runtime = engine.runtime
-    executor = runtime.executor
-    regions = runtime.regions
-    profiler = runtime.profiler
-
-    for step in plan.steps:
-        if isinstance(step, AnalysisCharge):
-            runtime.add_simulated_seconds(step.seconds)
-            profiler.record_analysis_time(step.seconds)
-            profiler.add_iteration_seconds(step.seconds)
-            continue
-        if isinstance(step, CompiledStep):
-            scalars: Dict[str, float] = {}
-            if step.scalar_order:
-                flat: List[float] = []
-                for position in step.scalar_positions:
-                    flat.extend(tasks[position].scalar_args)
-                for name, index in step.scalar_order:
-                    scalars[name] = flat[index]
-            _replay_compiled(step, executor, regions, slot_stores, scalars)
-            record = profiler.record_task(
-                name=step.task_name,
-                constituents=step.constituents,
-                kernel_seconds=step.kernel_seconds,
-                communication_seconds=step.communication_seconds,
-                overhead_seconds=step.overhead_seconds,
-                launches=step.launches,
-                fused=step.fused,
-                replayed=True,
-            )
-        else:
-            task = _rebuild_opaque_task(step, slot_stores, tasks)
-            kernel_seconds = executor.execute_opaque(task, step.impl)
-            record = profiler.record_task(
-                name=step.task_name,
-                constituents=1,
-                kernel_seconds=kernel_seconds,
-                communication_seconds=step.communication_seconds,
-                overhead_seconds=step.overhead_seconds,
-                launches=1,
-                fused=False,
-                replayed=True,
-            )
-        runtime.simulated_seconds += record.total_seconds
-
-    # Apply the captured coherence transitions wholesale.
-    coherence = runtime.coherence
-    for slot, state_key in plan.exit_states:
-        coherence.apply_state_key(slot_stores[slot], state_key)
-    if plan.bytes_moved:
-        coherence.add_bytes_moved(plan.bytes_moved)
-
-    stats = engine.stats
-    stats.forwarded_tasks += plan.forwarded_tasks
-    stats.fused_tasks += plan.fused_tasks
-    stats.fused_constituents += plan.fused_constituents
-    stats.temporaries_eliminated += plan.temporaries_eliminated
-
-
-def _replay_compiled(
-    step: CompiledStep,
-    executor,
-    regions,
-    slot_stores: Sequence[Store],
-    scalars: Dict[str, float],
-) -> None:
-    """Run a compiled step's kernel over every launch point."""
-    prepared = tuple(
-        (
-            name,
-            None if is_reduction else regions.field(slot_stores[slot]),
-            is_reduction,
-            table,
-        )
-        for name, slot, is_reduction, table in step.buffer_bindings
-    )
-    kernel_fn = step.kernel.executor
-    reductions = step.reductions
-    totals: Dict[str, list] = {}
-    buffers: Dict[str, Optional[object]] = {}
-    for rank in range(step.num_points):
-        for name, field, is_reduction, table in prepared:
-            if is_reduction:
-                buffers[name] = None
-            else:
-                buffers[name] = field.view(table[rank][0])
-        partials = kernel_fn(buffers, scalars)
-        if partials:
-            for name, partial in partials.items():
-                if name in reductions:
-                    totals.setdefault(name, []).append(partial)
-    for name, partials in totals.items():
-        slot, redop = reductions[name]
-        executor.apply_reduction_partials(slot_stores[slot], redop, partials)
-
-
-def _rebuild_opaque_task(
-    step: OpaqueStep,
-    slot_stores: Sequence[Store],
-    tasks: Sequence[IndexTask],
-) -> IndexTask:
-    """Reconstruct an opaque launch's task with the current epoch's stores."""
-    args = tuple(
-        StoreArg(slot_stores[slot], partition, privilege, redop)
-        for slot, partition, privilege, redop in step.arg_specs
-    )
-    return IndexTask(
-        task_name=step.task_name,
-        launch_domain=step.launch_domain,
-        args=args,
-        scalar_args=tasks[step.position].scalar_args,
-    )
-
-
+# Replay lives in ``repro.runtime.scheduler``: the plan scheduler builds
+# each plan's step-level dependence DAG from the captured footprints and
+# dispatches independent steps to a worker pool (``REPRO_WORKERS=1``
+# restores the serial replay path this module used to implement).
 # ----------------------------------------------------------------------
 # The controller: deferred stream + trace cache.
 # ----------------------------------------------------------------------
@@ -578,7 +501,15 @@ class TraceController:
         entry_states = tuple(
             coherence.state_key(store) for store in stream.slot_stores
         )
-        key = (stream.stream_key, stream.partition_table, entry_states)
+        # The *window fingerprint* pins how the epoch would be chunked
+        # into fusion-window rounds.  An epoch captured while the
+        # adaptive window was still growing replays its (smaller-window)
+        # fused structure forever if the size is not part of the key;
+        # fingerprinting the size forces an automatic re-capture once the
+        # window has grown.  Sizes at or above the epoch length are
+        # equivalent (a single round), so the fingerprint saturates.
+        window_fingerprint = min(engine.window.size, len(tasks))
+        key = (stream.stream_key, stream.partition_table, entry_states, window_fingerprint)
 
         profiler = engine.runtime.profiler
         plan = self.cache.get(key)
@@ -586,7 +517,9 @@ class TraceController:
             profiler.record_trace_hit(len(tasks))
             self.replayed_epochs += 1
             try:
-                execute_plan(plan, engine, stream.slot_stores, tasks)
+                engine.runtime.plan_scheduler.execute(
+                    plan, engine, stream.slot_stores, tasks
+                )
             finally:
                 self._release(tasks, 0)
             return

@@ -290,3 +290,232 @@ class TestParallelizeAndPipeline:
         )
         untouched = pipeline.run(function, binding)
         assert count_loops(untouched) == 3
+
+
+class TestNormalize:
+    """Algebraic normalisation before CSE (bit-exact sign rewrites)."""
+
+    def _normalize(self, function):
+        from repro.kernel.passes.normalize import normalize_function
+
+        return normalize_function(function)
+
+    def test_neg_pulled_through_division_and_erf(self):
+        from repro.kernel.kir import (
+            Assign,
+            BinOp,
+            BinOpKind,
+            Function,
+            Load,
+            LocalRef,
+            Loop,
+            Param,
+            UnOp,
+            UnOpKind,
+        )
+
+        loop = Loop(
+            index_buffer="x",
+            body=(
+                Assign(
+                    target="d",
+                    expr=BinOp(BinOpKind.DIV, UnOp(UnOpKind.NEG, Load("x")), Load("y")),
+                    is_local=True,
+                ),
+                Assign(target="out", expr=UnOp(UnOpKind.ERF, LocalRef("d"))),
+            ),
+        )
+        function = Function(
+            name="k",
+            params=(Param.buffer("x"), Param.buffer("y"), Param.buffer("out")),
+            body=(loop,),
+        )
+        normalized = self._normalize(function)
+        new_loop = normalized.loops[0]
+        # The local now stores the positive quotient...
+        local_def = new_loop.body[0]
+        assert isinstance(local_def, Assign) and local_def.is_local
+        assert local_def.expr == BinOp(BinOpKind.DIV, Load("x"), Load("y"))
+        # ...and the erf consumer sees neg(erf(d)), the sign outside.
+        out_def = new_loop.body[1]
+        assert out_def.expr == UnOp(
+            UnOpKind.NEG, UnOp(UnOpKind.ERF, LocalRef("d"))
+        )
+
+    def test_double_negation_cancels(self):
+        from repro.kernel.kir import Assign, Load, Loop, UnOp, UnOpKind
+
+        loop = Loop(
+            index_buffer="x",
+            body=(
+                Assign(
+                    target="out",
+                    expr=UnOp(UnOpKind.NEG, UnOp(UnOpKind.NEG, Load("x"))),
+                ),
+            ),
+        )
+        from repro.kernel.kir import Function, Param
+
+        function = Function(
+            name="k",
+            params=(Param.buffer("x"), Param.buffer("out")),
+            body=(loop,),
+        )
+        normalized = self._normalize(function)
+        assert normalized.loops[0].body[0].expr == Load("x")
+
+    def test_value_numbering_dedups_sign_twins(self):
+        """x/y and neg(x)/y collapse to one division."""
+        from repro.kernel.kir import (
+            Assign,
+            BinOp,
+            BinOpKind,
+            Function,
+            Load,
+            LocalRef,
+            Loop,
+            Param,
+            UnOp,
+            UnOpKind,
+        )
+
+        div = BinOp(BinOpKind.DIV, Load("x"), Load("y"))
+        neg_div = BinOp(BinOpKind.DIV, UnOp(UnOpKind.NEG, Load("x")), Load("y"))
+        loop = Loop(
+            index_buffer="x",
+            body=(
+                Assign(target="p", expr=div, is_local=True),
+                Assign(target="q", expr=neg_div, is_local=True),
+                Assign(target="o1", expr=LocalRef("p")),
+                Assign(target="o2", expr=LocalRef("q")),
+            ),
+        )
+        function = Function(
+            name="k",
+            params=(Param.buffer("x"), Param.buffer("y"), Param.buffer("o1"), Param.buffer("o2")),
+            body=(loop,),
+        )
+        normalized = self._normalize(function)
+        body = normalized.loops[0].body
+        # q aliases p; its consumer reads neg(p).
+        assert body[1].expr == LocalRef("p")
+        assert body[3].expr == UnOp(UnOpKind.NEG, LocalRef("p"))
+
+    def test_buffer_write_invalidates_value_numbers(self):
+        from repro.kernel.kir import (
+            Assign,
+            BinOp,
+            BinOpKind,
+            Function,
+            Load,
+            LocalRef,
+            Loop,
+            Param,
+        )
+
+        expr = BinOp(BinOpKind.MUL, Load("x"), Load("x"))
+        loop = Loop(
+            index_buffer="x",
+            body=(
+                Assign(target="p", expr=expr, is_local=True),
+                Assign(target="x", expr=Load("y")),  # overwrites x
+                Assign(target="q", expr=expr, is_local=True),
+                Assign(
+                    target="o1",
+                    expr=BinOp(BinOpKind.ADD, LocalRef("p"), LocalRef("q")),
+                ),
+            ),
+        )
+        function = Function(
+            name="k",
+            params=(Param.buffer("x"), Param.buffer("y"), Param.buffer("o1")),
+            body=(loop,),
+        )
+        normalized = self._normalize(function)
+        body = normalized.loops[0].body
+        # q must NOT alias p: x changed in between.
+        assert body[2].expr == expr
+
+
+class TestNormalizeBlackScholes:
+    """Satellite acceptance: the erf(±d1/√2) pair deduplicates and the
+    result stays bitwise identical (checked by the differential backend
+    on every kernel invocation *and* by direct array comparison)."""
+
+    def _run(self, normalize, monkeypatch):
+        from repro import config
+        from repro.apps.base import build_application
+        from repro.experiments.harness import scaled_machine
+        from repro.frontend.legate.context import RuntimeContext, set_context
+
+        monkeypatch.setenv("REPRO_NORMALIZE", normalize)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "differential")
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        config.reload_flags()
+        context = RuntimeContext(num_gpus=2, fusion=True, machine=scaled_machine(2, 1e-4))
+        set_context(context)
+        try:
+            app = build_application("black-scholes", context=context, elements_per_gpu=128)
+            app.run(6)
+            call = app.call.to_numpy()
+            put = app.put.to_numpy()
+            # The steady-state kernel covering the whole pricing chain is
+            # the one with the most fused constituents; partial warm-up
+            # window rounds also sit in the cache.
+            kernel = max(
+                context.diffuse.compiler._cache.values(),
+                key=lambda k: k.fused_count,
+            )
+            erf_count = _count_erf(kernel.function)
+        finally:
+            set_context(None)
+            config.reload_flags()
+        return call, put, erf_count
+
+    def test_bitwise_equality_and_dedup(self, monkeypatch):
+        call_off, put_off, erf_off = self._run("0", monkeypatch)
+        call_on, put_on, erf_on = self._run("1", monkeypatch)
+        # The un-normalised fused kernel evaluates erf four times; the
+        # normalised one shares the ±d1 and ±d2 pairs.
+        assert erf_off == 4
+        assert erf_on == 2
+        assert np.array_equal(call_on, call_off)
+        assert np.array_equal(put_on, put_off)
+
+
+def _count_erf(function):
+    from repro.kernel.kir import Assign, BinOp, Loop, Reduce, UnOp, UnOpKind
+
+    def count_expr(expr):
+        if isinstance(expr, UnOp):
+            inner = count_expr(expr.operand)
+            return inner + (1 if expr.op is UnOpKind.ERF else 0)
+        if isinstance(expr, BinOp):
+            return count_expr(expr.lhs) + count_expr(expr.rhs)
+        return 0
+
+    total = 0
+    for loop in function.loops:
+        for stmt in loop.body:
+            if isinstance(stmt, (Assign, Reduce)):
+                total += count_expr(stmt.expr)
+    return total
+
+
+class TestErfExactlyOdd:
+    """The erf(neg(x)) -> neg(erf(x)) rewrite requires _erf to be odd
+    bit-for-bit, including signed zeros (IEEE: erf(-0.0) == -0.0)."""
+
+    def test_erf_odd_at_zero_and_elsewhere(self):
+        import struct
+
+        from repro.kernel.kir import _erf
+
+        def bits(value):
+            return struct.pack("<d", float(value))
+
+        assert bits(_erf(np.float64(-0.0))) == bits(-np.float64(0.0))
+        assert bits(_erf(np.float64(0.0))) == bits(np.float64(0.0))
+        for value in (0.5, -0.5, 3.0, 1e-300, -1e-300, np.inf, -np.inf):
+            x = np.float64(value)
+            assert bits(_erf(-x)) == bits(-_erf(x)), value

@@ -313,6 +313,78 @@ class TestTraceController:
         assert engine.trace.pending == 0
 
 
+class TestWindowSizeFingerprint:
+    """Regression: plans captured while the adaptive window was still
+    growing must be re-captured once it has grown, instead of replaying
+    the stale (smaller-window, more-launches) plan forever."""
+
+    def _submit_chain(self, engine, manager, launch, part, src, length, scalar):
+        tasks = []
+        current = src
+        for index in range(length):
+            nxt = manager.create_store((16,), name=f"chain{index}")
+            tasks.append(
+                IndexTask(
+                    "multiply_scalar",
+                    launch,
+                    [
+                        StoreArg(current, part, Privilege.READ),
+                        StoreArg(nxt, part, Privilege.WRITE),
+                    ],
+                    scalar_args=(scalar,),
+                )
+            )
+            current = nxt
+        current.add_application_reference()
+        for task in tasks:
+            engine.submit(task)
+        engine.flush_window()
+        return current
+
+    def _run(self, trace, monkeypatch, epochs=14):
+        monkeypatch.setenv("REPRO_TRACE", trace)
+        config.reload_flags()
+        manager = StoreManager()
+        launch = Domain((4,))
+        part = natural_tiling((16,), launch)
+        runtime = LegionRuntime(MachineConfig(num_gpus=4))
+        engine = DiffuseRuntime(
+            runtime=runtime,
+            config=FusionConfig(initial_window_size=4, max_window_size=64),
+        )
+        src = manager.create_store((16,), name="src")
+        src.add_application_reference()
+        runtime.attach_array(src, np.ones(16))
+
+        long_epoch_launches = []
+        last = None
+        for _ in range(epochs):
+            runtime.profiler.begin_iteration()
+            # A short fusible epoch grows the window on memoization hits...
+            self._submit_chain(engine, manager, launch, part, src, 4, 1.01)
+            # ...so the long fusible chain can be captured mid-growth.
+            before = runtime.profiler.total_index_tasks
+            last = self._submit_chain(engine, manager, launch, part, src, 20, 1.02)
+            long_epoch_launches.append(runtime.profiler.total_index_tasks - before)
+        return engine, runtime, long_epoch_launches, runtime.read_array(last)
+
+    def test_long_chain_recaptures_after_window_growth(self, monkeypatch):
+        engine, runtime, launches, data = self._run("1", monkeypatch)
+        # Early epochs run (and may be captured) with a window still too
+        # small for the whole chain; once the window has grown, the
+        # fingerprinted key forces a re-capture of the optimal plan.
+        assert launches[0] > 1
+        assert launches[-1] == 1
+        assert runtime.profiler.trace_hits > 0
+        # At least two distinct plans were captured for the same stream.
+        assert engine.trace.captured_plans >= 2
+
+        # Steady state matches the eager pipeline's launch count and bits.
+        _, _, eager_launches, eager_data = self._run("0", monkeypatch)
+        assert launches[-1] == eager_launches[-1]
+        np.testing.assert_array_equal(data, eager_data)
+
+
 class TestFusionConfigCopied:
     """Regression: RuntimeContext must not mutate the caller's config."""
 
