@@ -5,7 +5,7 @@ Unlike the ``benchmarks/test_*`` suite — which reproduces the paper's
 *simulated* figures — this harness measures the reproduction's own
 **real wall-clock** execution speed, establishing the perf trajectory of
 the repository.  It runs CG, Jacobi and Black-Scholes end-to-end (fusion
-enabled) under three configurations:
+enabled) under five configurations:
 
 ``baseline``
     ``REPRO_KERNEL_BACKEND=interpreter`` + ``REPRO_HOTPATH_CACHE=0`` +
@@ -33,18 +33,34 @@ enabled) under three configurations:
     the algebraic-normalisation/CSE improvements (bit-exact erf/negation
     rewrites, value-deduplicated scalar parameters) that ship with it.
 
+``point``
+    ``scheduler`` plus intra-launch point dispatch:
+    ``REPRO_POINT_WORKERS=4`` partitions the per-rank point tasks of
+    each multi-rank launch into contiguous chunks executed across the
+    shared worker pool (the PR-4 tentpole) — the first mode whose
+    speedup comes from filling the machine *inside* a single launch.
+
 The ``scheduler`` mode is additionally timed against ``trace`` on a
 kernel-dominated gate configuration (Black-Scholes with a large batch,
 where the deduplicated transcendentals dominate); full mode enforces a
->= 1.2x scheduler-over-trace speedup there.
+>= 1.2x scheduler-over-trace speedup there.  The ``point`` mode has its
+own gate: a multi-rank, kernel-dominated Jacobi configuration (the
+opaque GEMV dominates and its 8 rank tiles parallelise across the
+pool), where full mode enforces a >= 1.3x point-over-scheduler speedup
+— on hosts with at least two CPUs.  Intra-launch dispatch is thread
+parallelism, so on a single-core host the gate measurement is recorded
+(and checksum equality still enforced) but the speedup threshold is
+reported as not enforceable.
 
 Before timing, a differential pass (``REPRO_KERNEL_BACKEND=differential``
-with tracing and the scheduler enabled, so replayed/scheduled epochs are
-checked too) runs every application once with both backends on every
-kernel invocation and aborts on any bitwise divergence; checksum
-equality between all timed runs is asserted as well.  Trace hit counts,
-hit rates and plan-scheduler statistics (DAG width, worker utilisation)
-are recorded, and every iterative app must report >0 trace hits.
+with tracing, the scheduler AND point dispatch enabled, so replayed,
+scheduled and point-chunked epochs are all checked) runs every
+application once with both backends on every kernel invocation and
+aborts on any bitwise divergence; checksum equality between all timed
+runs is asserted as well.  Trace hit counts, hit rates, plan-scheduler
+statistics (DAG width, worker utilisation), point-dispatch statistics
+(width, chunk counts, utilisation) and scalar-pattern-flip counts are
+recorded, and every iterative app must report >0 trace hits.
 Results are written to ``BENCH_wallclock.json``.
 
 Usage::
@@ -95,6 +111,7 @@ MODES = {
         "REPRO_HOTPATH_CACHE": "0",
         "REPRO_TRACE": "0",
         "REPRO_WORKERS": "1",
+        "REPRO_POINT_WORKERS": "1",
         "REPRO_NORMALIZE": "0",
     },
     "codegen": {
@@ -102,6 +119,7 @@ MODES = {
         "REPRO_HOTPATH_CACHE": "1",
         "REPRO_TRACE": "0",
         "REPRO_WORKERS": "1",
+        "REPRO_POINT_WORKERS": "1",
         "REPRO_NORMALIZE": "0",
     },
     "trace": {
@@ -109,6 +127,7 @@ MODES = {
         "REPRO_HOTPATH_CACHE": "1",
         "REPRO_TRACE": "1",
         "REPRO_WORKERS": "1",
+        "REPRO_POINT_WORKERS": "1",
         "REPRO_NORMALIZE": "0",
     },
     "scheduler": {
@@ -116,6 +135,15 @@ MODES = {
         "REPRO_HOTPATH_CACHE": "1",
         "REPRO_TRACE": "1",
         "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "1",
+        "REPRO_NORMALIZE": "1",
+    },
+    "point": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "4",
         "REPRO_NORMALIZE": "1",
     },
     "differential": {
@@ -123,6 +151,7 @@ MODES = {
         "REPRO_HOTPATH_CACHE": "1",
         "REPRO_TRACE": "1",
         "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "4",
         "REPRO_NORMALIZE": "1",
     },
 }
@@ -142,6 +171,27 @@ SCHEDULER_GATE_SMOKE_CONFIG = dict(
     num_gpus=4, iterations=6, warmup=2, app_kwargs={"elements_per_gpu": 4096}
 )
 SCHEDULER_SPEEDUP_THRESHOLD = 1.2
+
+#: Point-dispatch gate: a multi-rank, kernel-dominated configuration —
+#: Jacobi's opaque GEMV dominates wall-clock and its per-rank tiles are
+#: large NumPy matvecs that release the GIL, so chunking the 8 ranks
+#: across 4 pool workers must beat the PR-3 scheduler path end to end.
+POINT_GATE_APP = "jacobi"
+POINT_GATE_CONFIG = dict(
+    num_gpus=8, iterations=16, warmup=2, app_kwargs={"rows_per_gpu": 768}
+)
+POINT_GATE_SMOKE_CONFIG = dict(
+    num_gpus=4, iterations=4, warmup=2, app_kwargs={"rows_per_gpu": 192}
+)
+POINT_SPEEDUP_THRESHOLD = 1.3
+
+
+def _host_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
 
 
 def _set_mode(mode: str) -> None:
@@ -208,7 +258,14 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
         trace_seconds, trace = _measure(app, spec, "trace", repeats)
         print(f"[{app}] timing plan scheduler ...", flush=True)
         scheduler_seconds, scheduler = _measure(app, spec, "scheduler", repeats)
+        print(f"[{app}] timing point dispatch ...", flush=True)
+        point_seconds, point = _measure(app, spec, "point", repeats)
 
+        if baseline.checksum != point.checksum:
+            failures.append(
+                f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
+                f"vs point {point.checksum!r})"
+            )
         if baseline.checksum != codegen.checksum:
             failures.append(
                 f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
@@ -238,8 +295,15 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
         scheduler_speedup = (
             baseline_seconds / scheduler_seconds if scheduler_seconds > 0 else float("inf")
         )
+        point_speedup = (
+            baseline_seconds / point_seconds if point_seconds > 0 else float("inf")
+        )
         all_checksums_equal = (
-            baseline.checksum == codegen.checksum == trace.checksum == scheduler.checksum
+            baseline.checksum
+            == codegen.checksum
+            == trace.checksum
+            == scheduler.checksum
+            == point.checksum
         )
         report[app] = {
             "config": {
@@ -252,9 +316,11 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
             "codegen_seconds": round(codegen_seconds, 6),
             "trace_seconds": round(trace_seconds, 6),
             "scheduler_seconds": round(scheduler_seconds, 6),
+            "point_seconds": round(point_seconds, 6),
             "codegen_speedup": round(codegen_speedup, 3),
             "speedup": round(speedup, 3),
             "scheduler_speedup": round(scheduler_speedup, 3),
+            "point_speedup": round(point_speedup, 3),
             "trace_vs_codegen": round(
                 codegen_seconds / trace_seconds if trace_seconds > 0 else float("inf"), 3
             ),
@@ -262,14 +328,25 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
                 trace_seconds / scheduler_seconds if scheduler_seconds > 0 else float("inf"),
                 3,
             ),
+            "point_vs_scheduler": round(
+                scheduler_seconds / point_seconds if point_seconds > 0 else float("inf"),
+                3,
+            ),
             "trace_hits": trace.trace_hits,
             "trace_misses": trace.trace_misses,
             "trace_hit_rate": round(trace.trace_hit_rate, 4),
             "trace_replayed_tasks": trace.trace_replayed_tasks,
+            "scalar_pattern_flips": trace.scalar_pattern_flips,
             "plan_replays": scheduler.plan_replays,
             "plan_width_max": scheduler.plan_width_max,
             "plan_average_width": round(scheduler.plan_average_width, 3),
             "worker_utilization": round(scheduler.worker_utilization, 4),
+            "point_dispatch_width": point.point_dispatch_width,
+            "point_launches": point.point_launches,
+            "point_chunks": point.point_chunks,
+            "point_width_max": point.point_width_max,
+            "point_chunks_per_launch": round(point.point_chunks_per_launch, 3),
+            "point_utilization": round(point.point_utilization, 4),
             "checksum": trace.checksum,
             "checksums_equal": all_checksums_equal,
             "differential_check": "passed",
@@ -279,7 +356,8 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
             f"{codegen_seconds:.4f}s ({codegen_speedup:.2f}x)  trace "
             f"{trace_seconds:.4f}s ({speedup:.2f}x, hit rate "
             f"{trace.trace_hit_rate:.2f})  scheduler "
-            f"{scheduler_seconds:.4f}s ({scheduler_speedup:.2f}x)",
+            f"{scheduler_seconds:.4f}s ({scheduler_speedup:.2f}x)  point "
+            f"{point_seconds:.4f}s ({point_speedup:.2f}x)",
             flush=True,
         )
 
@@ -328,6 +406,76 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
                 f"{SCHEDULER_SPEEDUP_THRESHOLD}x acceptance threshold"
             )
 
+    # ------------------------------------------------------------------
+    # Point-dispatch gate: PR-4 intra-launch point parallelism vs the
+    # PR-3 scheduler path on a multi-rank kernel-dominated configuration.
+    # The speedup comes from running rank chunks on multiple CPUs, so
+    # the threshold is only enforceable on multi-core hosts; checksum
+    # equality (and the differential pass above) is enforced everywhere.
+    # ------------------------------------------------------------------
+    point_gate_spec = POINT_GATE_SMOKE_CONFIG if smoke else POINT_GATE_CONFIG
+    point_gate_report = None
+    host_cpus = _host_cpus()
+    if apps is None or POINT_GATE_APP in (apps or []):
+        app = POINT_GATE_APP
+        print(
+            f"[point-gate] timing {app} {point_gate_spec['app_kwargs']} ...",
+            flush=True,
+        )
+        gate_sched_seconds, gate_sched = _measure(app, point_gate_spec, "scheduler", repeats)
+        gate_point_seconds, gate_point = _measure(app, point_gate_spec, "point", repeats)
+        point_gate_speedup = (
+            gate_sched_seconds / gate_point_seconds
+            if gate_point_seconds > 0
+            else float("inf")
+        )
+        if gate_sched.checksum != gate_point.checksum:
+            failures.append(
+                f"point-gate: checksum mismatch (scheduler {gate_sched.checksum!r} "
+                f"vs point {gate_point.checksum!r})"
+            )
+        if gate_point.point_launches == 0:
+            failures.append("point-gate: point mode never dispatched rank chunks")
+        enforced = not smoke and host_cpus >= 2
+        point_gate_report = {
+            "app": app,
+            "config": {
+                "num_gpus": point_gate_spec["num_gpus"],
+                "iterations": point_gate_spec["iterations"],
+                "warmup_iterations": point_gate_spec["warmup"],
+                **point_gate_spec["app_kwargs"],
+            },
+            "scheduler_seconds": round(gate_sched_seconds, 6),
+            "point_seconds": round(gate_point_seconds, 6),
+            "point_vs_scheduler": round(point_gate_speedup, 3),
+            "threshold": POINT_SPEEDUP_THRESHOLD,
+            "host_cpus": host_cpus,
+            "enforced": enforced,
+            "point_launches": gate_point.point_launches,
+            "point_chunks": gate_point.point_chunks,
+            "point_width_max": gate_point.point_width_max,
+            "point_utilization": round(gate_point.point_utilization, 4),
+            "checksums_equal": gate_sched.checksum == gate_point.checksum,
+        }
+        print(
+            f"[point-gate] scheduler {gate_sched_seconds:.4f}s  point "
+            f"{gate_point_seconds:.4f}s ({point_gate_speedup:.2f}x, "
+            f"host cpus {host_cpus}, "
+            f"{'enforced' if enforced else 'not enforced'})",
+            flush=True,
+        )
+        if enforced and point_gate_speedup < POINT_SPEEDUP_THRESHOLD:
+            failures.append(
+                f"point-gate: {point_gate_speedup:.3f}x below the "
+                f"{POINT_SPEEDUP_THRESHOLD}x acceptance threshold"
+            )
+        elif not smoke and not enforced:
+            print(
+                "[point-gate] single-core host: threshold recorded but not "
+                "enforceable (intra-launch dispatch is thread parallelism)",
+                flush=True,
+            )
+
     if not smoke:
         for app, threshold in SPEEDUP_THRESHOLDS.items():
             if app in report and report[app]["speedup"] < threshold:
@@ -339,14 +487,16 @@ def run_harness(smoke: bool, output: str, apps: Optional[List[str]] = None) -> i
     payload = {
         "benchmark": (
             "wall-clock: seed interpreter vs codegen JIT vs trace replay "
-            "vs plan scheduler"
+            "vs plan scheduler vs point dispatch"
         ),
         "mode": "smoke" if smoke else "full",
         "repeats_per_mode": repeats,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "host_cpus": host_cpus,
         "apps": report,
         "scheduler_gate": gate_report,
+        "point_gate": point_gate_report,
         "failures": failures,
     }
     with open(output, "w") as handle:

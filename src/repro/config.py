@@ -39,10 +39,27 @@ can flip them between runs in one process:
     ``os.cpu_count()`` bounded to 8; ``1`` restores the serial replay
     path of the trace layer.  Results are bit-identical for every value.
 
+``REPRO_POINT_WORKERS``
+    Width of *intra-launch* point-task dispatch: the per-rank point
+    tasks of one compiled or opaque launch are partitioned into
+    contiguous rank chunks and executed across the shared worker pool
+    (write tiles are disjoint by construction; reduction partials and
+    per-GPU simulated seconds are folded in recorded rank order at the
+    launch's join point, so buffers and simulated time are bit-identical
+    for every width).  ``1`` (default) keeps the serial per-rank launch
+    loop.
+
+``REPRO_POINT_MIN_RANKS``
+    Minimum number of launch ranks per dispatched chunk (default ``1``).
+    Bounds how finely a launch is split: a launch of ``R`` ranks
+    produces at most ``R // REPRO_POINT_MIN_RANKS`` chunks.
+
 ``REPRO_OVERLAP_MODEL``
-    ``1`` makes the plan scheduler charge overlap-aware simulated time:
-    the simulated seconds of a dependence level are the maximum over its
-    steps rather than their sum.  ``0`` (default) keeps the serial time
+    ``1`` switches simulated time to overlap-aware accounting: the plan
+    scheduler charges each dependence level of a replayed plan the
+    maximum over its steps rather than their sum, and the eager path
+    charges each greedy group of consecutive pairwise-independent
+    launches its maximum.  ``0`` (default) keeps the serial time
     accounting, which is bit-identical to eager execution.
 
 ``REPRO_NORMALIZE``
@@ -71,6 +88,12 @@ TRACE_ENV_VAR = "REPRO_TRACE"
 
 #: Environment variable sizing the plan-scheduler worker pool.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Environment variable sizing intra-launch point-task dispatch.
+POINT_WORKERS_ENV_VAR = "REPRO_POINT_WORKERS"
+
+#: Environment variable bounding the smallest dispatched rank chunk.
+POINT_MIN_RANKS_ENV_VAR = "REPRO_POINT_MIN_RANKS"
 
 #: Environment variable enabling overlap-aware simulated-time accounting.
 OVERLAP_MODEL_ENV_VAR = "REPRO_OVERLAP_MODEL"
@@ -126,6 +149,21 @@ def trace_enabled() -> bool:
     return _trace_flag
 
 
+def _positive_int_env(env_var: str, default: int) -> int:
+    """Parse a positive-integer flag, clamping explicit values to ≥ 1.
+
+    The single parser behind every ``REPRO_*`` worker/width knob, so
+    junk values degrade to the serial behaviour consistently.
+    """
+    raw = os.environ.get(env_var, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
 _worker_count: int | None = None
 
 
@@ -139,15 +177,40 @@ def worker_count() -> int:
     """
     global _worker_count
     if _worker_count is None:
-        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
-        if raw:
-            try:
-                _worker_count = max(1, int(raw))
-            except ValueError:
-                _worker_count = 1
-        else:
-            _worker_count = max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+        _worker_count = _positive_int_env(
+            WORKERS_ENV_VAR,
+            max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS)),
+        )
     return _worker_count
+
+
+_point_worker_count: int | None = None
+
+
+def point_worker_count() -> int:
+    """Width of intra-launch point dispatch (``REPRO_POINT_WORKERS``).
+
+    ``1`` (the default) keeps the serial per-rank launch loop; larger
+    values partition each launch's point tasks into that many contiguous
+    rank chunks executed across the shared worker pool.  Results are
+    bit-identical for every value.  Memoized like the other flags — call
+    :func:`reload_flags` after changing the variable.
+    """
+    global _point_worker_count
+    if _point_worker_count is None:
+        _point_worker_count = _positive_int_env(POINT_WORKERS_ENV_VAR, 1)
+    return _point_worker_count
+
+
+_point_min_ranks: int | None = None
+
+
+def point_min_ranks() -> int:
+    """Minimum launch ranks per dispatched chunk (``REPRO_POINT_MIN_RANKS``)."""
+    global _point_min_ranks
+    if _point_min_ranks is None:
+        _point_min_ranks = _positive_int_env(POINT_MIN_RANKS_ENV_VAR, 1)
+    return _point_min_ranks
 
 
 _overlap_model_flag: bool | None = None
@@ -180,8 +243,11 @@ def reload_flags() -> None:
     """Re-read the memoized environment flags on next access."""
     global _hotpath_cache_flag, _trace_flag, _worker_count
     global _overlap_model_flag, _normalize_flag
+    global _point_worker_count, _point_min_ranks
     _hotpath_cache_flag = None
     _trace_flag = None
     _worker_count = None
     _overlap_model_flag = None
     _normalize_flag = None
+    _point_worker_count = None
+    _point_min_ranks = None

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence
 
+from repro import config as repro_config
 from repro.apps.base import build_application
 from repro.baselines.petsc import KSP, PetscMachineModel, Vec, poisson_2d_aij
 from repro.frontend.legate.context import RuntimeContext, set_context
@@ -112,6 +113,20 @@ class RunResult:
     plan_width_max: int = 0
     plan_average_width: float = 0.0
     worker_utilization: float = 0.0
+    #: Intra-launch point-dispatch counters (zero when
+    #: ``REPRO_POINT_WORKERS=1``).
+    point_dispatch_width: int = 1
+    point_launches: int = 0
+    point_chunks: int = 0
+    point_width_max: int = 0
+    point_chunks_per_launch: float = 0.0
+    point_utilization: float = 0.0
+    #: Trace re-records forced by a scalar-equality-pattern flip.
+    scalar_pattern_flips: int = 0
+    #: True when the run charged overlap-aware simulated time
+    #: (``REPRO_OVERLAP_MODEL=1``); such throughputs are not comparable
+    #: with serial-accounting runs.
+    overlap_model: bool = False
 
     @property
     def throughput_per_gpu(self) -> float:
@@ -152,6 +167,10 @@ def run_application_experiment(
         application = build_application(app_name, context=context, **kwargs)
         # Warm-up iterations: includes all JIT compilation and analysis.
         application.run(warmup)
+        # Charge any pending eager overlap group to the last warm-up
+        # iteration before sampling its seconds (a no-op unless
+        # REPRO_OVERLAP_MODEL=1 and the iteration ended mid-group).
+        context.legion.flush_overlap_accounting()
         warmup_seconds = sum(context.profiler.iteration_seconds()[:warmup])
         # Measured iterations.
         application.run(iterations)
@@ -182,6 +201,14 @@ def run_application_experiment(
         plan_width_max=profiler.plan_width_max,
         plan_average_width=profiler.plan_average_width,
         worker_utilization=profiler.worker_utilization,
+        point_dispatch_width=repro_config.point_worker_count(),
+        point_launches=profiler.point_launches,
+        point_chunks=profiler.point_chunks,
+        point_width_max=profiler.point_width_max,
+        point_chunks_per_launch=profiler.point_chunks_per_launch,
+        point_utilization=profiler.point_utilization,
+        scalar_pattern_flips=profiler.scalar_pattern_flips,
+        overlap_model=repro_config.overlap_model_enabled(),
     )
 
 

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import config as repro_config
 from repro.experiments.harness import (
     ExperimentScale,
     RunResult,
@@ -97,6 +99,51 @@ def run_weak_scaling(
                     **overrides,
                 )
             series[label].add(result)
+    return series
+
+
+def run_overlap_study(
+    app_name: str,
+    gpu_counts: Sequence[int] = DEFAULT_GPU_COUNTS,
+    scale: Optional[ExperimentScale] = None,
+    iterations: Optional[int] = None,
+) -> Dict[str, WeakScalingSeries]:
+    """Weak-scale an application under serial vs overlap-aware accounting.
+
+    Quantifies the paper's launch-overlap claim outside replay: the same
+    fused executions are charged once with ``REPRO_OVERLAP_MODEL=0``
+    (every launch's modelled time accumulates serially) and once with
+    ``=1`` (each greedy group of independent launches — and each
+    dependence level of a replayed plan — costs the max of its members).
+    Buffers and checksums are bit-identical between the two series; only
+    simulated time, and therefore throughput, differs.  The flag is
+    restored to its ambient value afterwards.
+    """
+    scale = scale or default_scale_for(app_name)
+    series: Dict[str, WeakScalingSeries] = {}
+    previous = os.environ.get(repro_config.OVERLAP_MODEL_ENV_VAR)
+    try:
+        for label, value in (("Serial accounting", "0"), ("Overlap-aware", "1")):
+            os.environ[repro_config.OVERLAP_MODEL_ENV_VAR] = value
+            repro_config.reload_flags()
+            line = WeakScalingSeries(label=label)
+            for num_gpus in gpu_counts:
+                line.add(
+                    run_application_experiment(
+                        app_name,
+                        num_gpus=num_gpus,
+                        configuration=label,
+                        scale=scale,
+                        iterations=iterations,
+                    )
+                )
+            series[label] = line
+    finally:
+        if previous is None:
+            os.environ.pop(repro_config.OVERLAP_MODEL_ENV_VAR, None)
+        else:
+            os.environ[repro_config.OVERLAP_MODEL_ENV_VAR] = previous
+        repro_config.reload_flags()
     return series
 
 

@@ -14,15 +14,26 @@ frozen value objects, so the cache key is exact — and the NumPy views of
 those rectangles are memoized on each region field.  Setting
 ``REPRO_HOTPATH_CACHE=0`` disables both caches and restores the seed
 code path (the baseline of ``benchmarks/perf_wallclock.py``).
+
+Intra-launch point dispatch (``REPRO_POINT_WORKERS`` > 1) partitions the
+per-rank point tasks of one launch into contiguous rank chunks executed
+across the shared worker pool: each launch is *prepared once* (scalar
+bindings, region fields, rect tables), each chunk runs with its own
+buffer dict over disjoint write tiles, and reduction partials plus
+per-GPU simulated seconds are folded at the launch's join point in
+recorded rank order — so buffers and simulated time are bit-identical
+for every dispatch width.  Width 1 (the default) takes the serial
+per-rank loop unchanged.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import config
 from repro.config import hotpath_cache_enabled
 from repro.ir.domain import Rect
 from repro.ir.privilege import Privilege, ReductionOp, numpy_ufunc_for
@@ -31,14 +42,35 @@ from repro.kernel.compiler import CompiledKernel
 from repro.kernel.lowering import ReductionPartial
 from repro.runtime.machine import MachineConfig
 from repro.runtime.opaque import OpaqueTaskImpl
+from repro.runtime.pool import (
+    dispatch_chunks,
+    in_pool_worker,
+    point_chunks,
+    worker_pool,
+)
 from repro.runtime.region import RegionManager
+
+#: Minimum total elements a launch must touch before its point tasks are
+#: dispatched across the worker pool; below this the chunk handoff costs
+#: more than the tiles' compute.  Results are bit-identical either way,
+#: so this is a pure performance knob — tests force it to 0 to exercise
+#: the pool on tiny problems.
+MIN_POINT_DISPATCH_VOLUME = 16384
+
 
 class TaskExecutor:
     """Executes index tasks functionally and models their kernel time."""
 
-    def __init__(self, regions: RegionManager, machine: MachineConfig) -> None:
+    def __init__(
+        self,
+        regions: RegionManager,
+        machine: MachineConfig,
+        profiler=None,
+    ) -> None:
         self.regions = regions
         self.machine = machine
+        #: Optional profiler receiving point-dispatch statistics.
+        self.profiler = profiler
         self.use_caches = hotpath_cache_enabled()
         #: (partition, launch-domain shape, store shape) -> per-rank
         #: ``(rect, volume)`` list in launch-domain iteration order.
@@ -89,6 +121,45 @@ class TaskExecutor:
         return self._launch_rects(arg, task)
 
     # ------------------------------------------------------------------
+    # Point dispatch (shared by the compiled and opaque paths).
+    # ------------------------------------------------------------------
+    def point_chunk_plan(self, num_points: int, prepared) -> List[Tuple[int, int]]:
+        """Rank chunks of one launch under the point-dispatch config.
+
+        A single ``(0, num_points)`` chunk means the serial per-rank
+        loop.  Dispatch is suppressed on pool worker threads (nested
+        dispatch would block the pool on its own queue) and for launches
+        whose total touched volume is below
+        :data:`MIN_POINT_DISPATCH_VOLUME`.
+        """
+        width = config.point_worker_count()
+        if width <= 1 or num_points <= 1 or in_pool_worker():
+            return [(0, num_points)]
+        total = 0
+        for entry in prepared:
+            for _rect, volume in entry[3]:
+                total += volume
+        if total < MIN_POINT_DISPATCH_VOLUME:
+            return [(0, num_points)]
+        return point_chunks(num_points, width, config.point_min_ranks())
+
+    def _dispatch_chunks(
+        self,
+        chunks: Sequence[Tuple[int, int]],
+        run: Callable[[int, int], object],
+    ) -> List[object]:
+        """Run chunk closures across the shared pool in rank order."""
+        return dispatch_chunks(worker_pool(), list(chunks), run)
+
+    def _record_point_dispatch(self, ranks: int, chunk_count: int) -> None:
+        if self.profiler is not None:
+            self.profiler.record_point_dispatch(
+                ranks=ranks,
+                chunks=chunk_count,
+                width=config.point_worker_count(),
+            )
+
+    # ------------------------------------------------------------------
     # Compiled (KIR) execution.
     # ------------------------------------------------------------------
     def execute_compiled(self, task: IndexTask, kernel: CompiledKernel) -> float:
@@ -117,14 +188,103 @@ class TaskExecutor:
             )
             for name, arg_index in buffer_order
         )
+        if prepared:
+            num_points = len(prepared[0][3])
+        else:
+            num_points = task.launch_domain.volume
         # Interior tiles share one shape, so the analytic kernel time is
-        # memoized per distinct tuple of sub-store volumes.
+        # memoized per distinct tuple of sub-store volumes.  The memo is
+        # shared across concurrent chunks: dict get/set are atomic in
+        # CPython and ``estimate_seconds`` is a pure function of the
+        # volumes, so a racing duplicate computation stores the same
+        # value.
         seconds_by_volumes: Dict[Tuple[int, ...], float] = {}
-        # Every point rebinds the same buffer names, so one dict is
-        # reused across points (executors only read it during the call).
-        buffers: Dict[str, Optional[np.ndarray]] = {}
 
-        for rank, point in enumerate(task.launch_domain.points()):
+        chunks = self.point_chunk_plan(num_points, prepared)
+        if len(chunks) > 1:
+            results = self._dispatch_chunks(
+                chunks,
+                lambda start, stop: self._compiled_ranks(
+                    kernel, prepared, scalars, start, stop, seconds_by_volumes
+                ),
+            )
+            # Join point: fold reduction partials and per-GPU seconds in
+            # recorded rank order — bit-identical to the serial loop.
+            rank = 0
+            for partials_by_rank, seconds_by_rank in results:
+                for partials, seconds in zip(partials_by_rank, seconds_by_rank):
+                    for name, partial in partials.items():
+                        arg_index = binding.buffer_args.get(name)
+                        if arg_index is None:
+                            continue
+                        reduction_totals.setdefault(arg_index, []).append(partial)
+                    gpu = rank % num_gpus
+                    per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
+                    rank += 1
+            self._record_point_dispatch(num_points, len(chunks))
+        else:
+            # The serial per-rank loop (``REPRO_POINT_WORKERS=1``); one
+            # buffer dict is reused across points (executors only read
+            # it during the call).
+            buffers: Dict[str, Optional[np.ndarray]] = {}
+            for rank in range(num_points):
+                volumes: List[int] = []
+                for name, field, is_reduction, rect_table in prepared:
+                    rect, volume = rect_table[rank]
+                    volumes.append(volume)
+                    if is_reduction:
+                        buffers[name] = None
+                    elif use_caches:
+                        buffers[name] = field.view(rect)
+                    else:
+                        buffers[name] = field.data[rect.slices()]
+
+                partials = kernel.executor(buffers, scalars)
+                for name, partial in partials.items():
+                    arg_index = binding.buffer_args.get(name)
+                    if arg_index is None:
+                        continue
+                    reduction_totals.setdefault(arg_index, []).append(partial)
+
+                volume_key = tuple(volumes)
+                seconds = seconds_by_volumes.get(volume_key) if use_caches else None
+                if seconds is None:
+                    element_counts = {
+                        entry[0]: volume for entry, volume in zip(prepared, volumes)
+                    }
+                    seconds = kernel.cost.estimate_seconds(element_counts, self.machine)
+                    if use_caches:
+                        seconds_by_volumes[volume_key] = seconds
+                gpu = rank % num_gpus
+                per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
+
+        self._apply_reductions(task, reduction_totals)
+        return max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
+
+    def _compiled_ranks(
+        self,
+        kernel: CompiledKernel,
+        prepared,
+        scalars: Dict[str, float],
+        start: int,
+        stop: int,
+        seconds_memo: Dict[Tuple[int, ...], float],
+    ) -> Tuple[List[Dict[str, ReductionPartial]], List[float]]:
+        """Execute ranks ``[start, stop)`` of a prepared compiled launch.
+
+        Pure compute, safe on any worker: kernels write their disjoint
+        output views in place through a chunk-local buffer dict; partials
+        and the per-rank modelled seconds are returned unapplied in rank
+        order for the caller's join-point fold.
+        """
+        use_caches = self.use_caches
+        machine = self.machine
+        kernel_fn = kernel.executor
+        cost = kernel.cost
+        buffers: Dict[str, Optional[np.ndarray]] = {}
+        partials_by_rank: List[Dict[str, ReductionPartial]] = []
+        seconds_by_rank: List[float] = []
+        for rank in range(start, stop):
             volumes: List[int] = []
             for name, field, is_reduction, rect_table in prepared:
                 rect, volume = rect_table[rank]
@@ -135,28 +295,18 @@ class TaskExecutor:
                     buffers[name] = field.view(rect)
                 else:
                     buffers[name] = field.data[rect.slices()]
-
-            partials = kernel.executor(buffers, scalars)
-            for name, partial in partials.items():
-                arg_index = binding.buffer_args.get(name)
-                if arg_index is None:
-                    continue
-                reduction_totals.setdefault(arg_index, []).append(partial)
-
+            partials_by_rank.append(kernel_fn(buffers, scalars))
             volume_key = tuple(volumes)
-            seconds = seconds_by_volumes.get(volume_key) if use_caches else None
+            seconds = seconds_memo.get(volume_key) if use_caches else None
             if seconds is None:
                 element_counts = {
                     entry[0]: volume for entry, volume in zip(prepared, volumes)
                 }
-                seconds = kernel.cost.estimate_seconds(element_counts, self.machine)
+                seconds = cost.estimate_seconds(element_counts, machine)
                 if use_caches:
-                    seconds_by_volumes[volume_key] = seconds
-            gpu = rank % num_gpus
-            per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
-
-        self._apply_reductions(task, reduction_totals)
-        return max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
+                    seconds_memo[volume_key] = seconds
+            seconds_by_rank.append(seconds)
+        return partials_by_rank, seconds_by_rank
 
     # ------------------------------------------------------------------
     # Opaque execution.
@@ -181,6 +331,7 @@ class TaskExecutor:
         """
         per_gpu_seconds: Dict[int, float] = {}
         reduction_totals: Dict[int, List[ReductionPartial]] = {}
+        num_gpus = max(1, self.machine.num_gpus)
 
         use_caches = self.use_caches
         prepared = tuple(
@@ -192,8 +343,72 @@ class TaskExecutor:
             )
             for index, arg in enumerate(task.args)
         )
+        points = list(task.launch_domain.points())
+        num_points = len(points)
 
-        for rank, point in enumerate(task.launch_domain.points()):
+        chunks = self.point_chunk_plan(num_points, prepared)
+        if len(chunks) > 1:
+            results = self._dispatch_chunks(
+                chunks,
+                lambda start, stop: self._opaque_ranks(
+                    task, impl, prepared, points, start, stop
+                ),
+            )
+            # Join point: fold partials and per-GPU seconds in recorded
+            # rank order — bit-identical to the serial loop.
+            rank = 0
+            for partials_by_rank, seconds_by_rank in results:
+                for partials, seconds in zip(partials_by_rank, seconds_by_rank):
+                    if partials:
+                        for arg_index, partial in partials.items():
+                            reduction_totals.setdefault(arg_index, []).append(partial)
+                    gpu = rank % num_gpus
+                    per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
+                    rank += 1
+            self._record_point_dispatch(num_points, len(chunks))
+        else:
+            for rank, point in enumerate(points):
+                buffers: Dict[int, Optional[np.ndarray]] = {}
+                for index, field, is_reduction, rect_table in prepared:
+                    rect, _ = rect_table[rank]
+                    if is_reduction:
+                        buffers[index] = None
+                    elif use_caches:
+                        buffers[index] = field.view(rect)
+                    else:
+                        buffers[index] = field.data[rect.slices()]
+                partials = impl.execute(task, point, buffers)
+                if partials:
+                    for arg_index, partial in partials.items():
+                        reduction_totals.setdefault(arg_index, []).append(partial)
+
+                gpu = rank % num_gpus
+                seconds = impl.cost_seconds(task, point, buffers, self.machine)
+                per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
+
+        kernel_seconds = max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
+        return kernel_seconds, reduction_totals
+
+    def _opaque_ranks(
+        self,
+        task: IndexTask,
+        impl: OpaqueTaskImpl,
+        prepared,
+        points,
+        start: int,
+        stop: int,
+    ) -> Tuple[List[Optional[Dict[int, ReductionPartial]]], List[float]]:
+        """Execute ranks ``[start, stop)`` of a prepared opaque launch.
+
+        Pure compute with a chunk-local buffer dict per rank; the cost
+        model runs after the rank's execute exactly as in the serial
+        loop, so data-dependent costs observe the same buffer state.
+        """
+        use_caches = self.use_caches
+        machine = self.machine
+        partials_by_rank: List[Optional[Dict[int, ReductionPartial]]] = []
+        seconds_by_rank: List[float] = []
+        for rank in range(start, stop):
             buffers: Dict[int, Optional[np.ndarray]] = {}
             for index, field, is_reduction, rect_table in prepared:
                 rect, _ = rect_table[rank]
@@ -203,17 +418,10 @@ class TaskExecutor:
                     buffers[index] = field.view(rect)
                 else:
                     buffers[index] = field.data[rect.slices()]
-            partials = impl.execute(task, point, buffers)
-            if partials:
-                for arg_index, partial in partials.items():
-                    reduction_totals.setdefault(arg_index, []).append(partial)
-
-            gpu = rank % max(1, self.machine.num_gpus)
-            seconds = impl.cost_seconds(task, point, buffers, self.machine)
-            per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
-
-        kernel_seconds = max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
-        return kernel_seconds, reduction_totals
+            point = points[rank]
+            partials_by_rank.append(impl.execute(task, point, buffers))
+            seconds_by_rank.append(impl.cost_seconds(task, point, buffers, machine))
+        return partials_by_rank, seconds_by_rank
 
     def apply_deferred_reductions(
         self, task: IndexTask, totals: Dict[int, List[ReductionPartial]]

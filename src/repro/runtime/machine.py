@@ -118,5 +118,15 @@ class MachineConfig:
         """
         return max(step_seconds, default=0.0)
 
+    def overlapped_group_seconds(self, launch_seconds) -> float:
+        """Simulated time of one eager group of independent launches.
+
+        The eager-path counterpart of :meth:`overlapped_level_seconds`:
+        consecutive launches with no store hazard between them form a
+        greedy group that the machine overlaps, so the group costs the
+        maximum of its launches' modelled times.
+        """
+        return self.overlapped_level_seconds(launch_seconds)
+
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"Machine({self.num_gpus} GPUs over {self.num_nodes} nodes)"

@@ -1,0 +1,128 @@
+"""The shared persistent worker pool and rank-chunk partitioning.
+
+Two dispatch levels share this pool so they never multiply into
+oversubscription:
+
+* the **plan scheduler** (``runtime/scheduler.py``) hands independent
+  steps of a captured :class:`ExecutionPlan` to it, and
+* the **intra-launch point dispatcher** (``runtime/executor.py`` and the
+  scheduler's compiled-step chunking) hands contiguous rank chunks of a
+  single launch to it.
+
+The pool is sized for the wider of the two levels
+(``max(REPRO_WORKERS, REPRO_POINT_WORKERS)``) and is resized lazily when
+either flag changes.  Closures submitted through :func:`submit_guarded`
+mark their worker thread as *nested* for the duration of the closure:
+the executor's point dispatcher consults :func:`in_pool_worker` and runs
+serially on such threads, so a step that was itself dispatched to the
+pool never re-submits chunk work and waits on it — which could otherwise
+exhaust the pool with blocked waiters (a classic nested-dispatch
+deadlock).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, List, Optional, Tuple
+
+from repro import config
+
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_SIZE = 0
+_POOL_LOCK = threading.Lock()
+_TLS = threading.local()
+
+
+def shared_pool_size() -> int:
+    """Workers the shared pool needs for both dispatch levels."""
+    return max(config.worker_count(), config.point_worker_count())
+
+
+def worker_pool(size: Optional[int] = None) -> ThreadPoolExecutor:
+    """The process-wide worker pool, resized on demand."""
+    global _POOL, _POOL_SIZE
+    if size is None:
+        size = shared_pool_size()
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE != size:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="repro-worker"
+            )
+            _POOL_SIZE = size
+        return _POOL
+
+
+def in_pool_worker() -> bool:
+    """True when the calling thread is executing a guarded pool closure.
+
+    Used to suppress nested point dispatch: work that already runs on a
+    pool worker computes serially instead of re-submitting to the pool.
+    """
+    return getattr(_TLS, "active", False)
+
+
+def guarded(fn: Callable[[], object]) -> Callable[[], object]:
+    """Wrap a closure so its worker thread reports :func:`in_pool_worker`."""
+
+    def run() -> object:
+        _TLS.active = True
+        try:
+            return fn()
+        finally:
+            _TLS.active = False
+
+    return run
+
+
+def submit_guarded(pool: ThreadPoolExecutor, fn: Callable[[], object]) -> Future:
+    """Submit ``fn`` with the nested-dispatch guard installed."""
+    return pool.submit(guarded(fn))
+
+
+def dispatch_chunks(
+    pool: ThreadPoolExecutor,
+    chunks: List[Tuple[int, int]],
+    run: Callable[[int, int], object],
+) -> List[object]:
+    """Run rank-chunk closures across the pool, the first one inline.
+
+    The single order-sensitive join protocol shared by the executor's
+    point dispatcher and the plan scheduler's inline compiled steps:
+    results come back in chunk (and therefore rank) order, so join-point
+    folds reproduce the serial accumulation order exactly.
+    """
+    futures = [
+        submit_guarded(pool, lambda s=start, e=stop: run(s, e))
+        for start, stop in chunks[1:]
+    ]
+    results: List[object] = [run(*chunks[0])]
+    results.extend(future.result() for future in futures)
+    return results
+
+
+def point_chunks(num_points: int, width: int, min_ranks: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` rank chunks of one launch.
+
+    The chunk count is bounded by the dispatch ``width`` and by the
+    ``min_ranks``-per-chunk floor; chunks cover ``range(num_points)`` in
+    order and differ in size by at most one rank, so the recorded-rank-
+    order join at the launch's fold point is a simple concatenation.
+    """
+    if num_points <= 0:
+        return [(0, 0)]
+    if width <= 1 or num_points <= 1:
+        return [(0, num_points)]
+    chunk_count = min(width, max(1, num_points // max(1, min_ranks)))
+    if chunk_count <= 1:
+        return [(0, num_points)]
+    base, extra = divmod(num_points, chunk_count)
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(chunk_count):
+        stop = start + base + (1 if index < extra else 0)
+        chunks.append((start, stop))
+        start = stop
+    return chunks

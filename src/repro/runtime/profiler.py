@@ -69,6 +69,18 @@ class Profiler:
         self.plan_levels: int = 0
         self.plan_width_max: int = 0
         self.plan_dispatched_steps: int = 0
+        #: Intra-launch point-dispatch counters: launches whose per-rank
+        #: point tasks were chunked across the worker pool, the total
+        #: chunks and ranks they covered, the widest single launch, and
+        #: the summed configured width (the utilisation denominator).
+        self.point_launches: int = 0
+        self.point_chunks: int = 0
+        self.point_ranks: int = 0
+        self.point_width_max: int = 0
+        self.point_width_budget: int = 0
+        #: Trace epochs whose scalar equality pattern flipped on a known
+        #: stream structure, forcing a conservative re-record.
+        self.scalar_pattern_flips: int = 0
         self._current_iteration: Optional[IterationRecord] = None
 
     # ------------------------------------------------------------------
@@ -152,6 +164,35 @@ class Profiler:
         self.plan_levels += levels
         self.plan_width_max = max(self.plan_width_max, width)
         self.plan_dispatched_steps += dispatched
+
+    def record_point_dispatch(self, ranks: int, chunks: int, width: int) -> None:
+        """Record one launch whose point tasks were chunked across the pool."""
+        self.point_launches += 1
+        self.point_chunks += chunks
+        self.point_ranks += ranks
+        self.point_width_max = max(self.point_width_max, chunks)
+        self.point_width_budget += max(1, width)
+
+    def record_scalar_pattern_flip(self) -> None:
+        """Record a trace re-record forced by a scalar-pattern flip."""
+        self.scalar_pattern_flips += 1
+
+    @property
+    def point_chunks_per_launch(self) -> float:
+        """Average rank chunks per point-dispatched launch."""
+        return self.point_chunks / self.point_launches if self.point_launches else 0.0
+
+    @property
+    def point_utilization(self) -> float:
+        """Fraction of the configured point width actually filled.
+
+        The ratio of dispatched chunks to the summed configured dispatch
+        width over all point-dispatched launches — 1.0 means every such
+        launch produced a full complement of chunks.
+        """
+        if not self.point_width_budget:
+            return 0.0
+        return self.point_chunks / self.point_width_budget
 
     @property
     def plan_average_width(self) -> float:
@@ -249,4 +290,10 @@ class Profiler:
         self.plan_levels = 0
         self.plan_width_max = 0
         self.plan_dispatched_steps = 0
+        self.point_launches = 0
+        self.point_chunks = 0
+        self.point_ranks = 0
+        self.point_width_max = 0
+        self.point_width_budget = 0
+        self.scalar_pattern_flips = 0
         self._current_iteration = None

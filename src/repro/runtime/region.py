@@ -101,9 +101,16 @@ class RegionManager:
         return existing
 
     def attach(self, store: Store, data: np.ndarray) -> RegionField:
-        """Attach externally-produced data as the store's region field."""
+        """Attach externally-produced data as the store's region field.
+
+        Serialised with first-use allocation so a point-dispatch or
+        plan-scheduler worker racing :meth:`field` never observes a
+        half-installed replacement (attach itself only happens at host
+        synchronisation points, which drain both dispatch levels first).
+        """
         field = RegionField(store, initial=data)
-        self._fields[store.uid] = field
+        with self._allocate_lock:
+            self._fields[store.uid] = field
         return field
 
     def has_field(self, store: Store) -> bool:
@@ -112,7 +119,8 @@ class RegionManager:
 
     def release(self, store: Store) -> None:
         """Free the backing storage of a store (e.g. eliminated temporaries)."""
-        self._fields.pop(store.uid, None)
+        with self._allocate_lock:
+            self._fields.pop(store.uid, None)
 
     @property
     def allocated_bytes(self) -> int:

@@ -17,7 +17,7 @@ arXiv:1601.05400) and the horizontal-fusion argument of Li et al.
    levelized: steps in one level are pairwise independent.
 2. **Dispatch** (:class:`PlanScheduler.execute`) — executes the levels in
    order.  Within a level, steps large enough to amortise handoff run
-   concurrently on a persistent worker pool (``REPRO_WORKERS``); the
+   concurrently on the shared worker pool (``REPRO_WORKERS``); the
    rest run inline in recorded order.  Workers only *compute*: they run
    kernels over region-field views (write sets of a level are disjoint
    by construction) and collect reduction partials.  All side effects
@@ -27,9 +27,24 @@ arXiv:1601.05400) and the horizontal-fusion argument of Li et al.
    and simulated time are bit-identical to serial replay for every
    worker count.
 
-``REPRO_WORKERS=1`` (with the overlap model off) takes none of this
-machinery: :func:`_execute_plan_serial` is the PR-2 replay path, kept
-verbatim.
+With ``REPRO_POINT_WORKERS`` > 1 the dispatcher additionally splits the
+per-rank point tasks of each sufficiently large step into contiguous
+rank chunks (the launch's rank count was recorded into the plan at
+capture time) and co-schedules the chunks on the same pool: a step that
+runs *inline* — in particular every step of a chain-shaped plan, the
+flagship apps' common case — uses the full point width, while steps
+dispatched alongside other steps of a wide level split a per-step width
+of ``pool_size // dispatched_steps`` so the two parallelism levels never
+oversubscribe the pool.  Chunk results are concatenated in rank order at
+the step's join, so buffers and simulated seconds stay bit-identical for
+every ``REPRO_POINT_WORKERS`` × ``REPRO_WORKERS`` combination.  Opaque
+steps point-dispatch inside :meth:`TaskExecutor.execute_opaque_deferred`
+when they execute inline; when handed to a pool worker the nested-
+dispatch guard (``runtime/pool.py``) keeps them serial.
+
+``REPRO_WORKERS=1`` with ``REPRO_POINT_WORKERS=1`` (and the overlap
+model off) takes none of this machinery: :func:`_execute_plan_serial`
+is the PR-2 replay path, kept verbatim.
 
 With ``REPRO_OVERLAP_MODEL=1`` the scheduler additionally switches the
 *simulated* time accounting to the overlap-aware model: each dependence
@@ -41,14 +56,21 @@ default; buffers remain bit-identical.
 
 from __future__ import annotations
 
-import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import config
 from repro.ir.store import Store
 from repro.ir.task import IndexTask, StoreArg
+from repro.runtime import executor as executor_module
+from repro.runtime.pool import (
+    dispatch_chunks,
+    guarded,
+    point_chunks,
+    shared_pool_size,
+    submit_guarded,
+    worker_pool,
+)
 from repro.runtime.trace import (
     AnalysisCharge,
     CompiledStep,
@@ -80,6 +102,9 @@ class ScheduledStep:
     level: int
     #: Total elements touched (the pool-dispatch size heuristic).
     volume: int
+    #: Launch ranks of the step (recorded into the plan at capture time;
+    #: the basis of the point-chunk decision at replay).
+    num_points: int = 1
     #: Compiled steps: precomputed ``(name, epoch position, inner index)``
     #: scalar rebinding plan — the stream key pins every task's scalar
     #: count, so the flat-offset arithmetic is done once per plan.
@@ -152,6 +177,7 @@ def analyze_plan(
                 deps=tuple(sorted(deps)),
                 level=level,
                 volume=_step_volume(step, slot_stores),
+                num_points=step.num_points,
                 scalar_binds=_scalar_binds(step, tasks) if compiled else (),
             )
         )
@@ -294,6 +320,76 @@ def _bind_scalars(step: CompiledStep, tasks: Sequence[IndexTask]) -> Dict[str, f
     return scalars
 
 
+def _prepare_compiled_bindings(
+    step: CompiledStep,
+    regions,
+    slot_stores: Sequence[Store],
+    fields: Optional[Dict[int, object]] = None,
+) -> List[Tuple[str, object, bool, list]]:
+    """Resolve a compiled step's region fields once per execution.
+
+    ``fields`` optionally memoizes slot→field resolution across the
+    steps of one replay; resolution happens on the scheduling thread so
+    workers never mutate the shared memo dict.
+    """
+    prepared = []
+    for name, slot, is_reduction, table in step.buffer_bindings:
+        if is_reduction:
+            resolved = None
+        elif fields is None:
+            resolved = regions.field(slot_stores[slot])
+        else:
+            resolved = fields.get(slot)
+            if resolved is None:
+                resolved = regions.field(slot_stores[slot])
+                fields[slot] = resolved
+        prepared.append((name, resolved, is_reduction, table))
+    return prepared
+
+
+def _run_compiled_ranks(
+    step: CompiledStep,
+    prepared: Sequence[Tuple[str, object, bool, list]],
+    scalars: Dict[str, float],
+    start: int,
+    stop: int,
+) -> Dict[str, list]:
+    """Run ranks ``[start, stop)`` of a prepared compiled step.
+
+    Pure compute, safe on any worker: kernels write their (disjoint)
+    output views in place through a chunk-local buffer dict; reduction
+    partials are returned unapplied, keyed by buffer name and ordered by
+    launch rank within the chunk.
+    """
+    kernel_fn = step.kernel.executor
+    reductions = step.reductions
+    totals: Dict[str, list] = {}
+    buffers: Dict[str, Optional[object]] = {}
+    for rank in range(start, stop):
+        for name, resolved, is_reduction, table in prepared:
+            if is_reduction:
+                buffers[name] = None
+            else:
+                buffers[name] = resolved.view(table[rank][0])
+        partials = kernel_fn(buffers, scalars)
+        if partials:
+            for name, partial in partials.items():
+                if name in reductions:
+                    totals.setdefault(name, []).append(partial)
+    return totals
+
+
+def _merge_chunk_totals(chunk_totals: Sequence[Dict[str, list]]) -> Dict[str, list]:
+    """Concatenate per-chunk reduction partials in rank order."""
+    if len(chunk_totals) == 1:
+        return chunk_totals[0]
+    merged: Dict[str, list] = {}
+    for totals in chunk_totals:
+        for name, partials in totals.items():
+            merged.setdefault(name, []).extend(partials)
+    return merged
+
+
 def _run_compiled(
     step: CompiledStep,
     regions,
@@ -301,42 +397,9 @@ def _run_compiled(
     scalars: Dict[str, float],
     fields: Optional[Dict[int, object]] = None,
 ) -> Dict[str, list]:
-    """Run a compiled step's kernel over every launch point.
-
-    Pure compute: kernels write their (disjoint) output views in place;
-    reduction partials are returned unapplied, keyed by buffer name and
-    ordered by launch rank.  ``fields`` optionally memoizes slot→field
-    resolution across the steps of one replay.
-    """
-    prepared = []
-    for name, slot, is_reduction, table in step.buffer_bindings:
-        if is_reduction:
-            field = None
-        elif fields is None:
-            field = regions.field(slot_stores[slot])
-        else:
-            field = fields.get(slot)
-            if field is None:
-                field = regions.field(slot_stores[slot])
-                fields[slot] = field
-        prepared.append((name, field, is_reduction, table))
-
-    kernel_fn = step.kernel.executor
-    reductions = step.reductions
-    totals: Dict[str, list] = {}
-    buffers: Dict[str, Optional[object]] = {}
-    for rank in range(step.num_points):
-        for name, field, is_reduction, table in prepared:
-            if is_reduction:
-                buffers[name] = None
-            else:
-                buffers[name] = field.view(table[rank][0])
-        partials = kernel_fn(buffers, scalars)
-        if partials:
-            for name, partial in partials.items():
-                if name in reductions:
-                    totals.setdefault(name, []).append(partial)
-    return totals
+    """Run a compiled step's kernel over every launch point (serially)."""
+    prepared = _prepare_compiled_bindings(step, regions, slot_stores, fields)
+    return _run_compiled_ranks(step, prepared, scalars, 0, step.num_points)
 
 
 def _fold_compiled(
@@ -370,32 +433,10 @@ def _rebuild_opaque_task(
 
 
 # ----------------------------------------------------------------------
-# The persistent worker pool.
-# ----------------------------------------------------------------------
-_POOL: Optional[ThreadPoolExecutor] = None
-_POOL_SIZE = 0
-_POOL_LOCK = threading.Lock()
-
-
-def _worker_pool(workers: int) -> ThreadPoolExecutor:
-    """The process-wide plan-scheduler pool, resized on demand."""
-    global _POOL, _POOL_SIZE
-    with _POOL_LOCK:
-        if _POOL is None or _POOL_SIZE != workers:
-            if _POOL is not None:
-                _POOL.shutdown(wait=False)
-            _POOL = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-plan-worker"
-            )
-            _POOL_SIZE = workers
-        return _POOL
-
-
-# ----------------------------------------------------------------------
 # The scheduler.
 # ----------------------------------------------------------------------
 class PlanScheduler:
-    """Executes captured plans level by level on a worker pool."""
+    """Executes captured plans level by level on the shared worker pool."""
 
     def __init__(self, runtime) -> None:
         self.runtime = runtime
@@ -408,9 +449,13 @@ class PlanScheduler:
         tasks: Sequence[IndexTask],
     ) -> None:
         """Replay ``plan`` against the current epoch's stores."""
+        # Replay accounting must not interleave with a pending eager
+        # overlap group (a no-op unless the overlap model is on).
+        self.runtime.flush_overlap_accounting()
         workers = config.worker_count()
+        point_width = config.point_worker_count()
         overlap = config.overlap_model_enabled()
-        if workers <= 1 and not overlap:
+        if workers <= 1 and point_width <= 1 and not overlap:
             _execute_plan_serial(plan, engine, slot_stores, tasks)
             return
 
@@ -418,10 +463,11 @@ class PlanScheduler:
         if schedule is None:
             schedule = analyze_plan(plan, slot_stores, tasks)
             plan.schedule = schedule
-        if schedule.width <= 1 and not overlap:
-            # A pure dependence chain has nothing to overlap: record the
-            # DAG statistics and take the (bit-identical) serial path,
-            # skipping the per-step closure and fold machinery.
+        if schedule.width <= 1 and point_width <= 1 and not overlap:
+            # A pure dependence chain has nothing to overlap at either
+            # level: record the DAG statistics and take the
+            # (bit-identical) serial path, skipping the per-step closure
+            # and fold machinery.
             self.runtime.profiler.record_plan_execution(
                 steps=len(schedule.steps),
                 levels=schedule.level_count,
@@ -450,29 +496,106 @@ class PlanScheduler:
         regions = runtime.regions
         profiler = runtime.profiler
 
+        point_width = config.point_worker_count()
+        pool_size = shared_pool_size()
         #: Per-replay slot -> region field memo shared across all steps.
         fields: Dict[int, object] = {}
         #: Per-step compute results, indexed like ``schedule.steps``.
         results: List[object] = [None] * len(schedule.steps)
         dispatched = 0
-        pool = _worker_pool(workers) if workers > 1 else None
+        pool = worker_pool(pool_size) if pool_size > 1 else None
 
         for level in schedule.levels:
-            pending: List[Tuple[int, object]] = []
+            # Steps big enough for whole-step dispatch; only meaningful
+            # when the level has independent steps and step workers are
+            # enabled.
+            dispatchable = set()
+            if pool is not None and workers > 1 and len(level) > 1:
+                dispatchable = {
+                    index
+                    for index in level
+                    if schedule.steps[index].volume >= MIN_DISPATCH_VOLUME
+                }
+            # Concurrently-running steps share the pool: each dispatched
+            # step may split into at most pool_size // steps chunks so
+            # the two parallelism levels never oversubscribe.
+            step_width = point_width
+            if dispatchable:
+                step_width = max(1, min(point_width, pool_size // len(dispatchable)))
+
+            #: (step index, chunk futures, assembler).
+            pending: List[Tuple[int, List[object], Callable[[List[object]], object]]] = []
             for index in level:
                 entry = schedule.steps[index]
-                work = self._prepare_work(entry, regions, slot_stores, tasks, fields)
-                if (
-                    pool is not None
-                    and len(level) > 1
-                    and entry.volume >= MIN_DISPATCH_VOLUME
-                ):
-                    pending.append((index, pool.submit(work)))
-                    dispatched += 1
+                if index in dispatchable:
+                    width = step_width
+                elif not dispatchable:
+                    # Inline steps of a level with no concurrent steps
+                    # (in particular every step of a chain plan) own the
+                    # whole point width.
+                    width = point_width
                 else:
-                    results[index] = work()
-            for index, future in pending:
-                results[index] = future.result()
+                    # Inline steps beside dispatched ones are the small
+                    # (below-threshold) launches; keep them serial.
+                    width = 1
+
+                if entry.compiled:
+                    chunks, run_chunk = self._compiled_point_work(
+                        entry, regions, slot_stores, tasks, fields, width
+                    )
+                    # ``run_chunk`` is rebound on every loop iteration, and
+                    # dispatched futures outlive the iteration — capture it
+                    # by value or a worker could run a *later* step's
+                    # runner over this step's rank range.
+                    if index in dispatchable:
+                        futures = [
+                            submit_guarded(
+                                pool, lambda s=start, e=stop, rc=run_chunk: rc(s, e)
+                            )
+                            for start, stop in chunks
+                        ]
+                        pending.append((index, futures, _merge_chunk_totals))
+                        dispatched += 1
+                        if len(chunks) > 1:
+                            profiler.record_point_dispatch(
+                                ranks=entry.num_points,
+                                chunks=len(chunks),
+                                width=width,
+                            )
+                    elif len(chunks) > 1 and pool is not None:
+                        results[index] = _merge_chunk_totals(
+                            dispatch_chunks(pool, chunks, run_chunk)
+                        )
+                        profiler.record_point_dispatch(
+                            ranks=entry.num_points,
+                            chunks=len(chunks),
+                            width=width,
+                        )
+                    else:
+                        results[index] = run_chunk(*chunks[0])
+                else:
+                    work = self._opaque_work(entry, slot_stores, tasks)
+                    if index in dispatchable:
+                        # Whole-step handoff; the nested-dispatch guard
+                        # keeps the executor's point dispatcher serial
+                        # on the worker.
+                        pending.append(
+                            (index, [submit_guarded(pool, work)], lambda rs: rs[0])
+                        )
+                        dispatched += 1
+                    elif not dispatchable:
+                        # Inline opaque steps of an all-inline level
+                        # point-dispatch inside
+                        # ``execute_opaque_deferred`` (unguarded thread).
+                        results[index] = work()
+                    else:
+                        # Beside dispatched steps the pool is already
+                        # spoken for: run under the guard so the
+                        # executor's point dispatcher stays serial
+                        # (matching this step's computed width of 1).
+                        results[index] = guarded(work)()
+            for index, futures, assemble in pending:
+                results[index] = assemble([future.result() for future in futures])
             # Join point: fold the level's reduction partials in recorded
             # order so dependent levels (and the final buffers) are
             # bit-identical to serial replay.
@@ -493,40 +616,55 @@ class PlanScheduler:
             dispatched=dispatched,
         )
 
-    def _prepare_work(
+    def _compiled_point_work(
         self,
         entry: ScheduledStep,
         regions,
         slot_stores: Sequence[Store],
         tasks: Sequence[IndexTask],
         fields: Dict[int, object],
-    ) -> Callable[[], object]:
-        """Build a step's compute closure on the scheduling thread.
+        width: int,
+    ) -> Tuple[List[Tuple[int, int]], Callable[[int, int], Dict[str, list]]]:
+        """Prepare a compiled step once and build its chunk runner.
 
-        Everything order-sensitive (scalar rebinding, field resolution,
-        opaque-task reconstruction) happens here; the returned closure
-        only computes and is safe to run on any worker.
+        Everything order-sensitive (scalar rebinding, field resolution)
+        happens here on the scheduling thread; the returned runner only
+        computes over ``[start, stop)`` rank ranges and is safe on any
+        worker.  The chunk plan uses the rank count recorded into the
+        plan at capture time.
         """
-        if entry.compiled:
-            step = entry.step
-            if entry.scalar_binds:
-                scalars = {
-                    name: tasks[position].scalar_args[inner]
-                    for name, position, inner in entry.scalar_binds
-                }
-            else:
-                scalars = _bind_scalars(step, tasks)
-            # Resolve fields eagerly so workers never mutate the shared
-            # per-replay memo dict.
-            for _name, slot, is_reduction, _table in step.buffer_bindings:
-                if not is_reduction and slot not in fields:
-                    fields[slot] = regions.field(slot_stores[slot])
+        step = entry.step
+        if entry.scalar_binds:
+            scalars = {
+                name: tasks[position].scalar_args[inner]
+                for name, position, inner in entry.scalar_binds
+            }
+        else:
+            scalars = _bind_scalars(step, tasks)
+        prepared = _prepare_compiled_bindings(step, regions, slot_stores, fields)
 
-            def work() -> object:
-                return _run_compiled(step, regions, slot_stores, scalars, fields)
+        num_points = entry.num_points
+        if (
+            width > 1
+            and num_points > 1
+            and entry.volume >= executor_module.MIN_POINT_DISPATCH_VOLUME
+        ):
+            chunks = point_chunks(num_points, width, config.point_min_ranks())
+        else:
+            chunks = [(0, num_points)]
 
-            return work
+        def run_chunk(start: int, stop: int) -> Dict[str, list]:
+            return _run_compiled_ranks(step, prepared, scalars, start, stop)
 
+        return chunks, run_chunk
+
+    def _opaque_work(
+        self,
+        entry: ScheduledStep,
+        slot_stores: Sequence[Store],
+        tasks: Sequence[IndexTask],
+    ) -> Callable[[], object]:
+        """Build an opaque step's compute closure on the scheduling thread."""
         step = entry.step
         task = _rebuild_opaque_task(step, slot_stores, tasks)
         executor = self.runtime.executor

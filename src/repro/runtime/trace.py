@@ -185,6 +185,10 @@ class OpaqueStep:
     launch_domain: Domain
     #: (canonical slot, partition, privilege, redop) per argument.
     arg_specs: Tuple[Tuple[int, Partition, Privilege, Optional[ReductionOp]], ...]
+    #: Launch ranks (point tasks) of the step, recorded at capture time
+    #: so the plan scheduler can decide point chunking without touching
+    #: the launch domain.
+    num_points: int
     #: Epoch position of the task (its scalar args are rebound at replay).
     position: int
     #: Read/write/reduce store footprint (from the launch's privileges).
@@ -407,6 +411,7 @@ class TraceRecorder:
             task_name=task.task_name,
             launch_domain=task.launch_domain,
             arg_specs=arg_specs,
+            num_points=task.launch_domain.volume,
             position=self.stream.position_of_uid[task.uid],
             footprint=self._footprint(task.args),
             communication_seconds=record.communication_seconds,
@@ -450,6 +455,13 @@ class TraceController:
         self.engine = engine
         self.cache: Dict[Hashable, ExecutionPlan] = {}
         self._pending: List[IndexTask] = []
+        #: Pattern-blind trace key -> last-seen scalar equality pattern.
+        #: A cache miss whose blind key was last seen with a *different*
+        #: pattern is a scalar-pattern flip: the stream structure was
+        #: already known and only the scalar equalities changed (e.g.
+        #: ``alpha`` colliding with a constant for one iteration), which
+        #: forces a conservative re-record (see ROADMAP open item 3).
+        self._scalar_patterns: Dict[Hashable, Tuple[int, ...]] = {}
         #: Plans captured / replayed (observability; the profiler holds
         #: the canonical hit/miss counters).
         self.captured_plans = 0
@@ -510,9 +522,25 @@ class TraceController:
         # equivalent (a single round), so the fingerprint saturates.
         window_fingerprint = min(engine.window.size, len(tasks))
         key = (stream.stream_key, stream.partition_table, entry_states, window_fingerprint)
+        # The stream key is (canonical tasks, liveness, scalar pattern);
+        # the blind key drops the pattern so pattern-only misses are
+        # distinguishable from genuinely new streams.
+        canonical_tasks, liveness, scalar_pattern = stream.stream_key
+        blind_key = (
+            canonical_tasks,
+            liveness,
+            stream.partition_table,
+            entry_states,
+            window_fingerprint,
+        )
 
         profiler = engine.runtime.profiler
         plan = self.cache.get(key)
+        if plan is None:
+            last_pattern = self._scalar_patterns.get(blind_key)
+            if last_pattern is not None and last_pattern != scalar_pattern:
+                profiler.record_scalar_pattern_flip()
+        self._scalar_patterns[blind_key] = scalar_pattern
         if plan is not None:
             profiler.record_trace_hit(len(tasks))
             self.replayed_epochs += 1

@@ -172,6 +172,9 @@ class TestPlanAnalysis:
 # ----------------------------------------------------------------------
 def _run_app(app_name, workers, monkeypatch, iterations, **app_kwargs):
     monkeypatch.setenv("REPRO_WORKERS", str(workers))
+    # Pin point dispatch off: this file asserts the PR-3 step-level
+    # behaviour exactly (tests/test_point_dispatch.py covers the matrix).
+    monkeypatch.setenv("REPRO_POINT_WORKERS", "1")
     monkeypatch.setenv("REPRO_TRACE", "1")
     monkeypatch.setenv("REPRO_KERNEL_BACKEND", "differential")
     config.reload_flags()
@@ -251,6 +254,7 @@ class TestScheduledReplayParity:
 # ----------------------------------------------------------------------
 def _two_matvec_context(monkeypatch, workers, overlap="0"):
     monkeypatch.setenv("REPRO_WORKERS", str(workers))
+    monkeypatch.setenv("REPRO_POINT_WORKERS", "1")
     monkeypatch.setenv("REPRO_OVERLAP_MODEL", overlap)
     monkeypatch.setenv("REPRO_TRACE", "1")
     monkeypatch.setenv("REPRO_KERNEL_BACKEND", "codegen")

@@ -440,3 +440,74 @@ class TestProfilerTraceCounters:
         )
         assert record.replayed is True
         assert profiler.records[0].replayed is True
+
+
+class TestScalarPatternFlips:
+    """Satellite: count re-records forced by scalar-pattern flips."""
+
+    def test_flip_on_known_structure_is_counted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        monkeypatch.setenv("REPRO_POINT_WORKERS", "1")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "codegen")
+        config.reload_flags()
+        context = RuntimeContext(
+            num_gpus=2, fusion=True, machine=scaled_machine(2, 1e-4)
+        )
+        set_context(context)
+        try:
+            import repro.frontend.cunumeric as cn
+
+            x = cn.array(np.linspace(1.0, 2.0, 64), name="flip_x")
+
+            def epoch(a, b):
+                return (x * a + b).to_numpy()
+
+            expected = lambda a, b: np.linspace(1.0, 2.0, 64) * a + b
+
+            for _ in range(3):
+                np.testing.assert_array_equal(epoch(2.0, 3.0), expected(2.0, 3.0))
+            profiler = context.profiler
+            assert profiler.scalar_pattern_flips == 0
+
+            # ``b`` collides with ``a`` for one epoch: same stream
+            # structure, different scalar equality pattern -> a miss
+            # that is a flip, not a new stream.
+            np.testing.assert_array_equal(epoch(2.0, 2.0), expected(2.0, 2.0))
+            assert profiler.scalar_pattern_flips == 1
+
+            # Back to the distinct-valued pattern: the originally
+            # captured plan replays (values rebind), no new flip.
+            hits_before = profiler.trace_hits
+            np.testing.assert_array_equal(epoch(2.0, 5.0), expected(2.0, 5.0))
+            assert profiler.scalar_pattern_flips == 1
+            assert profiler.trace_hits == hits_before + 1
+        finally:
+            set_context(None)
+
+    def test_distinct_structures_do_not_count_as_flips(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "codegen")
+        config.reload_flags()
+        context = RuntimeContext(
+            num_gpus=2, fusion=True, machine=scaled_machine(2, 1e-4)
+        )
+        set_context(context)
+        try:
+            import repro.frontend.cunumeric as cn
+
+            x = cn.array(np.linspace(0.5, 1.5, 64), name="nflip_x")
+            (x * 2.0 + 3.0).to_numpy()          # structure A
+            ((x + 1.0) * 4.0 - 2.0).to_numpy()  # structure B: new stream
+            assert context.profiler.scalar_pattern_flips == 0
+        finally:
+            set_context(None)
+
+    def test_counter_resets(self):
+        from repro.runtime.profiler import Profiler
+
+        profiler = Profiler()
+        profiler.record_scalar_pattern_flip()
+        assert profiler.scalar_pattern_flips == 1
+        profiler.reset()
+        assert profiler.scalar_pattern_flips == 0
