@@ -68,11 +68,30 @@ can flip them between runs in one process:
     ``erf``) together with value-based scalar-parameter deduplication in
     fused kernels.  ``0`` restores the PR-2 kernel shapes (used by the
     wall-clock harness to time the historical trace path).
+
+``REPRO_DISPATCH_BACKEND``
+    Substrate that executes dispatched point-task rank chunks.
+    ``thread`` (default) runs chunks on the shared in-process thread
+    pool; ``process`` runs chunks of *compiled* launches on a persistent
+    pool of worker processes (``repro.runtime.procpool``) over
+    zero-copy shared-memory region fields (``repro.runtime.shm``),
+    removing the GIL ceiling for interpreter-heavy and small-tile
+    kernels.  Buffers and simulated seconds are bit-identical between
+    the two backends for every worker/width combination; opaque
+    launches (whose implementations are arbitrary host callables) always
+    use the thread substrate.
+
+``REPRO_SHM_SEGMENT_BYTES``
+    Size of each shared-memory segment the region-field arena carves
+    block allocations out of (default 16 MiB; allocations larger than a
+    segment get a dedicated segment).  Only meaningful with
+    ``REPRO_DISPATCH_BACKEND=process``.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Callable, List
 
 #: Environment variable selecting the kernel execution backend.
 BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
@@ -100,6 +119,18 @@ OVERLAP_MODEL_ENV_VAR = "REPRO_OVERLAP_MODEL"
 
 #: Environment variable gating algebraic normalisation before CSE.
 NORMALIZE_ENV_VAR = "REPRO_NORMALIZE"
+
+#: Environment variable selecting the point-dispatch substrate.
+DISPATCH_BACKEND_ENV_VAR = "REPRO_DISPATCH_BACKEND"
+
+#: Recognised dispatch backend names.
+DISPATCH_BACKENDS = ("thread", "process")
+
+#: Environment variable sizing shared-memory arena segments.
+SHM_SEGMENT_ENV_VAR = "REPRO_SHM_SEGMENT_BYTES"
+
+#: Default shared-memory segment size (bytes).
+DEFAULT_SHM_SEGMENT_BYTES = 16 * 1024 * 1024
 
 #: Upper bound on the default worker count (explicit settings may exceed it).
 MAX_DEFAULT_WORKERS = 8
@@ -239,11 +270,67 @@ def normalize_enabled() -> bool:
     return _normalize_flag
 
 
+_dispatch_backend: str | None = None
+
+
+def dispatch_backend() -> str:
+    """The point-dispatch substrate (``REPRO_DISPATCH_BACKEND``).
+
+    ``thread`` (the default) or ``process``; unrecognised values degrade
+    to ``thread``.  Memoized like the other flags — call
+    :func:`reload_flags` after changing the variable.
+    """
+    global _dispatch_backend
+    if _dispatch_backend is None:
+        raw = os.environ.get(DISPATCH_BACKEND_ENV_VAR, "thread").strip().lower()
+        _dispatch_backend = raw if raw in DISPATCH_BACKENDS else "thread"
+    return _dispatch_backend
+
+
+_shm_segment_bytes: int | None = None
+
+
+def shm_segment_bytes() -> int:
+    """Shared-memory arena segment size (``REPRO_SHM_SEGMENT_BYTES``)."""
+    global _shm_segment_bytes
+    if _shm_segment_bytes is None:
+        raw = os.environ.get(SHM_SEGMENT_ENV_VAR, "").strip()
+        try:
+            value = int(raw) if raw else DEFAULT_SHM_SEGMENT_BYTES
+        except ValueError:
+            value = DEFAULT_SHM_SEGMENT_BYTES
+        # Floor of one page: a smaller segment cannot hold anything and
+        # SharedMemory rounds up to a page anyway.
+        _shm_segment_bytes = max(4096, value)
+    return _shm_segment_bytes
+
+
+#: Callbacks invoked by :func:`reload_flags` after the memoized flags are
+#: reset.  The worker pools register themselves here so a flag flip
+#: (worker counts, dispatch backend) retires a now-stale pool singleton
+#: instead of letting the next launch reuse it (``runtime/pool.py`` and
+#: ``runtime/procpool.py``).  Registration deduplicates by identity so a
+#: re-import cannot double-register.
+_RELOAD_CALLBACKS: List[Callable[[], None]] = []
+
+
+def register_reload_callback(callback: Callable[[], None]) -> None:
+    """Run ``callback`` on every :func:`reload_flags` (pool invalidation)."""
+    if callback not in _RELOAD_CALLBACKS:
+        _RELOAD_CALLBACKS.append(callback)
+
+
 def reload_flags() -> None:
-    """Re-read the memoized environment flags on next access."""
+    """Re-read the memoized environment flags on next access.
+
+    Also notifies the registered reload callbacks (the shared thread
+    pool and the process pool) so singletons sized from the old flag
+    values are retired rather than reused by the next launch.
+    """
     global _hotpath_cache_flag, _trace_flag, _worker_count
     global _overlap_model_flag, _normalize_flag
     global _point_worker_count, _point_min_ranks
+    global _dispatch_backend, _shm_segment_bytes
     _hotpath_cache_flag = None
     _trace_flag = None
     _worker_count = None
@@ -251,3 +338,7 @@ def reload_flags() -> None:
     _normalize_flag = None
     _point_worker_count = None
     _point_min_ranks = None
+    _dispatch_backend = None
+    _shm_segment_bytes = None
+    for callback in _RELOAD_CALLBACKS:
+        callback()

@@ -121,6 +121,14 @@ class RunResult:
     point_width_max: int = 0
     point_chunks_per_launch: float = 0.0
     point_utilization: float = 0.0
+    #: Dispatch substrate (``REPRO_DISPATCH_BACKEND``) and the per-
+    #: substrate split of the dispatched chunks.
+    dispatch_backend: str = "thread"
+    point_thread_chunks: int = 0
+    point_process_chunks: int = 0
+    #: Element-wise batching: launches executed as merged chunk calls.
+    batched_launches: int = 0
+    batched_calls: int = 0
     #: Trace re-records forced by a scalar-equality-pattern flip.
     scalar_pattern_flips: int = 0
     #: True when the run charged overlap-aware simulated time
@@ -207,6 +215,11 @@ def run_application_experiment(
         point_width_max=profiler.point_width_max,
         point_chunks_per_launch=profiler.point_chunks_per_launch,
         point_utilization=profiler.point_utilization,
+        dispatch_backend=repro_config.dispatch_backend(),
+        point_thread_chunks=profiler.point_thread_chunks,
+        point_process_chunks=profiler.point_process_chunks,
+        batched_launches=profiler.batched_launches,
+        batched_calls=profiler.batched_calls,
         scalar_pattern_flips=profiler.scalar_pattern_flips,
         overlap_model=repro_config.overlap_model_enabled(),
     )

@@ -24,6 +24,28 @@ per-GPU simulated seconds are folded at the launch's join point in
 recorded rank order — so buffers and simulated time are bit-identical
 for every dispatch width.  Width 1 (the default) takes the serial
 per-rank loop unchanged.
+
+Two further dispatch refinements compose with chunking:
+
+* **Element-wise chunk batching** — a launch whose rect tables tile
+  every buffer contiguously in rank order and whose kernel performs no
+  reductions is executed with *one merged closure call per chunk* over
+  the chunk's contiguous span instead of one call per rank.  NumPy
+  ufuncs are element-wise, the tiles are disjoint and consecutive, so
+  the merged call is element-for-element identical to the per-rank loop
+  while paying one set of ufunc invocations per chunk; per-rank
+  simulated seconds still come from the per-rank volumes, so time
+  accounting is untouched.  Gated (with the other hot-path work) behind
+  ``REPRO_HOTPATH_CACHE`` so the seed baseline stays honest.
+* **Process dispatch** (``REPRO_DISPATCH_BACKEND=process``) — chunks of
+  compiled launches whose region fields live in the shared-memory arena
+  are shipped to the persistent worker-process pool
+  (``runtime/procpool.py``) instead of the thread pool, removing the
+  GIL from the chunk compute entirely.  Workers return per-rank
+  reduction partials and modelled seconds which fold at the same join
+  point, so results are bit-identical to the thread substrate; launches
+  that cannot ship (opaque implementations, non-shm fields) fall back
+  to threads.
 """
 
 from __future__ import annotations
@@ -43,8 +65,10 @@ from repro.kernel.lowering import ReductionPartial
 from repro.runtime.machine import MachineConfig
 from repro.runtime.opaque import OpaqueTaskImpl
 from repro.runtime.pool import (
+    contiguous_elementwise_tables,
     dispatch_chunks,
     in_pool_worker,
+    merged_table_span,
     point_chunks,
     worker_pool,
 )
@@ -79,6 +103,18 @@ class TaskExecutor:
         #: (lookups stay lock-free; tables are immutable once published).
         self._rect_table_cache: Dict[Tuple, List[Tuple[Rect, int]]] = {}
         self._rect_table_lock = threading.Lock()
+        #: Rect-table geometry -> is-contiguous-elementwise verdict,
+        #: keyed by the identities of the interned rect tables (the
+        #: tables are immortal in ``_rect_table_cache``, so ids are
+        #: stable; the memo is only consulted when the caches are on,
+        #: which is also when tables are interned).
+        self._elementwise_cache: Dict[Tuple[int, ...], bool] = {}
+        #: (table id, start, stop) -> (pinning table ref, wire rects):
+        #: the chunk rect lists shipped to process-pool workers are pure
+        #: functions of immutable tables, so they are built once per
+        #: geometry instead of once per launch (the pinned reference
+        #: keeps the id collision-free, like the SpMV caches).
+        self._wire_rect_cache: Dict[Tuple[int, int, int], Tuple[object, list]] = {}
 
     # ------------------------------------------------------------------
     # Sub-store geometry.
@@ -151,13 +187,128 @@ class TaskExecutor:
         """Run chunk closures across the shared pool in rank order."""
         return dispatch_chunks(worker_pool(), list(chunks), run)
 
-    def _record_point_dispatch(self, ranks: int, chunk_count: int) -> None:
+    def _record_point_dispatch(
+        self, ranks: int, chunk_count: int, backend: str = "thread"
+    ) -> None:
         if self.profiler is not None:
             self.profiler.record_point_dispatch(
                 ranks=ranks,
                 chunks=chunk_count,
                 width=config.point_worker_count(),
+                backend=backend,
             )
+
+    def _record_elementwise_batch(self, calls: int) -> None:
+        if self.profiler is not None:
+            self.profiler.record_elementwise_batch(calls)
+
+    # ------------------------------------------------------------------
+    # Element-wise batching and process routing.
+    # ------------------------------------------------------------------
+    def _elementwise_launch(self, kernel: CompiledKernel, prepared, num_points: int) -> bool:
+        """True when the launch may execute as merged contiguous calls.
+
+        Requirements: more than one rank, a kernel with no reductions
+        anywhere (partials are per-rank state), and every buffer's rect
+        table passing :func:`pool.contiguous_elementwise_tables` — the
+        same predicate the trace recorder's capture-time verdict uses.
+        The geometry verdict is memoized on the interned rect tables'
+        identities.
+        """
+        if num_points <= 1 or not prepared or not self.use_caches:
+            return False
+        if any(loop.has_reduction for loop in kernel.cost.loops):
+            return False
+        if any(entry[2] for entry in prepared):  # REDUCE-privilege args
+            return False
+        key = tuple(id(entry[3]) for entry in prepared)
+        cached = self._elementwise_cache.get(key)
+        if cached is None:
+            cached = contiguous_elementwise_tables(
+                (entry[3] for entry in prepared), num_points
+            )
+            self._elementwise_cache[key] = cached
+        return cached
+
+    def _process_chunks_compiled(
+        self,
+        kernel: CompiledKernel,
+        prepared,
+        scalars: Dict[str, float],
+        chunks: Sequence[Tuple[int, int]],
+        elementwise: bool,
+        with_cost: bool = True,
+    ):
+        """Ship a compiled launch's chunks to the worker-process pool.
+
+        Returns the per-chunk ``(partials_by_rank, seconds_by_rank)``
+        results in chunk order, or ``None`` when the launch cannot ship
+        (a region field without a shared-memory descriptor — allocated
+        before the backend flag flipped, or attached host data under the
+        thread backend).  ``with_cost=False`` skips the worker-side time
+        model (plan replay charges captured seconds instead).
+        """
+        descriptors = []
+        for _name, field, is_reduction, _table in prepared:
+            if is_reduction:
+                descriptors.append(None)
+                continue
+            descriptor = getattr(field, "shm_descriptor", None)
+            if descriptor is None:
+                return None
+            descriptors.append(descriptor)
+
+        from repro.runtime import procpool
+
+        kernel_id = procpool.kernel_spec_id(kernel)
+        spec = procpool.spec_for(kernel)
+        requests = []
+        for start, stop in chunks:
+            buffers = tuple(
+                (
+                    entry[0],
+                    entry[2],
+                    descriptor,
+                    self._wire_chunk_rects(entry[3], start, stop),
+                )
+                for entry, descriptor in zip(prepared, descriptors)
+            )
+            requests.append(
+                procpool.ChunkRequest(
+                    kernel_id=kernel_id,
+                    spec=None,
+                    scalars=scalars,
+                    buffers=buffers,
+                    start=start,
+                    stop=stop,
+                    elementwise=elementwise,
+                    cost=kernel.cost if with_cost else None,
+                    machine=self.machine if with_cost else None,
+                )
+            )
+        try:
+            return procpool.process_pool().run_chunks(kernel_id, spec, requests)
+        except procpool.ProcessPoolBrokenError:
+            # A worker died (not a kernel error — those re-raise with
+            # their own type): the pool tore itself down; degrade this
+            # launch to the thread substrate and let the next launch
+            # rebuild a fresh pool.
+            return None
+
+    def _wire_chunk_rects(self, table, start: int, stop: int) -> list:
+        """The pipe form of ranks ``[start, stop)`` of a rect table.
+
+        Memoized per (table identity, range): the tables are immutable
+        and the wire lists are rebuilt on every launch of every replay
+        otherwise.  The cached table reference pins the id.
+        """
+        key = (id(table), start, stop)
+        entry = self._wire_rect_cache.get(key)
+        if entry is not None and entry[0] is table:
+            return entry[1]
+        wire = [(table[rank][0].lo, table[rank][0].hi) for rank in range(start, stop)]
+        self._wire_rect_cache[key] = (table, wire)
+        return wire
 
     # ------------------------------------------------------------------
     # Compiled (KIR) execution.
@@ -201,13 +352,41 @@ class TaskExecutor:
         seconds_by_volumes: Dict[Tuple[int, ...], float] = {}
 
         chunks = self.point_chunk_plan(num_points, prepared)
+        elementwise = self._elementwise_launch(kernel, prepared, num_points)
+        results = None
+        dispatch_backend = None
         if len(chunks) > 1:
-            results = self._dispatch_chunks(
-                chunks,
-                lambda start, stop: self._compiled_ranks(
-                    kernel, prepared, scalars, start, stop, seconds_by_volumes
-                ),
-            )
+            if config.dispatch_backend() == "process":
+                results = self._process_chunks_compiled(
+                    kernel, prepared, scalars, chunks, elementwise
+                )
+                if results is not None:
+                    dispatch_backend = "process"
+            if results is None:
+                results = self._dispatch_chunks(
+                    chunks,
+                    lambda start, stop: self._compiled_ranks(
+                        kernel,
+                        prepared,
+                        scalars,
+                        start,
+                        stop,
+                        seconds_by_volumes,
+                        elementwise,
+                    ),
+                )
+                dispatch_backend = "thread"
+        elif elementwise:
+            # Serial width, batchable launch: one merged closure call
+            # instead of ``num_points`` per-rank calls (seconds still
+            # accumulate per rank below, so time is unchanged).
+            results = [
+                self._compiled_ranks(
+                    kernel, prepared, scalars, 0, num_points,
+                    seconds_by_volumes, True,
+                )
+            ]
+        if results is not None:
             # Join point: fold reduction partials and per-GPU seconds in
             # recorded rank order — bit-identical to the serial loop.
             rank = 0
@@ -221,7 +400,12 @@ class TaskExecutor:
                     gpu = rank % num_gpus
                     per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
                     rank += 1
-            self._record_point_dispatch(num_points, len(chunks))
+            if dispatch_backend is not None:
+                self._record_point_dispatch(
+                    num_points, len(chunks), dispatch_backend
+                )
+            if elementwise:
+                self._record_elementwise_batch(len(results))
         else:
             # The serial per-rank loop (``REPRO_POINT_WORKERS=1``); one
             # buffer dict is reused across points (executors only read
@@ -269,6 +453,7 @@ class TaskExecutor:
         start: int,
         stop: int,
         seconds_memo: Dict[Tuple[int, ...], float],
+        elementwise: bool = False,
     ) -> Tuple[List[Dict[str, ReductionPartial]], List[float]]:
         """Execute ranks ``[start, stop)`` of a prepared compiled launch.
 
@@ -276,6 +461,10 @@ class TaskExecutor:
         output views in place through a chunk-local buffer dict; partials
         and the per-rank modelled seconds are returned unapplied in rank
         order for the caller's join-point fold.
+
+        With ``elementwise`` the chunk executes as one merged closure
+        call over its contiguous span (the caller proved the launch
+        batchable); the per-rank time model below is unaffected.
         """
         use_caches = self.use_caches
         machine = self.machine
@@ -284,6 +473,24 @@ class TaskExecutor:
         buffers: Dict[str, Optional[np.ndarray]] = {}
         partials_by_rank: List[Dict[str, ReductionPartial]] = []
         seconds_by_rank: List[float] = []
+        if elementwise and stop > start:
+            for name, field, _is_reduction, rect_table in prepared:
+                buffers[name] = field.view(merged_table_span(rect_table, start, stop))
+            kernel_fn(buffers, scalars)
+            partials_by_rank = [{} for _ in range(start, stop)]
+            for rank in range(start, stop):
+                volumes = [entry[3][rank][1] for entry in prepared]
+                volume_key = tuple(volumes)
+                seconds = seconds_memo.get(volume_key)
+                if seconds is None:
+                    element_counts = {
+                        entry[0]: volume
+                        for entry, volume in zip(prepared, volumes)
+                    }
+                    seconds = cost.estimate_seconds(element_counts, machine)
+                    seconds_memo[volume_key] = seconds
+                seconds_by_rank.append(seconds)
+            return partials_by_rank, seconds_by_rank
         for rank in range(start, stop):
             volumes: List[int] = []
             for name, field, is_reduction, rect_table in prepared:

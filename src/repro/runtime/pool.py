@@ -22,11 +22,13 @@ deadlock).
 
 from __future__ import annotations
 
+import atexit
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro import config
+from repro.ir.domain import Rect
 
 _POOL: Optional[ThreadPoolExecutor] = None
 _POOL_SIZE = 0
@@ -53,6 +55,35 @@ def worker_pool(size: Optional[int] = None) -> ThreadPoolExecutor:
             )
             _POOL_SIZE = size
         return _POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Retire the thread-pool singleton (reloads, atexit, test teardown)."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        pool = _POOL
+        _POOL = None
+        _POOL_SIZE = 0
+    if pool is not None:
+        pool.shutdown(wait=False)
+
+
+def _reload_shared_pool() -> None:
+    """Config-reload hook: drop a pool sized from stale flag values.
+
+    :func:`worker_pool` already resizes on its next call, but only when
+    invoked without an explicit size — retiring the singleton here makes
+    every path (including explicit-size callers that cached the old
+    figure) rebuild against the freshly-read flags.
+    """
+    with _POOL_LOCK:
+        stale = _POOL is not None and _POOL_SIZE != shared_pool_size()
+    if stale:
+        shutdown_shared_pool()
+
+
+config.register_reload_callback(_reload_shared_pool)
+atexit.register(shutdown_shared_pool)
 
 
 def in_pool_worker() -> bool:
@@ -101,6 +132,53 @@ def dispatch_chunks(
     results: List[object] = [run(*chunks[0])]
     results.extend(future.result() for future in futures)
     return results
+
+
+def contiguous_elementwise_tables(
+    tables, num_points: int, require_full_cover: bool = False
+) -> bool:
+    """The shared geometry predicate of element-wise chunk batching.
+
+    True when every per-rank rect table in ``tables`` tiles a 1-D span
+    contiguously in rank order (each tile starts where the previous one
+    ended).  Under that condition — and a kernel with no reductions,
+    which callers check separately — one closure call over any merged
+    contiguous span of tiles is element-for-element identical to the
+    per-rank loop: NumPy ufuncs are element-wise and the tiles are
+    disjoint and consecutive.  This single predicate backs both batching
+    sites (the trace recorder's capture-time verdict and the eager
+    executor's per-launch detection) so the soundness condition cannot
+    drift between them.
+
+    ``require_full_cover`` additionally pins the first tile to offset 0
+    (the recorder's conservative whole-store condition; the eager path
+    only needs contiguity, since a merged chunk span is a valid
+    sub-rectangle wherever it starts).
+    """
+    if num_points <= 1:
+        return False
+    for table in tables:
+        if len(table) != num_points:
+            return False
+        cursor: Optional[int] = 0 if require_full_cover else None
+        for rect, _volume in table:
+            if len(rect.lo) != 1:
+                return False
+            if cursor is not None and rect.lo[0] != cursor:
+                return False
+            cursor = rect.hi[0]
+    return True
+
+
+def merged_table_span(table: Sequence, start: int, stop: int) -> Rect:
+    """The merged 1-D rect covering ranks ``[start, stop)`` of a table.
+
+    Only valid for tables that satisfied
+    :func:`contiguous_elementwise_tables`; shared by the executor's and
+    the plan scheduler's merged-call paths (the process-pool workers
+    build the same span from the wire form of the chunk's rects).
+    """
+    return Rect(table[start][0].lo, table[stop - 1][0].hi)
 
 
 def point_chunks(num_points: int, width: int, min_ranks: int) -> List[Tuple[int, int]]:

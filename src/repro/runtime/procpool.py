@@ -1,0 +1,452 @@
+"""Persistent worker-process pool for point-task rank chunks.
+
+``REPRO_DISPATCH_BACKEND=process`` routes the rank chunks of *compiled*
+launches to this pool instead of the in-process thread pool, removing
+the GIL ceiling for interpreter-heavy and small-tile kernels (the thread
+backend only scales when NumPy releases the GIL on large tiles).
+
+Protocol
+--------
+Each worker owns one duplex pipe and serves requests strictly in FIFO
+order, so the parent can stream several chunk requests to one worker and
+read the replies back in submission order without any reply matching.
+A :class:`ChunkRequest` carries everything a chunk needs:
+
+* a **kernel spec** — the KIR function, a stripped parameter binding and
+  the backend name (``codegen``/``interpreter``/``differential``,
+  whatever the parent's executor runs) — shipped at most once per
+  worker and cached there under a parent-assigned id.  Workers build
+  their executor through the normal :func:`repro.kernel.lowering.lower`
+  entry point, so the codegen backend lands in the process-local
+  source-keyed closure cache: two isomorphic kernels compile once per
+  worker, exactly like the parent's cache.
+* the **scalar arguments** of the launch,
+* per-buffer **block descriptors** into the shared-memory arena plus the
+  chunk's per-rank rectangles — workers build zero-copy NumPy views of
+  the same physical pages the parent's region fields live in, so output
+  tiles are written in place with no serialisation of array data,
+* the ``[start, stop)`` **rank range**, the elementwise-batching flag,
+  and (on the eager path) the kernel's cost descriptor and machine
+  model so the worker returns the per-rank modelled seconds alongside
+  the reduction partials.
+
+Replies come back in rank order; the parent folds partials and per-GPU
+seconds at the launch join exactly like the thread backend, so buffers
+and simulated time are bit-identical between ``thread`` and ``process``
+for every ``REPRO_WORKERS`` × ``REPRO_POINT_WORKERS`` combination.
+Exceptions (including ``BackendDivergenceError`` from a differential
+worker) are pickled back and re-raised in the parent.
+
+Lifetime
+--------
+The pool is a lazy process-wide singleton sized like the shared thread
+pool.  ``config.reload_flags()`` retires it when the sizing flags or the
+backend change, and an ``atexit`` hook (plus the test suite's session
+fixture) shuts the workers down so runs never leak child processes.
+Workers are started with the ``fork`` method where available (they
+inherit the warm codegen cache); ``spawn`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import config
+from repro.runtime.shm import BlockDescriptor, attach_view, close_attachments
+
+#: Rank rectangle as shipped to workers: ``(lo, hi)`` integer tuples
+#: (half-open), lean enough to pickle by the thousand.
+WireRect = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Everything a worker needs to rebuild a launch's executor."""
+
+    function: object  # kernel.kir.Function
+    binding: object  # kernel.passes.compose.KernelBinding (stripped)
+    backend: str
+
+
+@dataclass
+class ChunkRequest:
+    """One rank chunk of one compiled launch."""
+
+    kernel_id: int
+    #: Filled in by the pool for the first request a worker sees.
+    spec: Optional[KernelSpec]
+    scalars: Dict[str, float]
+    #: ``(buffer name, is_reduction, descriptor or None, chunk rects)``.
+    buffers: Tuple[Tuple[str, bool, Optional[BlockDescriptor], List[WireRect]], ...]
+    start: int
+    stop: int
+    #: Purely element-wise launch: one merged closure call per chunk.
+    elementwise: bool = False
+    #: Eager path only — workers model per-rank seconds from these; the
+    #: replay path captures seconds at record time and ships ``None``.
+    cost: Optional[object] = None
+    machine: Optional[object] = None
+
+
+#: Reply payload: per-rank reduction partials and per-rank seconds
+#: (empty seconds when no cost model was shipped).
+ChunkResult = Tuple[List[Dict[str, object]], List[float]]
+
+
+class ProcessPoolBrokenError(RuntimeError):
+    """The pool's transport failed (a worker died mid-chunk).
+
+    Distinct from errors a worker *reports* (those re-raise with their
+    own type, e.g. ``BackendDivergenceError``): a broken transport means
+    the chunk's fate is unknown, the pool is torn down, and the caller
+    should fall back to the thread substrate — the next launch rebuilds
+    a fresh pool through :func:`process_pool`.
+    """
+
+
+def _wire_rects(rects: Sequence) -> List[WireRect]:
+    """Strip Rect objects to ``(lo, hi)`` tuples for the pipe."""
+    return [(rect.lo, rect.hi) for rect in rects]
+
+
+def _view_of(base: np.ndarray, rect: WireRect) -> np.ndarray:
+    lo, hi = rect
+    return base[tuple(slice(l, h) for l, h in zip(lo, hi))]
+
+
+def _rect_volume(rect: WireRect) -> int:
+    lo, hi = rect
+    volume = 1
+    for l, h in zip(lo, hi):
+        volume *= max(0, h - l)
+    return volume
+
+
+# ----------------------------------------------------------------------
+# Worker side.
+# ----------------------------------------------------------------------
+def _execute_chunk(
+    request: ChunkRequest,
+    executors: Dict[int, object],
+) -> ChunkResult:
+    """Run one chunk inside a worker process."""
+    executor = executors.get(request.kernel_id)
+    if executor is None:
+        spec = request.spec
+        if spec is None:
+            raise RuntimeError(
+                f"worker has no executor for kernel id {request.kernel_id} "
+                "and the request carried no spec"
+            )
+        from repro.kernel.lowering import lower
+
+        executor = lower(spec.function, spec.binding, spec.backend)
+        executors[request.kernel_id] = executor
+
+    bases: Dict[str, Optional[np.ndarray]] = {}
+    for name, is_reduction, descriptor, _rects in request.buffers:
+        bases[name] = None if is_reduction else attach_view(descriptor)
+
+    partials_by_rank: List[Dict[str, object]] = []
+    seconds_by_rank: List[float] = []
+    cost = request.cost
+    machine = request.machine
+    seconds_memo: Dict[Tuple[int, ...], float] = {}
+    buffers: Dict[str, Optional[np.ndarray]] = {}
+
+    if request.elementwise:
+        # One merged closure call over the chunk's contiguous span —
+        # element-for-element identical to the per-rank loop (the launch
+        # passed ``pool.contiguous_elementwise_tables`` before routing;
+        # this is ``pool.merged_table_span`` in wire-rect form).
+        for name, is_reduction, _descriptor, rects in request.buffers:
+            base = bases[name]
+            merged = (rects[0][0], rects[-1][1])
+            buffers[name] = None if base is None else _view_of(base, merged)
+        executor(buffers, request.scalars)
+        partials_by_rank = [{} for _ in range(request.stop - request.start)]
+    else:
+        for index in range(request.stop - request.start):
+            for name, is_reduction, _descriptor, rects in request.buffers:
+                base = bases[name]
+                buffers[name] = (
+                    None if base is None else _view_of(base, rects[index])
+                )
+            partials_by_rank.append(executor(buffers, request.scalars))
+
+    if cost is not None:
+        for index in range(request.stop - request.start):
+            volumes = tuple(
+                _rect_volume(rects[index])
+                for _name, _is_reduction, _descriptor, rects in request.buffers
+            )
+            seconds = seconds_memo.get(volumes)
+            if seconds is None:
+                element_counts = {
+                    entry[0]: volume
+                    for entry, volume in zip(request.buffers, volumes)
+                }
+                seconds = cost.estimate_seconds(element_counts, machine)
+                seconds_memo[volumes] = seconds
+            seconds_by_rank.append(seconds)
+    return partials_by_rank, seconds_by_rank
+
+
+def _worker_main(connection) -> None:
+    """Request loop of one worker process (module-level for ``spawn``)."""
+    executors: Dict[int, object] = {}
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            try:
+                connection.send(("ok", _execute_chunk(message, executors)))
+            except BaseException as error:  # noqa: BLE001 - shipped to parent
+                try:
+                    connection.send(("err", error, traceback.format_exc()))
+                except Exception:
+                    # Unpicklable exception: degrade to a plain repr.
+                    connection.send(
+                        ("err", RuntimeError(repr(error)), traceback.format_exc())
+                    )
+    finally:
+        close_attachments()
+        connection.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+# ----------------------------------------------------------------------
+class ProcessWorkerPool:
+    """A fixed-size pool of kernel-executing worker processes."""
+
+    def __init__(self, size: int) -> None:
+        self.size = max(1, size)
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._connections = []
+        self._processes = []
+        #: Kernel ids each worker already holds an executor for.
+        self._shipped: List[set] = []
+        self._lock = threading.Lock()
+        self._next_worker = 0
+        self.closed = False
+        self._torn_down = False
+        for _ in range(self.size):
+            parent_end, worker_end = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main, args=(worker_end,), daemon=True
+            )
+            process.start()
+            worker_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+            self._shipped.append(set())
+
+    # ------------------------------------------------------------------
+    def run_chunks(
+        self,
+        kernel_id: int,
+        spec: KernelSpec,
+        requests: Sequence[ChunkRequest],
+    ) -> List[ChunkResult]:
+        """Execute chunk requests across the workers, results in order.
+
+        Requests are assigned round-robin, all sent before any reply is
+        awaited (workers overlap), and replies are collected in request
+        order so join-point folds see rank order exactly like the thread
+        backend.  Serialised with a lock: chunks are dispatched from the
+        scheduling thread only, the lock just makes misuse safe.
+        """
+        with self._lock:
+            if self.closed:
+                raise ProcessPoolBrokenError("process pool is closed")
+            try:
+                assignments: List[int] = []
+                for request in requests:
+                    worker = self._next_worker
+                    self._next_worker = (self._next_worker + 1) % self.size
+                    request.spec = (
+                        spec if kernel_id not in self._shipped[worker] else None
+                    )
+                    self._shipped[worker].add(kernel_id)
+                    self._connections[worker].send(request)
+                    assignments.append(worker)
+                results: List[ChunkResult] = []
+                # Per-worker FIFO: replies of one worker come back in the
+                # order its requests were sent, so reading in assignment
+                # order is reading in request order.
+                for position, worker in enumerate(assignments):
+                    reply = self._connections[worker].recv()
+                    if reply[0] == "err":
+                        _tag, error, worker_traceback = reply
+                        # Drain the remaining replies so the pipes stay
+                        # in sync, and forget the kernel on every
+                        # assigned worker (its executor install may not
+                        # have landed).
+                        for later in assignments[position + 1 :]:
+                            self._connections[later].recv()
+                        for assigned in assignments:
+                            self._shipped[assigned].discard(kernel_id)
+                        message = (
+                            f"{error} (in process-pool worker)\n"
+                            f"--- worker traceback ---\n{worker_traceback}"
+                        )
+                        try:
+                            raised = type(error)(message)
+                        except Exception:  # pragma: no cover - exotic ctor
+                            raised = RuntimeError(message)
+                        raise raised from error
+                    results.append(reply[1])
+                return results
+            except (EOFError, BrokenPipeError, OSError) as transport_error:
+                # A worker died mid-chunk (OOM kill, segfault): the pipe
+                # protocol is out of sync and the chunk's fate unknown.
+                # Mark the pool dead so callers fall back to threads and
+                # the next launch rebuilds a fresh pool.
+                self.closed = True
+                failure = transport_error
+        self.shutdown()
+        raise ProcessPoolBrokenError(
+            f"process-pool worker died mid-chunk: {failure!r}"
+        ) from failure
+
+    def shutdown(self) -> None:
+        """Stop every worker (idempotent)."""
+        with self._lock:
+            if self._torn_down:
+                return
+            self._torn_down = True
+            self.closed = True
+            for connection in self._connections:
+                try:
+                    connection.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            for process in self._processes:
+                process.join(timeout=2.0)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=1.0)
+            for connection in self._connections:
+                try:
+                    connection.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._connections = []
+            self._processes = []
+            self._shipped = []
+
+
+# ----------------------------------------------------------------------
+# The singleton.
+# ----------------------------------------------------------------------
+_POOL: Optional[ProcessWorkerPool] = None
+_POOL_LOCK = threading.Lock()
+_KERNEL_IDS_LOCK = threading.Lock()
+_NEXT_KERNEL_ID = 0
+
+
+def process_pool() -> ProcessWorkerPool:
+    """The process-wide worker-process pool, sized like the thread pool."""
+    from repro.runtime.pool import shared_pool_size
+
+    global _POOL
+    size = shared_pool_size()
+    with _POOL_LOCK:
+        if _POOL is None or _POOL.size != size or _POOL.closed:
+            if _POOL is not None:
+                _POOL.shutdown()
+            _POOL = ProcessWorkerPool(size)
+        return _POOL
+
+
+def shutdown_process_pool() -> None:
+    """Retire the pool singleton (flag reloads, atexit, test teardown)."""
+    global _POOL
+    with _POOL_LOCK:
+        pool = _POOL
+        _POOL = None
+    if pool is not None:
+        pool.shutdown()
+
+
+def _reload_process_pool() -> None:
+    """Config-reload hook: retire the pool when it no longer fits.
+
+    A pool sized from stale flag values must not serve the next launch;
+    shutting down (rather than letting :func:`process_pool` resize
+    lazily) also reaps the worker processes promptly when a test flips
+    ``REPRO_DISPATCH_BACKEND`` back to ``thread``.
+    """
+    from repro.runtime.pool import shared_pool_size
+
+    with _POOL_LOCK:
+        pool = _POOL
+    if pool is None:
+        return
+    if config.dispatch_backend() != "process" or pool.size != shared_pool_size():
+        shutdown_process_pool()
+
+
+def kernel_spec_id(kernel) -> int:
+    """A stable process-lifetime id for a compiled kernel.
+
+    Attached to the :class:`~repro.kernel.compiler.CompiledKernel` on
+    first dispatch; identifies its executor in worker-side caches (ids
+    are never reused, unlike ``id()``).
+    """
+    existing = getattr(kernel, "_proc_kernel_id", None)
+    if existing is not None:
+        return existing
+    global _NEXT_KERNEL_ID
+    with _KERNEL_IDS_LOCK:
+        _NEXT_KERNEL_ID += 1
+        assigned = _NEXT_KERNEL_ID
+    kernel._proc_kernel_id = assigned
+    return assigned
+
+
+def spec_for(kernel) -> KernelSpec:
+    """Build the shippable spec of a compiled kernel (cached on it).
+
+    The binding is stripped to the two parameter maps the executors
+    consult — the full binding drags stores and partitions along, none
+    of which a worker touches.
+    """
+    existing = getattr(kernel, "_proc_kernel_spec", None)
+    if existing is not None:
+        return existing
+    from repro.kernel.passes.compose import KernelBinding
+
+    binding = kernel.binding
+    stripped = KernelBinding(
+        buffer_args=dict(binding.buffer_args),
+        scalar_args=dict(binding.scalar_args),
+    )
+    stripped.buffer_order = binding.buffer_order
+    stripped.scalar_order = binding.scalar_order
+    spec = KernelSpec(
+        function=kernel.function,
+        binding=stripped,
+        backend=kernel.executor.backend,
+    )
+    kernel._proc_kernel_spec = spec
+    return spec
+
+
+config.register_reload_callback(_reload_process_pool)
+atexit.register(shutdown_process_pool)

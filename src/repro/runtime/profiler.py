@@ -78,6 +78,17 @@ class Profiler:
         self.point_ranks: int = 0
         self.point_width_max: int = 0
         self.point_width_budget: int = 0
+        #: Per-substrate split of the dispatched chunks: the ``thread``
+        #: backend runs chunks on the shared thread pool, the ``process``
+        #: backend on the worker-process pool over shared memory
+        #: (``REPRO_DISPATCH_BACKEND``).
+        self.point_thread_chunks: int = 0
+        self.point_process_chunks: int = 0
+        #: Element-wise batching: launches executed as merged closure
+        #: calls (one per rank chunk instead of one per rank) and the
+        #: total merged calls they produced.
+        self.batched_launches: int = 0
+        self.batched_calls: int = 0
         #: Trace epochs whose scalar equality pattern flipped on a known
         #: stream structure, forcing a conservative re-record.
         self.scalar_pattern_flips: int = 0
@@ -165,13 +176,29 @@ class Profiler:
         self.plan_width_max = max(self.plan_width_max, width)
         self.plan_dispatched_steps += dispatched
 
-    def record_point_dispatch(self, ranks: int, chunks: int, width: int) -> None:
-        """Record one launch whose point tasks were chunked across the pool."""
+    def record_point_dispatch(
+        self, ranks: int, chunks: int, width: int, backend: str = "thread"
+    ) -> None:
+        """Record one launch whose point tasks were chunked across a pool.
+
+        ``backend`` names the dispatch substrate that ran the chunks
+        (``thread`` or ``process``), so runs report how much of the
+        point-parallel work each substrate carried.
+        """
         self.point_launches += 1
         self.point_chunks += chunks
         self.point_ranks += ranks
         self.point_width_max = max(self.point_width_max, chunks)
         self.point_width_budget += max(1, width)
+        if backend == "process":
+            self.point_process_chunks += chunks
+        else:
+            self.point_thread_chunks += chunks
+
+    def record_elementwise_batch(self, calls: int) -> None:
+        """Record one element-wise launch executed as merged chunk calls."""
+        self.batched_launches += 1
+        self.batched_calls += calls
 
     def record_scalar_pattern_flip(self) -> None:
         """Record a trace re-record forced by a scalar-pattern flip."""
@@ -295,5 +322,9 @@ class Profiler:
         self.point_ranks = 0
         self.point_width_max = 0
         self.point_width_budget = 0
+        self.point_thread_chunks = 0
+        self.point_process_chunks = 0
+        self.batched_launches = 0
+        self.batched_calls = 0
         self.scalar_pattern_flips = 0
         self._current_iteration = None

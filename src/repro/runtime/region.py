@@ -7,17 +7,30 @@ tasks.  Placement and data movement are modelled analytically by the
 coherence tracker rather than by physically copying data between
 per-processor buffers — the functional result is identical and the
 performance model is what the benchmarks measure.
+
+With ``REPRO_DISPATCH_BACKEND=process`` the backing arrays are allocated
+inside a shared-memory arena (``runtime/shm.py``) instead of private
+heap pages: the array semantics in this process are unchanged (``data``
+is a view of the segment), and every field additionally carries a
+picklable block descriptor that the process pool ships to workers so
+point-task chunks in other processes map the same physical pages —
+zero-copy in both directions.  The arena is owned per region manager
+and unlinked when the manager is garbage collected or the interpreter
+exits, so runs never leak ``/dev/shm`` segments.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro import config
 from repro.ir.domain import Rect
 from repro.ir.store import Store
+from repro.runtime.shm import BlockDescriptor, SharedArena
 
 
 class RegionField:
@@ -32,10 +45,23 @@ class RegionField:
     instead), so in-place mutation — kernel writes, :meth:`fill` — keeps
     cached views valid by construction; any future code that does rebind
     ``data`` must call :meth:`invalidate_views`.
+
+    When an ``arena`` is supplied the backing array lives in a
+    shared-memory block and :attr:`shm_descriptor` addresses it for
+    worker processes; otherwise the field is a plain private array and
+    the descriptor is ``None`` (the process dispatcher falls back to
+    threads for launches touching such fields).
     """
 
-    def __init__(self, store: Store, initial: Optional[np.ndarray] = None) -> None:
+    def __init__(
+        self,
+        store: Store,
+        initial: Optional[np.ndarray] = None,
+        arena: Optional[SharedArena] = None,
+    ) -> None:
         self.store = store
+        self.shm_descriptor: Optional[BlockDescriptor] = None
+        self._arena = arena
         if initial is not None:
             initial = np.asarray(initial, dtype=store.dtype)
             if tuple(initial.shape) != store.shape:
@@ -43,6 +69,13 @@ class RegionField:
                     f"initial data shape {initial.shape} does not match store "
                     f"shape {store.shape}"
                 )
+        if arena is not None:
+            self.data, self.shm_descriptor = arena.allocate(
+                store.shape, store.dtype
+            )
+            if initial is not None:
+                self.data[...] = initial
+        elif initial is not None:
             self.data = np.array(initial, dtype=store.dtype, copy=True)
         else:
             self.data = np.zeros(store.shape, dtype=store.dtype)
@@ -64,6 +97,15 @@ class RegionField:
     def invalidate_views(self) -> None:
         """Drop all cached sub-store views."""
         self._view_cache.clear()
+
+    def release_storage(self) -> None:
+        """Return a shared-memory block to its arena (no-op otherwise)."""
+        if self._arena is not None and self.shm_descriptor is not None:
+            # Drop the views first: a recycled block must not be written
+            # through a stale cached view of the retired field.
+            self.invalidate_views()
+            descriptor, self.shm_descriptor = self.shm_descriptor, None
+            self._arena.release(descriptor)
 
     def read_scalar(self) -> float:
         """The value of a rank-0 / single-element region."""
@@ -88,7 +130,43 @@ class RegionManager:
         # workers racing to create the same field would otherwise write
         # through different backing arrays.
         self._allocate_lock = threading.Lock()
+        self._arena: Optional[SharedArena] = None
+        self._arena_finalizer = None
 
+    # ------------------------------------------------------------------
+    # Shared-memory arena (process dispatch backend).
+    # ------------------------------------------------------------------
+    @property
+    def arena(self) -> Optional[SharedArena]:
+        """The manager's shared arena, if any field has needed one."""
+        return self._arena
+
+    def _field_arena(self) -> Optional[SharedArena]:
+        """The arena new fields allocate from (``None`` ⇒ private heap).
+
+        Created lazily on the first allocation under the process
+        backend; a ``weakref.finalize`` hook unlinks its segments when
+        the manager is collected or the interpreter exits.  Callers hold
+        ``_allocate_lock``.
+        """
+        if config.dispatch_backend() != "process":
+            return None
+        if self._arena is None or self._arena.closed:
+            arena = SharedArena()
+            self._arena = arena
+            self._arena_finalizer = weakref.finalize(
+                self, SharedArena.close, arena
+            )
+        return self._arena
+
+    def close_arena(self) -> None:
+        """Unlink the manager's segments now (tests / explicit teardown)."""
+        if self._arena_finalizer is not None:
+            self._arena_finalizer()
+            self._arena_finalizer = None
+        self._arena = None
+
+    # ------------------------------------------------------------------
     def field(self, store: Store) -> RegionField:
         """The region field of ``store``, allocated on first use."""
         existing = self._fields.get(store.uid)
@@ -96,7 +174,7 @@ class RegionManager:
             with self._allocate_lock:
                 existing = self._fields.get(store.uid)
                 if existing is None:
-                    existing = RegionField(store)
+                    existing = RegionField(store, arena=self._field_arena())
                     self._fields[store.uid] = existing
         return existing
 
@@ -108,9 +186,12 @@ class RegionManager:
         half-installed replacement (attach itself only happens at host
         synchronisation points, which drain both dispatch levels first).
         """
-        field = RegionField(store, initial=data)
         with self._allocate_lock:
+            field = RegionField(store, initial=data, arena=self._field_arena())
+            replaced = self._fields.get(store.uid)
             self._fields[store.uid] = field
+        if replaced is not None:
+            replaced.release_storage()
         return field
 
     def has_field(self, store: Store) -> bool:
@@ -120,7 +201,9 @@ class RegionManager:
     def release(self, store: Store) -> None:
         """Free the backing storage of a store (e.g. eliminated temporaries)."""
         with self._allocate_lock:
-            self._fields.pop(store.uid, None)
+            field = self._fields.pop(store.uid, None)
+        if field is not None:
+            field.release_storage()
 
     @property
     def allocated_bytes(self) -> int:

@@ -66,6 +66,7 @@ from repro.runtime import executor as executor_module
 from repro.runtime.pool import (
     dispatch_chunks,
     guarded,
+    merged_table_span,
     point_chunks,
     shared_pool_size,
     submit_guarded,
@@ -262,6 +263,8 @@ def _execute_plan_serial(
             scalars = _bind_scalars(step, tasks)
             totals = _run_compiled(step, regions, slot_stores, scalars)
             _fold_compiled(step, executor, slot_stores, totals)
+            if step.elementwise and step.num_points > 1:
+                profiler.record_elementwise_batch(1)
             record = profiler.record_task(
                 name=step.task_name,
                 constituents=step.constituents,
@@ -365,6 +368,14 @@ def _run_compiled_ranks(
     reductions = step.reductions
     totals: Dict[str, list] = {}
     buffers: Dict[str, Optional[object]] = {}
+    if step.elementwise and stop > start:
+        # One merged closure call over the chunk's contiguous span —
+        # element-for-element identical to the per-rank loop (the
+        # recorder proved the launch element-wise with no reductions).
+        for name, resolved, _is_reduction, table in prepared:
+            buffers[name] = resolved.view(merged_table_span(table, start, stop))
+        kernel_fn(buffers, scalars)
+        return totals
     for rank in range(start, stop):
         for name, resolved, is_reduction, table in prepared:
             if is_reduction:
@@ -388,6 +399,25 @@ def _merge_chunk_totals(chunk_totals: Sequence[Dict[str, list]]) -> Dict[str, li
         for name, partials in totals.items():
             merged.setdefault(name, []).extend(partials)
     return merged
+
+
+def _merge_process_totals(step: CompiledStep, chunk_results) -> Dict[str, list]:
+    """Fold worker-process chunk replies into step totals, in rank order.
+
+    Process workers return raw per-rank partial dicts; this applies the
+    same reduction-name filter and rank-order concatenation as
+    :func:`_run_compiled_ranks` + :func:`_merge_chunk_totals`, so the
+    join-point fold is bit-identical to the thread substrate.
+    """
+    reductions = step.reductions
+    totals: Dict[str, list] = {}
+    for partials_by_rank, _seconds in chunk_results:
+        for partials in partials_by_rank:
+            if partials:
+                for name, partial in partials.items():
+                    if name in reductions:
+                        totals.setdefault(name, []).append(partial)
+    return totals
 
 
 def _run_compiled(
@@ -498,6 +528,13 @@ class PlanScheduler:
 
         point_width = config.point_worker_count()
         pool_size = shared_pool_size()
+        if config.dispatch_backend() == "process" and point_width > 1:
+            # Materialise the worker-process pool now, while no thread
+            # futures are in flight: forking from a quiescent point
+            # avoids inheriting another thread's lock state mid-level.
+            from repro.runtime import procpool
+
+            procpool.process_pool()
         #: Per-replay slot -> region field memo shared across all steps.
         fields: Dict[int, object] = {}
         #: Per-step compute results, indexed like ``schedule.steps``.
@@ -540,7 +577,7 @@ class PlanScheduler:
                     width = 1
 
                 if entry.compiled:
-                    chunks, run_chunk = self._compiled_point_work(
+                    chunks, run_chunk, prepared, scalars = self._compiled_point_work(
                         entry, regions, slot_stores, tasks, fields, width
                     )
                     # ``run_chunk`` is rebound on every loop iteration, and
@@ -563,16 +600,40 @@ class PlanScheduler:
                                 width=width,
                             )
                     elif len(chunks) > 1 and pool is not None:
-                        results[index] = _merge_chunk_totals(
-                            dispatch_chunks(pool, chunks, run_chunk)
-                        )
+                        totals = None
+                        chunk_backend = "thread"
+                        if config.dispatch_backend() == "process":
+                            # Replay steps ship no cost model: their
+                            # simulated seconds were captured at record
+                            # time and charged by the accounting fold.
+                            proc_results = executor._process_chunks_compiled(
+                                entry.step.kernel,
+                                prepared,
+                                scalars,
+                                chunks,
+                                entry.step.elementwise,
+                                with_cost=False,
+                            )
+                            if proc_results is not None:
+                                totals = _merge_process_totals(
+                                    entry.step, proc_results
+                                )
+                                chunk_backend = "process"
+                        if totals is None:
+                            totals = _merge_chunk_totals(
+                                dispatch_chunks(pool, chunks, run_chunk)
+                            )
+                        results[index] = totals
                         profiler.record_point_dispatch(
                             ranks=entry.num_points,
                             chunks=len(chunks),
                             width=width,
+                            backend=chunk_backend,
                         )
                     else:
                         results[index] = run_chunk(*chunks[0])
+                    if entry.step.elementwise and entry.num_points > 1:
+                        profiler.record_elementwise_batch(len(chunks))
                 else:
                     work = self._opaque_work(entry, slot_stores, tasks)
                     if index in dispatchable:
@@ -624,14 +685,16 @@ class PlanScheduler:
         tasks: Sequence[IndexTask],
         fields: Dict[int, object],
         width: int,
-    ) -> Tuple[List[Tuple[int, int]], Callable[[int, int], Dict[str, list]]]:
+    ):
         """Prepare a compiled step once and build its chunk runner.
 
         Everything order-sensitive (scalar rebinding, field resolution)
         happens here on the scheduling thread; the returned runner only
         computes over ``[start, stop)`` rank ranges and is safe on any
         worker.  The chunk plan uses the rank count recorded into the
-        plan at capture time.
+        plan at capture time.  The prepared bindings and rebound scalars
+        are returned as well so the caller can reroute the chunks to the
+        worker-process pool without re-preparing.
         """
         step = entry.step
         if entry.scalar_binds:
@@ -656,7 +719,7 @@ class PlanScheduler:
         def run_chunk(start: int, stop: int) -> Dict[str, list]:
             return _run_compiled_ranks(step, prepared, scalars, start, stop)
 
-        return chunks, run_chunk
+        return chunks, run_chunk, prepared, scalars
 
     def _opaque_work(
         self,

@@ -1,0 +1,239 @@
+"""Shared-memory arena for region-field backing storage.
+
+With ``REPRO_DISPATCH_BACKEND=process`` the region manager allocates the
+backing NumPy array of every store inside ``multiprocessing.shared_memory``
+segments instead of private heap pages.  The parent keeps the exact same
+mutable ``ndarray`` semantics it always had (the array is a view of the
+segment), while worker processes attach the segment *by name* and map the
+same physical pages — point-task chunks executed in another process read
+their inputs and write their output tiles with **zero copies** in either
+direction.
+
+Layout
+------
+The arena is a slab allocator: it creates segments of
+``REPRO_SHM_SEGMENT_BYTES`` (allocations larger than a segment get a
+dedicated segment) and carves 64-byte-aligned blocks out of them with a
+first-fit free list (freed blocks coalesce with their neighbours, so
+region churn — e.g. eliminated temporaries — does not leak segment
+space).  Every block is described by a :class:`BlockDescriptor` — the
+picklable ``(segment name, offset, shape, dtype)`` tuple the process
+pool ships to workers.
+
+Lifetime
+--------
+Each :class:`SharedArena` owns its segments and unlinks them when it is
+closed.  The region manager closes its arena through a
+``weakref.finalize`` hook, which Python runs when the manager is
+garbage collected *or at interpreter exit* — so test runs do not leak
+``/dev/shm`` segments or trip ``resource_tracker`` warnings: pool
+workers are children of this process and share its resource tracker, so
+a worker-side attach re-registers the same name into the same cache (a
+no-op) and the parent's unlink retires the single entry.  Workers must
+therefore *not* unregister their attachments — doing so would strip the
+parent's entry and make the later unlink warn about an unknown name.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import config
+
+#: Block alignment inside a segment (one cache line, and a multiple of
+#: every NumPy itemsize in use).
+_ALIGN = 64
+
+
+def _align(value: int) -> int:
+    return (value + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """Picklable address of one arena block (shipped to worker processes)."""
+
+    segment: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArena:
+    """Slab allocator over named shared-memory segments."""
+
+    def __init__(self, segment_bytes: Optional[int] = None) -> None:
+        self.segment_bytes = segment_bytes or config.shm_segment_bytes()
+        #: Unique prefix so two arenas (or two processes) never collide.
+        self._prefix = f"repro-{uuid.uuid4().hex[:12]}"
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        #: Segment name -> sorted list of free ``(offset, size)`` holes.
+        self._free: Dict[str, List[Tuple[int, int]]] = {}
+        self._counter = 0
+        self._lock = threading.Lock()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Allocation.
+    # ------------------------------------------------------------------
+    def allocate(
+        self, shape: Tuple[int, ...], dtype
+    ) -> Tuple[np.ndarray, BlockDescriptor]:
+        """A zero-filled shared array plus its shippable descriptor."""
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64))) * dtype.itemsize
+        size = _align(nbytes)
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("shared arena is closed")
+            placement = self._find_hole(size)
+            if placement is None:
+                placement = self._new_segment(size)
+            name, offset = placement
+            segment = self._segments[name]
+        descriptor = BlockDescriptor(
+            segment=name, offset=offset, shape=tuple(shape), dtype=dtype.str
+        )
+        array = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=offset)
+        # Segments are recycled: a reused hole still holds the previous
+        # block's bytes, and region fields are defined to start zeroed.
+        array.fill(0)
+        return array, descriptor
+
+    def _find_hole(self, size: int) -> Optional[Tuple[str, int]]:
+        for name, holes in self._free.items():
+            for index, (offset, hole_size) in enumerate(holes):
+                if hole_size >= size:
+                    if hole_size == size:
+                        holes.pop(index)
+                    else:
+                        holes[index] = (offset + size, hole_size - size)
+                    return name, offset
+        return None
+
+    def _new_segment(self, size: int) -> Tuple[str, int]:
+        name = f"{self._prefix}-{self._counter}"
+        self._counter += 1
+        segment_size = max(size, self.segment_bytes)
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=segment_size
+        )
+        self._segments[name] = segment
+        if segment_size > size:
+            self._free[name] = [(size, segment_size - size)]
+        else:
+            self._free[name] = []
+        return name, 0
+
+    def release(self, descriptor: BlockDescriptor) -> None:
+        """Return a block to its segment's free list (coalescing)."""
+        dtype = np.dtype(descriptor.dtype)
+        nbytes = max(1, int(np.prod(descriptor.shape, dtype=np.int64))) * dtype.itemsize
+        size = _align(nbytes)
+        with self._lock:
+            holes = self._free.get(descriptor.segment)
+            if holes is None or self.closed:
+                return
+            holes.append((descriptor.offset, size))
+            holes.sort()
+            merged: List[Tuple[int, int]] = []
+            for offset, hole_size in holes:
+                if merged and merged[-1][0] + merged[-1][1] == offset:
+                    merged[-1] = (merged[-1][0], merged[-1][1] + hole_size)
+                else:
+                    merged.append((offset, hole_size))
+            self._free[descriptor.segment] = merged
+
+    # ------------------------------------------------------------------
+    # Introspection / teardown.
+    # ------------------------------------------------------------------
+    @property
+    def segment_count(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._segments)
+
+    def close(self) -> None:
+        """Unlink every segment.  Runs at manager GC / interpreter exit.
+
+        Safe to call more than once.  Live NumPy views of a segment keep
+        the *mapping* valid in this process until they are dropped (the
+        ``ndarray`` holds the buffer), but the name disappears from
+        ``/dev/shm`` immediately.
+        """
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._free.clear()
+        for segment in segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            try:
+                segment.close()
+            except BufferError:
+                # NumPy views of the segment are still alive (e.g. a
+                # region field of a context that outlives its arena's
+                # explicit close); the mapping is reclaimed when they go.
+                pass
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment.
+# ----------------------------------------------------------------------
+#: Segment name -> attached SharedMemory, cached per process.
+_ATTACHMENTS: Dict[str, shared_memory.SharedMemory] = {}
+#: Bound on the attachment cache: segments of dead arenas linger only
+#: until enough newer segments displace them (FIFO eviction).
+_MAX_ATTACHMENTS = 64
+
+
+def attach_view(descriptor: BlockDescriptor) -> np.ndarray:
+    """Map a block descriptor to a NumPy view of the shared pages.
+
+    Used by process-pool workers: the first touch of a segment attaches
+    it by name; later blocks of the same segment reuse the cached
+    attachment.  The attach's resource-tracker registration is a no-op
+    re-add into the parent's shared cache (see the module docstring).
+    """
+    segment = _ATTACHMENTS.get(descriptor.segment)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=descriptor.segment)
+        while len(_ATTACHMENTS) >= _MAX_ATTACHMENTS:
+            oldest = next(iter(_ATTACHMENTS))
+            stale = _ATTACHMENTS.pop(oldest)
+            try:
+                stale.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+        _ATTACHMENTS[descriptor.segment] = segment
+    return np.ndarray(
+        descriptor.shape,
+        dtype=np.dtype(descriptor.dtype),
+        buffer=segment.buf,
+        offset=descriptor.offset,
+    )
+
+
+def close_attachments() -> None:
+    """Drop every cached attachment (worker shutdown path)."""
+    while _ATTACHMENTS:
+        _, segment = _ATTACHMENTS.popitem()
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - view still alive
+            pass

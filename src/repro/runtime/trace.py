@@ -48,7 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.ir.domain import Domain, Rect
+from repro.ir.domain import Domain
 from repro.ir.partition import Partition
 from repro.ir.privilege import Privilege, ReductionOp
 from repro.ir.store import Store
@@ -174,6 +174,13 @@ class CompiledStep:
     kernel_seconds: float
     communication_seconds: float
     overhead_seconds: float
+    #: True when every buffer's rect table tiles its (1-D) store
+    #: contiguously in rank order and the kernel performs no reductions:
+    #: replay then executes one merged closure call per rank *chunk*
+    #: (one per epoch at dispatch width 1) instead of one call per rank,
+    #: which both batches the launch and still lets point dispatch split
+    #: it — the composition the PR-4 whole-domain batching precluded.
+    elementwise: bool = False
 
 
 @dataclass
@@ -328,9 +335,7 @@ class TraceRecorder:
         scalar_positions = tuple(position_of_uid[t.uid] for t in constituents)
         scalar_order = binding.scalar_order or tuple(binding.scalar_args.items())
 
-        bindings, num_points = self._batch_whole_domain(
-            bindings, num_points, reductions
-        )
+        elementwise = self._elementwise_bindings(bindings, num_points, reductions)
 
         return CompiledStep(
             kernel=kernel,
@@ -347,6 +352,7 @@ class TraceRecorder:
             kernel_seconds=record.kernel_seconds,
             communication_seconds=record.communication_seconds,
             overhead_seconds=record.overhead_seconds,
+            elementwise=elementwise,
         )
 
     def _footprint(self, args) -> StepFootprint:
@@ -371,33 +377,30 @@ class TraceRecorder:
         )
 
     @staticmethod
-    def _batch_whole_domain(bindings, num_points, reductions):
-        """Collapse a purely element-wise launch into one whole-array call.
+    def _elementwise_bindings(bindings, num_points, reductions) -> bool:
+        """Is this launch a purely element-wise, contiguously-tiled one?
 
         When every buffer's rect table tiles its full (1-D) store
         contiguously in rank order and the kernel performs no
-        reductions, executing the closure once over the full backing
-        arrays is element-for-element identical to executing it per
-        point (NumPy ufuncs are elementwise, the tiles are disjoint and
-        cover the stores).  Replay then pays one set of ufunc calls per
-        epoch instead of one per launch point — the dominant cost of
-        long fusible chains like Black-Scholes.  The modelled kernel
+        reductions, executing the closure over any contiguous merged
+        span of tiles is element-for-element identical to executing it
+        per point (NumPy ufuncs are elementwise, the tiles are disjoint
+        and cover the stores — the shared predicate in ``runtime.pool``,
+        here with the conservative full-cover condition).  Replay then
+        pays one set of ufunc calls per rank *chunk* — one per epoch at
+        dispatch width 1, exactly the PR-2 whole-domain batching — while
+        point dispatch can still split the launch.  The modelled kernel
         time is untouched: it was captured from the per-point execution.
         """
-        if reductions or num_points <= 1 or not bindings:
-            return tuple(bindings), num_points
-        batched = []
-        for name, slot, is_reduction, table in bindings:
-            if len(table) != num_points:
-                return tuple(bindings), num_points
-            cursor = 0
-            for rect, _volume in table:
-                if len(rect.lo) != 1 or rect.lo[0] != cursor:
-                    return tuple(bindings), num_points
-                cursor = rect.hi[0]
-            full_rect = Rect((0,), (cursor,))
-            batched.append((name, slot, is_reduction, [(full_rect, cursor)]))
-        return tuple(batched), 1
+        from repro.runtime.pool import contiguous_elementwise_tables
+
+        if reductions or not bindings:
+            return False
+        return contiguous_elementwise_tables(
+            (table for _name, _slot, _is_reduction, table in bindings),
+            num_points,
+            require_full_cover=True,
+        )
 
     def _opaque_step(self, launch, record) -> OpaqueStep:
         task = launch.task

@@ -14,6 +14,31 @@ from repro.ir.task import IndexTask, StoreArg
 from repro.runtime.machine import MachineConfig
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _shutdown_dispatch_substrate():
+    """Tear down the dispatch pools and shared-memory arenas after the run.
+
+    Worker processes and ``/dev/shm`` segments outlive individual tests
+    by design (the pools are process-wide singletons, the arenas are
+    owned by region managers); this fixture — alongside the ``atexit``
+    hooks and arena finalizers that cover non-pytest entry points —
+    makes the cleanup deterministic so test runs never leak child
+    processes or shared-memory segments, and the resource tracker has
+    nothing left to warn about.
+    """
+    yield
+    import gc
+
+    from repro.runtime.pool import shutdown_shared_pool
+    from repro.runtime.procpool import shutdown_process_pool
+
+    shutdown_process_pool()
+    shutdown_shared_pool()
+    # Collect dropped region managers so their arena finalizers unlink
+    # any remaining segments now rather than at interpreter exit.
+    gc.collect()
+
+
 @pytest.fixture
 def store_manager():
     """A fresh store manager."""
