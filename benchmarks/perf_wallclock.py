@@ -47,6 +47,15 @@ enabled) under five configurations:
     removing the GIL ceiling that bounds the thread substrate on
     interpreter-heavy and small-tile kernels.
 
+``superkernel``
+    ``scheduler`` plus ``REPRO_SUPERKERNEL=1``: captured plans are
+    lowered to epoch super-kernels at capture time (the PR-6 tentpole) —
+    producer→consumer compiled steps splice into one generated function
+    and independent same-shape steps merge horizontally, so a steady
+    replay epoch runs a handful of fused closure calls instead of one
+    per step per rank.  Every legacy mode pins ``REPRO_SUPERKERNEL=0``
+    (the flag defaults to on) so they keep measuring their own layer.
+
 The ``scheduler`` mode is additionally timed against ``trace`` on a
 kernel-dominated gate configuration (Black-Scholes with a large batch,
 where the deduplicated transcendentals dominate); full mode enforces a
@@ -60,8 +69,14 @@ dispatch is GIL-bound: the worker-process substrate must beat it by
 >= 1.3x, again enforced on multi-core hosts only.  Dispatch is machine
 parallelism, so on a single-core host the dispatch-gate measurements
 are recorded (and checksum equality still enforced) but the speedup
-thresholds are reported as not enforceable.  ``--gates-only`` runs just
-the gate measurements at full scale (the CI gate job).
+thresholds are reported as not enforceable.  The ``superkernel`` mode
+has its own gate: a steady-epoch CG configuration at high rank count,
+where per-step closure dispatch dominates replay — full mode enforces a
+>= 1.2x superkernel-over-scheduler paired speedup there (no core
+requirement: the win is single-thread overhead elimination), plus a
+>= 3x drop in compiled-closure calls per replay epoch on the CG sweep,
+asserted on the deterministic profiler counters.  ``--gates-only`` runs
+just the gate measurements at full scale (the CI gate job).
 
 Before timing, a differential pass (``REPRO_KERNEL_BACKEND=differential``
 with tracing, the scheduler, point dispatch AND the process dispatch
@@ -108,12 +123,18 @@ APP_CONFIGS = {
     "cg": dict(num_gpus=8, iterations=64, warmup=2, app_kwargs={"grid_points_per_gpu": 24}),
     "jacobi": dict(num_gpus=8, iterations=48, warmup=2, app_kwargs={"rows_per_gpu": 96}),
     "black-scholes": dict(num_gpus=8, iterations=120, warmup=3, app_kwargs={"elements_per_gpu": 512}),
+    # Width-2 dependence DAG: two independent mat-vec recurrences per
+    # epoch, so the sweep exercises wide plan levels (plan_width_max > 1)
+    # and the super-kernel pass's opaque-step fallback (GEMV stays
+    # opaque) on every mode.
+    "two-matvec": dict(num_gpus=8, iterations=48, warmup=2, app_kwargs={"rows_per_gpu": 48}),
 }
 
 SMOKE_CONFIGS = {
     "cg": dict(num_gpus=4, iterations=10, warmup=2, app_kwargs={"grid_points_per_gpu": 24}),
     "jacobi": dict(num_gpus=4, iterations=8, warmup=2, app_kwargs={"rows_per_gpu": 64}),
     "black-scholes": dict(num_gpus=4, iterations=10, warmup=2, app_kwargs={"elements_per_gpu": 512}),
+    "two-matvec": dict(num_gpus=4, iterations=8, warmup=2, app_kwargs={"rows_per_gpu": 32}),
 }
 
 MODES = {
@@ -125,6 +146,7 @@ MODES = {
         "REPRO_POINT_WORKERS": "1",
         "REPRO_NORMALIZE": "0",
         "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
     },
     "codegen": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -134,6 +156,7 @@ MODES = {
         "REPRO_POINT_WORKERS": "1",
         "REPRO_NORMALIZE": "0",
         "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
     },
     "trace": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -143,6 +166,7 @@ MODES = {
         "REPRO_POINT_WORKERS": "1",
         "REPRO_NORMALIZE": "0",
         "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
     },
     "scheduler": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -152,6 +176,20 @@ MODES = {
         "REPRO_POINT_WORKERS": "1",
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
+    },
+    # The PR-6 tentpole: identical to ``scheduler`` except that captured
+    # plans are lowered to epoch super-kernels, so the paired gate below
+    # isolates exactly the fused-closure effect.
+    "superkernel": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "1",
+        "REPRO_NORMALIZE": "1",
+        "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "1",
     },
     "point": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -161,6 +199,7 @@ MODES = {
         "REPRO_POINT_WORKERS": "4",
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
     },
     "process": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -170,6 +209,7 @@ MODES = {
         "REPRO_POINT_WORKERS": "4",
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "process",
+        "REPRO_SUPERKERNEL": "0",
     },
     # The process gate compares the two dispatch substrates on an
     # interpreter-heavy, small-tile configuration: the tree-walking
@@ -184,6 +224,7 @@ MODES = {
         "REPRO_POINT_WORKERS": "4",
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
     },
     "process-gil": {
         "REPRO_KERNEL_BACKEND": "interpreter",
@@ -193,6 +234,7 @@ MODES = {
         "REPRO_POINT_WORKERS": "4",
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "process",
+        "REPRO_SUPERKERNEL": "0",
     },
     "differential": {
         "REPRO_KERNEL_BACKEND": "differential",
@@ -206,6 +248,10 @@ MODES = {
         # kernel by kernel, so ``make bench`` smoke fails on any process
         # backend divergence.
         "REPRO_DISPATCH_BACKEND": "process",
+        # Super-kernels run in verify mode under the differential
+        # backend: every fused call is checked bitwise against its
+        # constituent steps, so the pass certifies the PR-6 lowering too.
+        "REPRO_SUPERKERNEL": "1",
     },
 }
 
@@ -251,6 +297,27 @@ PROCESS_GATE_SMOKE_CONFIG = dict(
     num_gpus=4, iterations=5, warmup=2, app_kwargs={"elements_per_gpu": 4096}
 )
 PROCESS_SPEEDUP_THRESHOLD = 1.3
+
+#: Super-kernel gate: a steady-epoch CG configuration at high rank count
+#: with tiny tiles — per-step closure dispatch (per-rank view binding,
+#: partial folding, per-step accounting) dominates replay wall-clock
+#: there, which is exactly the overhead the PR-6 fused units eliminate.
+#: Unlike the dispatch gates this is a single-thread effect, so the
+#: threshold is enforced regardless of core count (full mode only).
+SUPERKERNEL_GATE_APP = "cg"
+SUPERKERNEL_GATE_CONFIG = dict(
+    num_gpus=64, iterations=96, warmup=2, app_kwargs={"grid_points_per_gpu": 4}
+)
+SUPERKERNEL_GATE_SMOKE_CONFIG = dict(
+    num_gpus=8, iterations=10, warmup=2, app_kwargs={"grid_points_per_gpu": 6}
+)
+SUPERKERNEL_SPEEDUP_THRESHOLD = 1.2
+
+#: Closure-call drop the super-kernel pass must deliver on the CG sweep
+#: configuration: compiled-closure calls per steady replay epoch with the
+#: pass off vs on, asserted on the deterministic profiler counters (full
+#: mode; the smoke configuration's 4-GPU plans sit exactly at 3x).
+SUPERKERNEL_CLOSURE_DROP_THRESHOLD = 3.0
 
 
 def _host_cpus() -> int:
@@ -377,6 +444,8 @@ def run_harness(
         trace_seconds, trace = _measure(app, spec, "trace", repeats)
         print(f"[{app}] timing plan scheduler ...", flush=True)
         scheduler_seconds, scheduler = _measure(app, spec, "scheduler", repeats)
+        print(f"[{app}] timing epoch super-kernels ...", flush=True)
+        superkernel_seconds, superkernel = _measure(app, spec, "superkernel", repeats)
         print(f"[{app}] timing point dispatch ...", flush=True)
         point_seconds, point = _measure(app, spec, "point", repeats)
         print(f"[{app}] timing process dispatch ...", flush=True)
@@ -407,12 +476,40 @@ def run_harness(
                 f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
                 f"vs scheduler {scheduler.checksum!r})"
             )
+        if baseline.checksum != superkernel.checksum:
+            failures.append(
+                f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
+                f"vs superkernel {superkernel.checksum!r})"
+            )
         if trace.trace_hits == 0:
             failures.append(f"{app}: trace mode reported zero trace hits")
         if scheduler.trace_hits == 0:
             failures.append(f"{app}: scheduler mode reported zero trace hits")
         if scheduler.plan_replays == 0:
             failures.append(f"{app}: scheduler mode never used the plan scheduler")
+        if superkernel.trace_hits == 0:
+            failures.append(f"{app}: superkernel mode reported zero trace hits")
+        if app == "cg":
+            if superkernel.superkernel_fusions == 0:
+                failures.append("cg: superkernel mode built no fused units")
+            closure_drop = (
+                scheduler.closure_calls_per_epoch
+                / superkernel.closure_calls_per_epoch
+                if superkernel.closure_calls_per_epoch > 0
+                else float("inf")
+            )
+            if not smoke and closure_drop < SUPERKERNEL_CLOSURE_DROP_THRESHOLD:
+                failures.append(
+                    f"cg: closure calls per epoch dropped only "
+                    f"{closure_drop:.2f}x ({scheduler.closure_calls_per_epoch:.2f} "
+                    f"-> {superkernel.closure_calls_per_epoch:.2f}), below the "
+                    f"{SUPERKERNEL_CLOSURE_DROP_THRESHOLD}x acceptance threshold"
+                )
+        if app == "two-matvec" and superkernel.plan_width_max < 2:
+            failures.append(
+                "two-matvec: captured plans never reached width 2 (the wide "
+                "dependence levels the app exists to exercise)"
+            )
 
         speedup = baseline_seconds / trace_seconds if trace_seconds > 0 else float("inf")
         codegen_speedup = (
@@ -420,6 +517,11 @@ def run_harness(
         )
         scheduler_speedup = (
             baseline_seconds / scheduler_seconds if scheduler_seconds > 0 else float("inf")
+        )
+        superkernel_speedup = (
+            baseline_seconds / superkernel_seconds
+            if superkernel_seconds > 0
+            else float("inf")
         )
         point_speedup = (
             baseline_seconds / point_seconds if point_seconds > 0 else float("inf")
@@ -432,6 +534,7 @@ def run_harness(
             == codegen.checksum
             == trace.checksum
             == scheduler.checksum
+            == superkernel.checksum
             == point.checksum
             == process.checksum
         )
@@ -446,11 +549,13 @@ def run_harness(
             "codegen_seconds": round(codegen_seconds, 6),
             "trace_seconds": round(trace_seconds, 6),
             "scheduler_seconds": round(scheduler_seconds, 6),
+            "superkernel_seconds": round(superkernel_seconds, 6),
             "point_seconds": round(point_seconds, 6),
             "process_seconds": round(process_seconds, 6),
             "codegen_speedup": round(codegen_speedup, 3),
             "speedup": round(speedup, 3),
             "scheduler_speedup": round(scheduler_speedup, 3),
+            "superkernel_speedup": round(superkernel_speedup, 3),
             "point_speedup": round(point_speedup, 3),
             "process_speedup": round(process_speedup, 3),
             "process_vs_point": round(
@@ -466,6 +571,12 @@ def run_harness(
             ),
             "point_vs_scheduler": round(
                 scheduler_seconds / point_seconds if point_seconds > 0 else float("inf"),
+                3,
+            ),
+            "superkernel_vs_scheduler": round(
+                scheduler_seconds / superkernel_seconds
+                if superkernel_seconds > 0
+                else float("inf"),
                 3,
             ),
             "trace_hits": trace.trace_hits,
@@ -488,6 +599,15 @@ def run_harness(
             "process_thread_fallback_chunks": process.point_thread_chunks,
             "batched_launches": point.batched_launches,
             "batched_calls": point.batched_calls,
+            "superkernel_fusions": superkernel.superkernel_fusions,
+            "superkernel_fused_steps": superkernel.superkernel_fused_steps,
+            "superkernel_calls": superkernel.superkernel_calls,
+            "scheduler_closure_calls_per_epoch": round(
+                scheduler.closure_calls_per_epoch, 3
+            ),
+            "superkernel_closure_calls_per_epoch": round(
+                superkernel.closure_calls_per_epoch, 3
+            ),
             "checksum": trace.checksum,
             "checksums_equal": all_checksums_equal,
             "differential_check": "passed",
@@ -497,7 +617,12 @@ def run_harness(
             f"{codegen_seconds:.4f}s ({codegen_speedup:.2f}x)  trace "
             f"{trace_seconds:.4f}s ({speedup:.2f}x, hit rate "
             f"{trace.trace_hit_rate:.2f})  scheduler "
-            f"{scheduler_seconds:.4f}s ({scheduler_speedup:.2f}x)  point "
+            f"{scheduler_seconds:.4f}s ({scheduler_speedup:.2f}x)  "
+            f"superkernel {superkernel_seconds:.4f}s "
+            f"({superkernel_speedup:.2f}x, {superkernel.superkernel_fusions} "
+            f"fusions, closures/epoch "
+            f"{scheduler.closure_calls_per_epoch:.2f}->"
+            f"{superkernel.closure_calls_per_epoch:.2f})  point "
             f"{point_seconds:.4f}s ({point_speedup:.2f}x)  process "
             f"{process_seconds:.4f}s ({process_speedup:.2f}x)",
             flush=True,
@@ -692,6 +817,79 @@ def run_harness(
                 flush=True,
             )
 
+    # ------------------------------------------------------------------
+    # Super-kernel gate: the PR-6 fused replay path vs the PR-3
+    # scheduler path on a steady-epoch, overhead-dominated CG
+    # configuration (many tiny ranks).  The two modes differ only in
+    # ``REPRO_SUPERKERNEL``, so the paired ratio isolates the fused
+    # units; the win is single-thread overhead elimination, so the
+    # threshold is enforced in full mode regardless of core count.
+    # ------------------------------------------------------------------
+    superkernel_gate_spec = (
+        SUPERKERNEL_GATE_SMOKE_CONFIG if smoke else SUPERKERNEL_GATE_CONFIG
+    )
+    superkernel_gate_report = None
+    if apps is None or SUPERKERNEL_GATE_APP in (apps or []):
+        app = SUPERKERNEL_GATE_APP
+        print(
+            f"[superkernel-gate] timing {app} "
+            f"{superkernel_gate_spec['app_kwargs']} (steady replay epochs, "
+            f"{superkernel_gate_spec['num_gpus']} ranks) ...",
+            flush=True,
+        )
+        (
+            gate_sched_seconds,
+            gate_sched,
+            gate_super_seconds,
+            gate_super,
+            superkernel_gate_speedup,
+        ) = _measure_pair(
+            app, superkernel_gate_spec, "scheduler", "superkernel", gate_repeats
+        )
+        if gate_sched.checksum != gate_super.checksum:
+            failures.append(
+                f"superkernel-gate: checksum mismatch (scheduler "
+                f"{gate_sched.checksum!r} vs superkernel {gate_super.checksum!r})"
+            )
+        if gate_super.superkernel_fusions == 0:
+            failures.append("superkernel-gate: no fused units were built")
+        superkernel_gate_report = {
+            "app": app,
+            "config": {
+                "num_gpus": superkernel_gate_spec["num_gpus"],
+                "iterations": superkernel_gate_spec["iterations"],
+                "warmup_iterations": superkernel_gate_spec["warmup"],
+                **superkernel_gate_spec["app_kwargs"],
+            },
+            "scheduler_seconds": round(gate_sched_seconds, 6),
+            "superkernel_seconds": round(gate_super_seconds, 6),
+            "superkernel_vs_scheduler": round(superkernel_gate_speedup, 3),
+            "threshold": SUPERKERNEL_SPEEDUP_THRESHOLD,
+            "superkernel_fusions": gate_super.superkernel_fusions,
+            "superkernel_fused_steps": gate_super.superkernel_fused_steps,
+            "superkernel_calls": gate_super.superkernel_calls,
+            "scheduler_closure_calls_per_epoch": round(
+                gate_sched.closure_calls_per_epoch, 3
+            ),
+            "superkernel_closure_calls_per_epoch": round(
+                gate_super.closure_calls_per_epoch, 3
+            ),
+            "checksums_equal": gate_sched.checksum == gate_super.checksum,
+        }
+        print(
+            f"[superkernel-gate] scheduler {gate_sched_seconds:.4f}s  "
+            f"superkernel {gate_super_seconds:.4f}s "
+            f"({superkernel_gate_speedup:.2f}x, closures/epoch "
+            f"{gate_sched.closure_calls_per_epoch:.2f}->"
+            f"{gate_super.closure_calls_per_epoch:.2f})",
+            flush=True,
+        )
+        if not smoke and superkernel_gate_speedup < SUPERKERNEL_SPEEDUP_THRESHOLD:
+            failures.append(
+                f"superkernel-gate: {superkernel_gate_speedup:.3f}x below the "
+                f"{SUPERKERNEL_SPEEDUP_THRESHOLD}x acceptance threshold"
+            )
+
     if not smoke:
         for app, threshold in SPEEDUP_THRESHOLDS.items():
             if app in report and report[app]["speedup"] < threshold:
@@ -703,7 +901,8 @@ def run_harness(
     payload = {
         "benchmark": (
             "wall-clock: seed interpreter vs codegen JIT vs trace replay "
-            "vs plan scheduler vs point dispatch vs process dispatch"
+            "vs plan scheduler vs epoch super-kernels vs point dispatch "
+            "vs process dispatch"
         ),
         "mode": "gates-only" if gates_only else ("smoke" if smoke else "full"),
         "repeats_per_mode": repeats,
@@ -714,6 +913,7 @@ def run_harness(
         "scheduler_gate": gate_report,
         "point_gate": point_gate_report,
         "process_gate": process_gate_report,
+        "superkernel_gate": superkernel_gate_report,
         "failures": failures,
     }
     with open(output, "w") as handle:

@@ -21,6 +21,7 @@ from repro.apps.bicgstab import BiCGSTAB
 from repro.apps.gmg import GeometricMultigrid
 from repro.apps.cfd import ChannelFlow
 from repro.apps.torchswe import ManuallyFusedShallowWater, ShallowWater
+from repro.apps.two_matvec import TwoMatVec
 
 __all__ = [
     "Application",
@@ -34,4 +35,5 @@ __all__ = [
     "ChannelFlow",
     "ShallowWater",
     "ManuallyFusedShallowWater",
+    "TwoMatVec",
 ]

@@ -86,6 +86,17 @@ can flip them between runs in one process:
     block allocations out of (default 16 MiB; allocations larger than a
     segment get a dedicated segment).  Only meaningful with
     ``REPRO_DISPATCH_BACKEND=process``.
+
+``REPRO_SUPERKERNEL``
+    ``1`` (default) enables the plan→super-kernel lowering pass
+    (``repro.runtime.superkernel``): contiguous compiled-step runs of a
+    captured :class:`ExecutionPlan` are spliced into one generated
+    function that executes the whole run — every per-rank launch of
+    every constituent step — in a single compiled-closure call, with
+    dead cross-launch intermediates folded into locals that skip field
+    materialisation entirely.  Buffers, simulated seconds and profiler
+    accounting are bit-identical to the unfused replay.  ``0`` restores
+    step-by-step plan replay.
 """
 
 from __future__ import annotations
@@ -131,6 +142,9 @@ SHM_SEGMENT_ENV_VAR = "REPRO_SHM_SEGMENT_BYTES"
 
 #: Default shared-memory segment size (bytes).
 DEFAULT_SHM_SEGMENT_BYTES = 16 * 1024 * 1024
+
+#: Environment variable gating plan→super-kernel lowering.
+SUPERKERNEL_ENV_VAR = "REPRO_SUPERKERNEL"
 
 #: Upper bound on the default worker count (explicit settings may exceed it).
 MAX_DEFAULT_WORKERS = 8
@@ -305,6 +319,26 @@ def shm_segment_bytes() -> int:
     return _shm_segment_bytes
 
 
+_superkernel_flag: bool | None = None
+
+
+def superkernel_enabled() -> bool:
+    """True unless ``REPRO_SUPERKERNEL`` disables super-kernel lowering.
+
+    Memoized like the other flags — call :func:`reload_flags` after
+    changing the variable inside a running process.  Lowering is
+    additionally skipped (regardless of this flag) for the interpreter
+    backend and under ``REPRO_OVERLAP_MODEL=1``; see
+    ``repro.runtime.superkernel``.
+    """
+    global _superkernel_flag
+    if _superkernel_flag is None:
+        _superkernel_flag = os.environ.get(
+            SUPERKERNEL_ENV_VAR, "1"
+        ).strip().lower() not in ("0", "off", "false")
+    return _superkernel_flag
+
+
 #: Callbacks invoked by :func:`reload_flags` after the memoized flags are
 #: reset.  The worker pools register themselves here so a flag flip
 #: (worker counts, dispatch backend) retires a now-stale pool singleton
@@ -330,7 +364,8 @@ def reload_flags() -> None:
     global _hotpath_cache_flag, _trace_flag, _worker_count
     global _overlap_model_flag, _normalize_flag
     global _point_worker_count, _point_min_ranks
-    global _dispatch_backend, _shm_segment_bytes
+    global _dispatch_backend, _shm_segment_bytes, _superkernel_flag
+    _superkernel_flag = None
     _hotpath_cache_flag = None
     _trace_flag = None
     _worker_count = None

@@ -65,6 +65,7 @@ _DEFAULT_SCALES: Dict[str, ExperimentScale] = {
     "bicgstab": ExperimentScale({"grid_points_per_gpu": 48}, 1e-5, 4, 2),
     "gmg": ExperimentScale({"grid_points_per_gpu": 48}, 1e-5, 3, 2),
     "cfd": ExperimentScale({"points_per_gpu": 48}, 1e-5, 3, 3),
+    "two-matvec": ExperimentScale({"rows_per_gpu": 32}, 5e-5, 3, 2),
     "torchswe": ExperimentScale({"points_per_gpu": 48}, 1e-5, 3, 3),
     "torchswe-manual": ExperimentScale({"points_per_gpu": 48}, 1e-5, 3, 3),
 }
@@ -131,6 +132,14 @@ class RunResult:
     batched_calls: int = 0
     #: Trace re-records forced by a scalar-equality-pattern flip.
     scalar_pattern_flips: int = 0
+    #: Epoch super-kernels (``REPRO_SUPERKERNEL``): fused units built at
+    #: plan capture, constituent steps absorbed, fused closure calls and
+    #: the per-replay-epoch compiled-closure call rate they reduce.
+    superkernel_fusions: int = 0
+    superkernel_fused_steps: int = 0
+    superkernel_calls: int = 0
+    replay_closure_calls: int = 0
+    closure_calls_per_epoch: float = 0.0
     #: True when the run charged overlap-aware simulated time
     #: (``REPRO_OVERLAP_MODEL=1``); such throughputs are not comparable
     #: with serial-accounting runs.
@@ -221,6 +230,11 @@ def run_application_experiment(
         batched_launches=profiler.batched_launches,
         batched_calls=profiler.batched_calls,
         scalar_pattern_flips=profiler.scalar_pattern_flips,
+        superkernel_fusions=profiler.superkernel_fusions,
+        superkernel_fused_steps=profiler.superkernel_fused_steps,
+        superkernel_calls=profiler.superkernel_calls,
+        replay_closure_calls=profiler.replay_closure_calls,
+        closure_calls_per_epoch=profiler.closure_calls_per_epoch,
         overlap_model=repro_config.overlap_model_enabled(),
     )
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -97,6 +97,19 @@ _REDUCE_FMT: Dict[ReduceKind, str] = {
     ReduceKind.PROD: "float(np.prod({value}))",
     ReduceKind.MAX: "float(np.max({value}))",
     ReduceKind.MIN: "float(np.min({value}))",
+}
+
+#: Direct ``ufunc.reduce`` spellings used inside super-kernel rank loops.
+#: For array operands ``np.sum``/``np.prod``/``np.max``/``np.min`` all
+#: dispatch to exactly these calls (``fromnumeric._wrapreduction`` with
+#: ``axis=None``), so the reduced values are bit-identical while the
+#: Python dispatch wrapper — paid once per rank inside the fused loop —
+#: is skipped.
+_REDUCE_FMT_DIRECT: Dict[ReduceKind, str] = {
+    ReduceKind.SUM: "float(np.add.reduce({value}, axis=None))",
+    ReduceKind.PROD: "float(np.multiply.reduce({value}, axis=None))",
+    ReduceKind.MAX: "float(np.maximum.reduce({value}, axis=None))",
+    ReduceKind.MIN: "float(np.minimum.reduce({value}, axis=None))",
 }
 
 # Spellings of ``kir.combine_reduction`` for repeated reductions into the
@@ -320,6 +333,27 @@ class _NameTable:
             self._names[key] = ident
         return ident
 
+    def seed(self, kind: str, name: str, ident: str) -> None:
+        """Pin a name to an existing identifier (cross-section aliasing)."""
+        self._names[(kind, name)] = ident
+
+
+class _PrefixedNames:
+    """A section-scoped view of a shared name table.
+
+    Super-kernel sections concatenate several kernels into one generated
+    function; prefixing every KIR name with the section's ``k{i}:`` tag
+    keeps the sections' namespaces disjoint while cross-section folds can
+    still alias two prefixed names to one identifier via ``seed``.
+    """
+
+    def __init__(self, base: _NameTable, prefix: str) -> None:
+        self._base = base
+        self._prefix = prefix
+
+    def get(self, kind: str, name: str) -> str:
+        return self._base.get(kind, self._prefix + name)
+
 
 class _SourceWriter:
     """Accumulates indented Python source lines."""
@@ -516,6 +550,303 @@ def generate_source(function: Function) -> str:
         out.emit(f"return {{{items}}}")
     else:
         out.emit("return {}")
+    return out.source()
+
+
+# ----------------------------------------------------------------------
+# Super-kernel emission: several captured kernels spliced into one
+# generated function (``runtime.superkernel`` decides what to splice).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SuperKernelSection:
+    """One constituent kernel of a super-kernel, ready for emission.
+
+    ``mode`` selects the calling convention of the section's buffers:
+
+    ``merged``
+        The step was captured element-wise; ``buffers[prefix+name]`` is a
+        single merged view spanning the chunk's contiguous tiles and the
+        body is emitted once, straight-line (identical to the per-step
+        merged call).
+
+    ``ranked``
+        ``buffers[prefix+name]`` is the list of per-rank views (``None``
+        for reduction targets) and the body is emitted inside an internal
+        rank loop — the per-rank closure calls of step-by-step replay
+        collapse into one call per chunk.
+
+    ``fold_writes``/``fold_reads`` alias dead cross-section intermediates
+    to shared locals: the writer assigns the local instead of a buffer
+    view and readers load it, so the intermediate's region field is never
+    materialised.
+    """
+
+    prefix: str
+    function: Function
+    mode: str
+    #: Parameter names bound with REDUCE privilege (handed in as None).
+    reduction_params: Tuple[str, ...] = ()
+    #: (param name, shared local identifier) written by this section.
+    fold_writes: Tuple[Tuple[str, str], ...] = ()
+    #: (param name, shared local identifier) read by this section.
+    fold_reads: Tuple[Tuple[str, str], ...] = ()
+
+
+def generate_superkernel_source(
+    sections: Sequence[SuperKernelSection], name: str
+) -> str:
+    """Emit one ``__kernel__`` running every section in recorded order.
+
+    Statement order, operation order and operand spellings within each
+    section match :func:`generate_source` exactly (same `_emit_expr`,
+    same fold plan, same guard and partial-accumulator emission), so the
+    fused function is bit-identical to running the constituent kernels
+    back to back.  Reduction partials are returned as
+    ``{prefixed target: [per-rank ReductionPartial, ...]}`` with keys in
+    section (and within a section, first-occurrence) order — the same
+    order the scheduler's per-step fold loop would observe.
+    """
+    names = _NameTable()
+    out = _SourceWriter()
+    out.emit(f"def __kernel__(buffers, scalars):  # super-kernel {name!r}")
+    out.indent += 1
+    out.emit("_partials = {}")
+
+    partial_list_count = 0
+    for section_index, section in enumerate(sections):
+        function = section.function
+        prefix = section.prefix
+        pnames = _PrefixedNames(names, prefix)
+        fold_write_map = dict(section.fold_writes)
+        fold_read_map = dict(section.fold_reads)
+        for param, ident in section.fold_writes:
+            names.seed("b", prefix + param, ident)
+        for param, ident in section.fold_reads:
+            names.seed("b", prefix + param, ident)
+
+        out.emit(f"# section {section_index}: kernel {function.name!r}")
+        for param in function.params:
+            if param.kind is ParamKind.SCALAR:
+                ident = pnames.get("s", param.name)
+                out.emit(
+                    f"{ident} = np.float64(scalars[{prefix + param.name!r}])"
+                )
+
+        ranked = section.mode == "ranked"
+        buffer_names: Set[str] = {
+            p.name for p in function.params if p.kind is ParamKind.BUFFER
+        }
+        folded = _fold_plan(function, set(buffer_names))
+        folded_allocs = {n for kind, n in folded if kind == "b"}
+
+        unknown_loads = (
+            function.buffers_read()
+            - buffer_names
+            - {s.name for s in function.body if isinstance(s, Alloc)}
+        )
+        if unknown_loads:
+            raise CodegenError(
+                f"super-kernel section '{function.name}' loads undeclared "
+                f"buffers {sorted(unknown_loads)}"
+            )
+
+        if ranked:
+            # Per-rank view lists arrive under the prefixed buffer names;
+            # the section's reduction partials accumulate per rank into
+            # lists registered (in first-occurrence order) up front.
+            length_ident = None
+            for param in function.buffer_params:
+                if param.name in fold_write_map or param.name in fold_read_map:
+                    raise CodegenError(
+                        f"super-kernel section '{function.name}': folded "
+                        f"parameter '{param.name}' in a ranked section"
+                    )
+                list_ident = names.get("v", prefix + param.name)
+                out.emit(f"{list_ident} = buffers[{prefix + param.name!r}]")
+                if length_ident is None and param.name not in section.reduction_params:
+                    length_ident = list_ident
+            if length_ident is None:
+                raise CodegenError(
+                    f"super-kernel section '{function.name}' has no "
+                    "non-reduction buffer to derive its rank count from"
+                )
+            reduce_lists: Dict[str, str] = {}
+            for stmt in function.body:
+                if not isinstance(stmt, Loop):
+                    continue
+                for inner in stmt.body:
+                    if (
+                        isinstance(inner, Reduce)
+                        and inner.target in section.reduction_params
+                        and inner.target not in reduce_lists
+                    ):
+                        list_ident = f"_pl{partial_list_count}"
+                        partial_list_count += 1
+                        reduce_lists[inner.target] = list_ident
+                        out.emit(f"{list_ident} = []")
+                        out.emit(
+                            f"_partials[{prefix + inner.target!r}] = {list_ident}"
+                        )
+            rank_ident = f"_rk{section_index}"
+            # Reduction parameters bind to ``None`` for the whole call —
+            # their results come back through ``_partials`` — so they are
+            # hoisted out of the rank loop.  Every other parameter arrives
+            # as a per-rank view list that is never ``None``, so the loop
+            # body indexes it unconditionally.
+            for param in function.buffer_params:
+                if param.name in section.reduction_params:
+                    out.emit(f"{pnames.get('b', param.name)} = None")
+            out.emit(f"for {rank_ident} in range(len({length_ident})):")
+            out.indent += 1
+            for param in function.buffer_params:
+                if param.name in section.reduction_params:
+                    continue
+                list_ident = names.get("v", prefix + param.name)
+                ident = pnames.get("b", param.name)
+                out.emit(f"{ident} = {list_ident}[{rank_ident}]")
+        else:
+            reduce_lists = {}
+            if any(loop.has_reduction for loop in function.loops):
+                raise CodegenError(
+                    f"super-kernel section '{function.name}': reductions "
+                    "in a merged section"
+                )
+            for param in function.buffer_params:
+                if param.name in fold_write_map or param.name in fold_read_map:
+                    continue
+                ident = pnames.get("b", param.name)
+                out.emit(f"{ident} = buffers[{prefix + param.name!r}]")
+
+        for stmt in function.body:
+            if not isinstance(stmt, Alloc):
+                continue
+            if stmt.name in folded_allocs:
+                continue
+            if stmt.like not in buffer_names:
+                raise CodegenError(
+                    f"allocation '{stmt.name}' references unknown buffer "
+                    f"'{stmt.like}' in super-kernel section '{function.name}'"
+                )
+            like = pnames.get("b", stmt.like)
+            # Ranked sections bind every non-reduction parameter to a real
+            # view, so the missing-reference guard only matters when the
+            # reference could legitimately be ``None``.
+            if not ranked or stmt.like in section.reduction_params:
+                out.emit(f"if {like} is None:")
+                out.indent += 1
+                out.emit(
+                    "raise RuntimeError("
+                    f"\"allocation '{stmt.name}' has no reference buffer "
+                    f"'{stmt.like}'\")"
+                )
+                out.indent -= 1
+            out.emit(f"{pnames.get('b', stmt.name)} = np.zeros_like({like})")
+            buffer_names.add(stmt.name)
+
+        guarded: Set[str] = set()
+        partials: Dict[str, Tuple[str, ReduceKind]] = {}
+        temp_counter = 0
+        for stmt in function.body:
+            if isinstance(stmt, Alloc):
+                continue
+            if not isinstance(stmt, Loop):  # pragma: no cover - no other kinds
+                raise CodegenError(f"unknown statement {stmt!r}")
+            index_ident = (
+                pnames.get("b", stmt.index_buffer)
+                if stmt.index_buffer in buffer_names
+                else None
+            )
+            for inner in stmt.body:
+                if isinstance(inner, Assign):
+                    fold_key = ("l" if inner.is_local else "b", inner.target)
+                    if fold_key in folded:
+                        continue
+                    value = _emit_expr(inner.expr, pnames, folded)
+                    if inner.is_local:
+                        out.emit(f"{pnames.get('l', inner.target)} = {value}")
+                        continue
+                    if inner.target not in buffer_names:
+                        raise CodegenError(
+                            f"assignment to unknown buffer '{inner.target}' "
+                            f"in super-kernel section '{function.name}'"
+                        )
+                    target = pnames.get("b", inner.target)
+                    if inner.target in fold_write_map:
+                        # The dead intermediate lives only as this local:
+                        # operator results are fresh arrays, a bare load
+                        # is copied so later writes to the source buffer
+                        # cannot alias through the fold.
+                        if isinstance(inner.expr, (BinOp, UnOp)):
+                            out.emit(f"{target} = {value}")
+                        else:
+                            out.emit(
+                                f"{target} = np.array({value}, dtype=np.float64)"
+                            )
+                        continue
+                    # Ranked sections never bind a writable parameter to
+                    # ``None`` (only reduction targets are, and those are
+                    # reduced, not assigned), so the per-rank guard of the
+                    # step-by-step emission is dead there.
+                    if not ranked and inner.target not in guarded:
+                        guarded.add(inner.target)
+                        out.emit(f"if {target} is None:")
+                        out.indent += 1
+                        out.emit(
+                            "raise RuntimeError("
+                            f"\"buffer '{inner.target}' is not materialised\")"
+                        )
+                        out.indent -= 1
+                    out.emit(f"{target}[...] = {value}")
+                elif isinstance(inner, Reduce):
+                    value = _emit_expr(inner.expr, pnames, folded)
+                    if index_ident:
+                        tmp = f"_r{section_index}_{temp_counter}"
+                        temp_counter += 1
+                        out.emit(f"{tmp} = np.asarray({value})")
+                        out.emit(
+                            f"if {tmp}.ndim == 0 and {index_ident} is not None:"
+                        )
+                        out.indent += 1
+                        out.emit(
+                            f"{tmp} = np.broadcast_to({tmp}, {index_ident}.shape)"
+                        )
+                        out.indent -= 1
+                        value = tmp
+                    reduced = _REDUCE_FMT_DIRECT[inner.kind].format(value=value)
+                    existing = partials.get(inner.target)
+                    if existing is None:
+                        acc = f"_p{section_index}_{len(partials)}"
+                        partials[inner.target] = (acc, inner.kind)
+                        out.emit(f"{acc} = {reduced}")
+                    else:
+                        acc, _ = existing
+                        partials[inner.target] = (acc, inner.kind)
+                        tmp = f"_r{section_index}_{temp_counter}"
+                        temp_counter += 1
+                        out.emit(f"{tmp} = {reduced}")
+                        out.emit(
+                            f"{acc} = "
+                            + _COMBINE_FMT[inner.kind].format(acc=acc, new=tmp)
+                        )
+                else:  # pragma: no cover - no other loop statement kinds
+                    raise CodegenError(f"unknown loop statement {inner!r}")
+
+        if ranked:
+            for target, (acc, kind) in partials.items():
+                list_ident = reduce_lists.get(target)
+                if list_ident is not None:
+                    out.emit(
+                        f"{list_ident}.append(ReductionPartial("
+                        f"kind=ReduceKind.{kind.name}, value={acc}))"
+                    )
+            out.indent -= 1
+        elif partials:  # pragma: no cover - merged sections reject reductions
+            raise CodegenError(
+                f"super-kernel section '{function.name}' produced partials "
+                "in merged mode"
+            )
+
+    out.emit("return _partials")
     return out.source()
 
 

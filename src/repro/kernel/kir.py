@@ -470,6 +470,67 @@ def replace_load_with_expr(expr: Expr, buffer: str, replacement: Expr) -> Expr:
     return expr
 
 
+def sole_buffer_assignment(function: Function, target: str) -> Optional[Assign]:
+    """The unique element-wise write to ``target``, if that is its only access.
+
+    Returns the single non-local :class:`Assign` whose target is
+    ``target`` when the function never loads the buffer, never reduces
+    into it and never allocates from or into it — the conditions under
+    which the super-kernel lowering (``runtime.superkernel``) may demote
+    a dead cross-launch intermediate to a fused-local value.  Returns
+    ``None`` otherwise.
+    """
+    if target in function.buffers_read():
+        return None
+    found: Optional[Assign] = None
+    for stmt in function.body:
+        if isinstance(stmt, Alloc):
+            if stmt.name == target or stmt.like == target:
+                return None
+        elif isinstance(stmt, Loop):
+            for inner in stmt.body:
+                if isinstance(inner, Reduce):
+                    if inner.target == target:
+                        return None
+                elif isinstance(inner, Assign) and not inner.is_local:
+                    if inner.target == target:
+                        if found is not None:
+                            return None
+                        found = inner
+    return found
+
+
+def assignment_loads_buffers(function: Function, stmt: Assign) -> bool:
+    """True when ``stmt``'s value transitively loads at least one buffer.
+
+    Local scalar references are chased through their defining assignments
+    so a value routed through scalarised temporaries still counts.  Used
+    by the super-kernel fold analysis: a load-free definition may be
+    zero-dimensional, and while broadcasting keeps element-wise consumers
+    exact, the conservative lowering only folds full-shape values.
+    """
+    local_defs: Dict[str, Expr] = {}
+    for outer in function.body:
+        if not isinstance(outer, Loop):
+            continue
+        for inner in outer.body:
+            if isinstance(inner, Assign) and inner.is_local:
+                local_defs[inner.target] = inner.expr
+    seen: Set[str] = set()
+    frontier = [stmt.expr]
+    while frontier:
+        expr = frontier.pop()
+        if expr.buffers_read():
+            return True
+        for name in expr.locals_read():
+            if name not in seen:
+                seen.add(name)
+                definition = local_defs.get(name)
+                if definition is not None:
+                    frontier.append(definition)
+    return False
+
+
 def count_flops(expr: Expr) -> int:
     """Number of arithmetic operations in an expression tree."""
     if isinstance(expr, BinOp):

@@ -75,13 +75,27 @@ class KernelSpec:
     backend: str
 
 
+@dataclass(frozen=True)
+class SuperKernelSpec:
+    """Shippable form of an epoch super-kernel (``runtime/superkernel``).
+
+    Fused units carry generated source rather than a single KIR function;
+    workers compile it through the same process-local source-keyed cache
+    the codegen backend uses, so isomorphic fused units compile once per
+    worker.
+    """
+
+    source: str
+    name: str
+
+
 @dataclass
 class ChunkRequest:
     """One rank chunk of one compiled launch."""
 
     kernel_id: int
     #: Filled in by the pool for the first request a worker sees.
-    spec: Optional[KernelSpec]
+    spec: Optional[object]  # KernelSpec | SuperKernelSpec
     scalars: Dict[str, float]
     #: ``(buffer name, is_reduction, descriptor or None, chunk rects)``.
     buffers: Tuple[Tuple[str, bool, Optional[BlockDescriptor], List[WireRect]], ...]
@@ -93,6 +107,10 @@ class ChunkRequest:
     #: replay path captures seconds at record time and ships ``None``.
     cost: Optional[object] = None
     machine: Optional[object] = None
+    #: Super-kernel chunks only: per-buffer calling convention aligned
+    #: with ``buffers`` (``merged`` = one contiguous span view,
+    #: ``ranked`` = the chunk's per-rank view list).
+    modes: Optional[Tuple[str, ...]] = None
 
 
 #: Reply payload: per-rank reduction partials and per-rank seconds
@@ -145,14 +163,37 @@ def _execute_chunk(
                 f"worker has no executor for kernel id {request.kernel_id} "
                 "and the request carried no spec"
             )
-        from repro.kernel.lowering import lower
+        if isinstance(spec, SuperKernelSpec):
+            from repro.kernel.codegen import _compile_source
 
-        executor = lower(spec.function, spec.binding, spec.backend)
+            executor, _fresh = _compile_source(spec.source, spec.name)
+        else:
+            from repro.kernel.lowering import lower
+
+            executor = lower(spec.function, spec.binding, spec.backend)
         executors[request.kernel_id] = executor
 
     bases: Dict[str, Optional[np.ndarray]] = {}
     for name, is_reduction, descriptor, _rects in request.buffers:
         bases[name] = None if is_reduction else attach_view(descriptor)
+
+    if request.modes is not None:
+        # Super-kernel chunk: one fused-closure call over the chunk's
+        # views — merged buffers get the contiguous span, ranked buffers
+        # the per-rank view list (mirroring ``run_superkernel_ranks``).
+        fused_buffers: Dict[str, object] = {}
+        for (name, _is_reduction, _descriptor, rects), mode in zip(
+            request.buffers, request.modes
+        ):
+            base = bases[name]
+            if base is None:
+                fused_buffers[name] = None
+            elif mode == "ranked":
+                fused_buffers[name] = [_view_of(base, rect) for rect in rects]
+            else:
+                fused_buffers[name] = _view_of(base, (rects[0][0], rects[-1][1]))
+        partials = executor(fused_buffers, request.scalars)
+        return [partials], []
 
     partials_by_rank: List[Dict[str, object]] = []
     seconds_by_rank: List[float] = []
@@ -430,6 +471,10 @@ def spec_for(kernel) -> KernelSpec:
     existing = getattr(kernel, "_proc_kernel_spec", None)
     if existing is not None:
         return existing
+    if getattr(kernel, "is_superkernel", False):
+        spec = SuperKernelSpec(source=kernel.source, name=kernel.name)
+        kernel._proc_kernel_spec = spec
+        return spec
     from repro.kernel.passes.compose import KernelBinding
 
     binding = kernel.binding

@@ -92,6 +92,17 @@ class Profiler:
         #: Trace epochs whose scalar equality pattern flipped on a known
         #: stream structure, forcing a conservative re-record.
         self.scalar_pattern_flips: int = 0
+        #: Super-kernel counters: fused units built by the plan→super-kernel
+        #: lowering, the compiled constituent steps they absorbed, and the
+        #: fused-closure invocations replay actually performed.
+        self.superkernel_fusions: int = 0
+        self.superkernel_fused_steps: int = 0
+        self.superkernel_calls: int = 0
+        #: Compiled-closure invocations performed by plan replay (one per
+        #: merged element-wise chunk, one per rank of a non-element-wise
+        #: launch, one per super-kernel chunk) — the interpreter-overhead
+        #: figure the super-kernel lowering exists to shrink.
+        self.replay_closure_calls: int = 0
         self._current_iteration: Optional[IterationRecord] = None
 
     # ------------------------------------------------------------------
@@ -203,6 +214,24 @@ class Profiler:
     def record_scalar_pattern_flip(self) -> None:
         """Record a trace re-record forced by a scalar-pattern flip."""
         self.scalar_pattern_flips += 1
+
+    def record_superkernel_fusion(self, constituents: int) -> None:
+        """Record one fused unit built by the super-kernel lowering."""
+        self.superkernel_fusions += 1
+        self.superkernel_fused_steps += constituents
+
+    def record_superkernel_calls(self, calls: int) -> None:
+        """Record fused-closure invocations (one per super-kernel chunk)."""
+        self.superkernel_calls += calls
+
+    def add_replay_closure_calls(self, calls: int) -> None:
+        """Record compiled-closure invocations performed by plan replay."""
+        self.replay_closure_calls += calls
+
+    @property
+    def closure_calls_per_epoch(self) -> float:
+        """Average compiled-closure invocations per replayed epoch."""
+        return self.replay_closure_calls / self.trace_hits if self.trace_hits else 0.0
 
     @property
     def point_chunks_per_launch(self) -> float:
@@ -327,4 +356,8 @@ class Profiler:
         self.batched_launches = 0
         self.batched_calls = 0
         self.scalar_pattern_flips = 0
+        self.superkernel_fusions = 0
+        self.superkernel_fused_steps = 0
+        self.superkernel_calls = 0
+        self.replay_closure_calls = 0
         self._current_iteration = None

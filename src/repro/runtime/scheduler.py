@@ -72,6 +72,11 @@ from repro.runtime.pool import (
     submit_guarded,
     worker_pool,
 )
+from repro.runtime.superkernel import (
+    SuperKernelStep,
+    maybe_lower_plan,
+    run_superkernel_ranks,
+)
 from repro.runtime.trace import (
     AnalysisCharge,
     CompiledStep,
@@ -259,7 +264,18 @@ def _execute_plan_serial(
             profiler.record_analysis_time(step.seconds)
             profiler.add_iteration_seconds(step.seconds)
             continue
+        if isinstance(step, SuperKernelStep):
+            scalars = _bind_scalars(step, tasks)
+            totals = _run_compiled(step, regions, slot_stores, scalars)
+            _fold_compiled(step, executor, slot_stores, totals)
+            profiler.record_superkernel_calls(1)
+            profiler.add_replay_closure_calls(1)
+            _account_fused_constituents(step, runtime, profiler)
+            continue
         if isinstance(step, CompiledStep):
+            profiler.add_replay_closure_calls(
+                1 if step.elementwise else step.num_points
+            )
             scalars = _bind_scalars(step, tasks)
             totals = _run_compiled(step, regions, slot_stores, scalars)
             _fold_compiled(step, executor, slot_stores, totals)
@@ -306,6 +322,37 @@ def _apply_plan_epilogue(plan: ExecutionPlan, engine, slot_stores: Sequence[Stor
     stats.fused_tasks += plan.fused_tasks
     stats.fused_constituents += plan.fused_constituents
     stats.temporaries_eliminated += plan.temporaries_eliminated
+
+
+def _account_fused_constituents(step: "SuperKernelStep", runtime, profiler) -> None:
+    """Charge a super-kernel's recorded constituents in recorded order.
+
+    The fused unit executed as one closure call, but its time accounting
+    replays the captured constituent subsequence (analysis charges and
+    compiled steps) exactly as serial replay would have: same records,
+    same floating-point accumulation order, bit-identical simulated
+    seconds.  Lowering is skipped under the overlap model, so fused
+    units only ever take this non-overlap accounting.
+    """
+    for fused in step.fused_steps:
+        if isinstance(fused, AnalysisCharge):
+            runtime.add_simulated_seconds(fused.seconds)
+            profiler.record_analysis_time(fused.seconds)
+            profiler.add_iteration_seconds(fused.seconds)
+            continue
+        if fused.elementwise and fused.num_points > 1:
+            profiler.record_elementwise_batch(1)
+        record = profiler.record_task(
+            name=fused.task_name,
+            constituents=fused.constituents,
+            kernel_seconds=fused.kernel_seconds,
+            communication_seconds=fused.communication_seconds,
+            overhead_seconds=fused.overhead_seconds,
+            launches=fused.launches,
+            fused=fused.fused,
+            replayed=True,
+        )
+        runtime.simulated_seconds += record.total_seconds
 
 
 # ----------------------------------------------------------------------
@@ -364,6 +411,8 @@ def _run_compiled_ranks(
     partials are returned unapplied, keyed by buffer name and ordered by
     launch rank within the chunk.
     """
+    if isinstance(step, SuperKernelStep):
+        return run_superkernel_ranks(step, prepared, scalars, start, stop)
     kernel_fn = step.kernel.executor
     reductions = step.reductions
     totals: Dict[str, list] = {}
@@ -416,7 +465,14 @@ def _merge_process_totals(step: CompiledStep, chunk_results) -> Dict[str, list]:
             if partials:
                 for name, partial in partials.items():
                     if name in reductions:
-                        totals.setdefault(name, []).append(partial)
+                        bucket = totals.setdefault(name, [])
+                        if isinstance(partial, list):
+                            # Super-kernel chunks return whole per-target
+                            # partial lists (already rank-ordered within
+                            # the chunk) instead of one partial per rank.
+                            bucket.extend(partial)
+                        else:
+                            bucket.append(partial)
     return totals
 
 
@@ -485,6 +541,17 @@ class PlanScheduler:
         workers = config.worker_count()
         point_width = config.point_worker_count()
         overlap = config.overlap_model_enabled()
+        backend = config.default_backend()
+        if config.superkernel_enabled() and not overlap and backend != "interpreter":
+            # Lower the plan into epoch super-kernels (cached on the
+            # plan; the differential backend lowers in verify mode).
+            # The overlap model keeps the unfused plan: its per-level
+            # max-time accounting needs the individual step records.
+            lowered = maybe_lower_plan(
+                plan, tasks, backend, self.runtime.profiler
+            )
+            if lowered is not None:
+                plan = lowered
         if workers <= 1 and point_width <= 1 and not overlap:
             _execute_plan_serial(plan, engine, slot_stores, tasks)
             return
@@ -580,6 +647,13 @@ class PlanScheduler:
                     chunks, run_chunk, prepared, scalars = self._compiled_point_work(
                         entry, regions, slot_stores, tasks, fields, width
                     )
+                    if isinstance(entry.step, SuperKernelStep):
+                        profiler.record_superkernel_calls(len(chunks))
+                        profiler.add_replay_closure_calls(len(chunks))
+                    elif entry.step.elementwise:
+                        profiler.add_replay_closure_calls(len(chunks))
+                    else:
+                        profiler.add_replay_closure_calls(entry.num_points)
                     # ``run_chunk`` is rebound on every loop iteration, and
                     # dispatched futures outlive the iteration — capture it
                     # by value or a worker could run a *later* step's
@@ -762,6 +836,11 @@ class PlanScheduler:
                 runtime.add_simulated_seconds(step.seconds)
                 profiler.record_analysis_time(step.seconds)
                 profiler.add_iteration_seconds(step.seconds)
+                continue
+            if isinstance(step, SuperKernelStep):
+                # Fused units charge their recorded constituents in
+                # recorded order (lowering is skipped under overlap).
+                _account_fused_constituents(step, runtime, profiler)
                 continue
             index = entry_by_plan_index[plan_index]
             if isinstance(step, CompiledStep):

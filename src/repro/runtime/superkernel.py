@@ -1,0 +1,669 @@
+"""Plan→super-kernel lowering: fusing captured plans across launch boundaries.
+
+Kernel fusion (PR 1) stops at the fusion-window boundary, so a captured
+:class:`~repro.runtime.trace.ExecutionPlan` still replays a *sequence* of
+compiled launches — each a separate Python-level closure call with its
+own buffer materialisation, and each non-element-wise launch one call
+*per rank*.  This module extends fusion across those launch boundaries:
+at first replay of a plan (and once per plan), maximal contiguous runs
+of :class:`CompiledStep`\\ s are spliced into a single generated
+``__kernel__`` (:func:`repro.kernel.codegen.generate_superkernel_source`)
+that executes the constituent kernels section by section in recorded
+order.  Element-wise steps become straight-line *merged* sections;
+non-element-wise steps become *ranked* sections whose per-rank closure
+calls collapse into an internal Python loop — one closure call per plan
+step run, instead of one per step per rank.
+
+Because recorded order is program order, a contiguous run covers both of
+the paper-motivated fusion shapes at once: producer→consumer chains
+(vertical splicing, Filipovič et al.) and independent same-level steps
+recorded back to back (horizontal merging, Li et al.) — the generated
+function simply contains both sections with disjoint outputs.
+
+Cross-launch dead intermediates — slots whose liveness was captured as
+dead in the trace key and that no step outside the run touches — are
+demoted to fused-local values: the writer section assigns a local, the
+consumer sections read it, the slot is dropped from the fused step's
+buffer bindings and its region field is never materialised.
+
+Soundness fallbacks (the unit breaks or the step stays unfused):
+
+* opaque steps (data-dependent cost models) break every run;
+* a step that reads or writes a slot an *earlier* unit member reduces
+  into splits the unit — the serial schedule folds the reduction into
+  the store between the two steps, which the fused unit defers to its
+  single join;
+* the interpreter backend and the eager overlap model skip lowering
+  entirely (checked by the plan scheduler at the use site);
+* the differential backend lowers in *verify* mode: every fused unit
+  executes both the fused closure and the constituent steps and raises
+  :class:`BackendDivergenceError` unless buffers and reduction partials
+  agree bit-for-bit.
+
+Accounting never changes: the fused step carries its recorded
+constituent subsequence (including interior analysis charges) and the
+scheduler charges the recorded per-step seconds in recorded order, so
+simulated time and profiler records are bit-identical to unfused replay.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import config
+from repro.kernel import codegen
+from repro.kernel.codegen import SuperKernelSection, generate_superkernel_source
+from repro.kernel.kir import assignment_loads_buffers, sole_buffer_assignment
+from repro.kernel.lowering import BackendDivergenceError
+from repro.runtime.pool import merged_table_span
+from repro.runtime.trace import AnalysisCharge, CompiledStep, ExecutionPlan
+
+
+@dataclass(frozen=True)
+class SectionInfo:
+    """One constituent compiled step of a fused unit (execution metadata)."""
+
+    prefix: str
+    step: CompiledStep
+    mode: str  # "merged" | "ranked"
+
+
+class SuperKernel:
+    """The kernel-like vehicle of a fused unit.
+
+    Mirrors the parts of ``CompiledKernel`` the replay paths touch:
+    ``executor`` is the compiled fused closure (obtained through the
+    process-wide source-keyed cache, so structurally-identical units
+    share one compiled function) and ``source`` is the generated text.
+    ``binding_modes`` rides along for the process-pool wire format.
+    """
+
+    is_superkernel = True
+
+    def __init__(
+        self, source: str, name: str, binding_modes: Tuple[str, ...]
+    ) -> None:
+        self.source = source
+        self.name = name
+        self.binding_modes = binding_modes
+        self.executor, self.freshly_compiled = codegen._compile_source(source, name)
+
+
+@dataclass
+class SuperKernelStep(CompiledStep):
+    """A fused unit, shaped like a :class:`CompiledStep`.
+
+    Subclassing keeps every generic plan mechanism working unchanged —
+    dependence analysis, scalar rebinding, binding preparation and the
+    reduction fold all operate on the inherited fields (prefixed names,
+    concatenated scalar order, merged footprint).  Scheduler paths that
+    must treat fused units specially test ``isinstance`` *before* the
+    ``CompiledStep`` branch.
+    """
+
+    #: Constituent compiled steps in section order.
+    sections: Tuple[SectionInfo, ...] = ()
+    #: The recorded constituent subsequence — compiled steps *and*
+    #: interior analysis charges — replayed verbatim by the accounting
+    #: fold so simulated seconds stay bit-identical.
+    fused_steps: Tuple[object, ...] = ()
+    #: Per-binding calling convention, aligned with ``buffer_bindings``.
+    binding_modes: Tuple[str, ...] = ()
+    #: True when the unit may be split into rank chunks (all sections
+    #: share the rank count and shared written slots have identical
+    #: tables); otherwise the unit always executes as one chunk.
+    chunkable: bool = False
+    #: Differential backend: execute fused and constituent forms, compare.
+    verify: bool = False
+    #: Dead intermediate slots folded into locals (never materialised).
+    folded_slots: Tuple[int, ...] = ()
+    #: Per-binding ``(kind, payload)`` execution plan, aligned with
+    #: ``buffer_bindings``: ``("ranked", per-rank slice tuples)``,
+    #: ``("merged", span slices)`` or ``("reduction", None)``.  The
+    #: slice tuples are precomputed from the interned rect tables at
+    #: lowering time, so the fused call binds by direct NumPy slicing
+    #: instead of per-rank memoized-view lookups.
+    binding_plan: Tuple[Tuple[str, object], ...] = ()
+
+
+#: Sentinel cached on plans whose lowering produced no fused units.
+_NO_UNITS = object()
+
+#: Weak references to plans carrying a cached lowering, retired on config
+#: reloads so flag flips (backend, ``REPRO_SUPERKERNEL``) cannot replay
+#: stale fused closures.  A plain weakref list because ``ExecutionPlan``
+#: is an unhashable (eq-comparing) dataclass.
+_LOWERED_PLANS: List["weakref.ref"] = []
+
+
+def _register_lowered(plan: ExecutionPlan) -> None:
+    _LOWERED_PLANS.append(weakref.ref(plan))
+
+
+def _reload_superkernels() -> None:
+    """Config-reload hook: drop every cached plan lowering."""
+    for ref in _LOWERED_PLANS:
+        plan = ref()
+        if plan is not None:
+            plan.superkernel = None
+    _LOWERED_PLANS.clear()
+
+
+config.register_reload_callback(_reload_superkernels)
+
+
+def lowered_plan_count() -> int:
+    """Plans currently holding a cached lowering (tests/observability)."""
+    count = 0
+    for ref in _LOWERED_PLANS:
+        plan = ref()
+        if plan is not None and plan.superkernel is not None:
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Unit formation.
+# ----------------------------------------------------------------------
+def _collect_units(plan: ExecutionPlan) -> List[List[int]]:
+    """Plan-index subsequences worth fusing, in recorded order.
+
+    Each unit is a contiguous run of compiled steps (with interior
+    analysis charges riding along for accounting), split at opaque
+    steps, at steps without a non-reduction binding, and at reduce→use
+    hazards; runs that would not save closure calls are dropped.
+    """
+    units: List[List[int]] = []
+    current: List[int] = []
+    reduced_slots: set = set()
+
+    def flush() -> None:
+        nonlocal current, reduced_slots
+        if current:
+            # Trim trailing analysis charges — they stay standalone.
+            while current and isinstance(plan.steps[current[-1]], AnalysisCharge):
+                current.pop()
+            compiled = [
+                index
+                for index in current
+                if isinstance(plan.steps[index], CompiledStep)
+            ]
+            if len(compiled) >= 2 or (
+                len(compiled) == 1
+                and not plan.steps[compiled[0]].elementwise
+                and plan.steps[compiled[0]].num_points > 1
+            ):
+                units.append(current)
+        current = []
+        reduced_slots = set()
+
+    for index, step in enumerate(plan.steps):
+        if isinstance(step, AnalysisCharge):
+            if current:
+                current.append(index)
+            continue
+        if not isinstance(step, CompiledStep) or isinstance(step, SuperKernelStep):
+            flush()
+            continue
+        if not any(not is_red for _n, _s, is_red, _t in step.buffer_bindings):
+            # No non-reduction binding: the ranked emission cannot derive
+            # a rank count — leave the step unfused.
+            flush()
+            continue
+        if reduced_slots and any(
+            (reads or writes) and slot in reduced_slots
+            for slot, reads, writes, _reduces in step.footprint
+        ):
+            # The serial schedule folds earlier reductions into the slot
+            # store before this step observes it; split so the fused
+            # unit's single deferred join stays equivalent.
+            flush()
+        current.append(index)
+        for slot, _reads, _writes, reduces in step.footprint:
+            if reduces:
+                reduced_slots.add(slot)
+    flush()
+    return units
+
+
+def _fold_decisions(
+    plan: ExecutionPlan,
+    members: Sequence[Tuple[int, CompiledStep, str]],
+) -> Dict[int, str]:
+    """Dead intermediates of one unit that fold into fused locals.
+
+    Returns ``slot -> local identifier``.  A slot folds only when the
+    trace key captured it dead, every plan step touching it is a merged
+    section of this unit, the (single) writer defines it with one
+    buffer-loading element-wise assignment and never reads it, the
+    readers only read it, and every touching binding shares one interned
+    rect table (so chunked execution keeps writer and reader spans
+    aligned).
+    """
+    liveness = plan.liveness
+    if not liveness:
+        return {}
+    member_indices = {index for index, _step, _mode in members}
+    touchers: Dict[int, List[int]] = {}
+    for index, step in enumerate(plan.steps):
+        if isinstance(step, AnalysisCharge):
+            continue
+        for slot, reads, writes, reduces in step.footprint:
+            if reads or writes or reduces:
+                touchers.setdefault(slot, []).append(index)
+
+    folds: Dict[int, str] = {}
+    for slot, touching in touchers.items():
+        if slot >= len(liveness) or liveness[slot]:
+            continue
+        if not set(touching) <= member_indices:
+            continue
+        infos = [
+            (index, step, mode)
+            for index, step, mode in members
+            if any(slot == s for s, _r, _w, _x in step.footprint)
+        ]
+        if len(infos) < 2 or any(mode != "merged" for _i, _s, mode in infos):
+            continue
+        writers = [
+            (index, step)
+            for index, step, _mode in infos
+            if any(s == slot and w for s, _r, w, _x in step.footprint)
+        ]
+        if len(writers) != 1 or writers[0][0] != infos[0][0]:
+            continue
+        if any(
+            s == slot and x
+            for _i, step, _m in infos
+            for s, _r, _w, x in step.footprint
+        ):
+            continue
+        ok = True
+        table_ref = None
+        writer_index = writers[0][0]
+        for index, step, _mode in infos:
+            bindings = [b for b in step.buffer_bindings if b[1] == slot]
+            if len(bindings) != 1 or bindings[0][2]:
+                ok = False
+                break
+            name, _slot, _is_red, table = bindings[0]
+            if table_ref is None:
+                table_ref = table
+            elif table is not table_ref:
+                ok = False
+                break
+            function = step.kernel.function
+            if index == writer_index:
+                assign = sole_buffer_assignment(function, name)
+                if assign is None or not assignment_loads_buffers(function, assign):
+                    ok = False
+                    break
+            else:
+                if name in function.buffers_written() or any(
+                    alloc.name == name for alloc in function.allocs
+                ):
+                    ok = False
+                    break
+        if ok:
+            folds[slot] = f"_fold{len(folds)}_{slot}"
+    return folds
+
+
+def _build_unit(
+    plan: ExecutionPlan,
+    indices: Sequence[int],
+    tasks,
+    verify: bool,
+) -> SuperKernelStep:
+    """Lower one collected unit into a :class:`SuperKernelStep`."""
+    members: List[Tuple[int, CompiledStep, str]] = []
+    for index in indices:
+        step = plan.steps[index]
+        if isinstance(step, CompiledStep):
+            mode = "merged" if step.elementwise else "ranked"
+            members.append((index, step, mode))
+
+    folds = {} if verify else _fold_decisions(plan, members)
+
+    # Chunkability: every section must agree on the rank count, and any
+    # slot one section writes while another binds it must use the same
+    # interned table, so a chunk's writer and reader spans coincide.
+    num_points = members[0][1].num_points
+    chunkable = (
+        not verify
+        and num_points > 1
+        and all(step.num_points == num_points for _i, step, _m in members)
+    )
+    if chunkable:
+        slot_tables: Dict[int, List] = {}
+        written: set = set()
+        for _index, step, _mode in members:
+            for slot, _reads, writes, reduces in step.footprint:
+                if writes or reduces:
+                    written.add(slot)
+            for _name, slot, is_red, table in step.buffer_bindings:
+                if not is_red:
+                    slot_tables.setdefault(slot, []).append(table)
+        for slot in written:
+            tables = slot_tables.get(slot, [])
+            if len(tables) > 1 and any(t is not tables[0] for t in tables):
+                chunkable = False
+                break
+
+    sections: List[SuperKernelSection] = []
+    infos: List[SectionInfo] = []
+    bindings: List[Tuple[str, int, bool, list]] = []
+    binding_modes: List[str] = []
+    scalar_positions: List[int] = []
+    scalar_order: List[Tuple[str, int]] = []
+    reductions: Dict[str, Tuple[int, object]] = {}
+    footprint_merge: Dict[int, List[bool]] = {}
+    scalar_offset = 0
+
+    for section_index, (_index, step, mode) in enumerate(members):
+        prefix = f"k{section_index}:"
+        function = step.kernel.function
+        reduction_params = tuple(
+            name for name, _slot, is_red, _table in step.buffer_bindings if is_red
+        )
+        fold_writes: List[Tuple[str, str]] = []
+        fold_reads: List[Tuple[str, str]] = []
+        step_writes = {
+            slot for slot, _r, w, _x in step.footprint if w
+        }
+        for name, slot, is_red, table in step.buffer_bindings:
+            ident = folds.get(slot)
+            if ident is not None:
+                if slot in step_writes:
+                    fold_writes.append((name, ident))
+                else:
+                    fold_reads.append((name, ident))
+                continue
+            bindings.append((prefix + name, slot, is_red, table))
+            binding_modes.append(mode)
+        sections.append(
+            SuperKernelSection(
+                prefix=prefix,
+                function=function,
+                mode=mode,
+                reduction_params=reduction_params,
+                fold_writes=tuple(fold_writes),
+                fold_reads=tuple(fold_reads),
+            )
+        )
+        infos.append(SectionInfo(prefix=prefix, step=step, mode=mode))
+
+        scalar_positions.extend(step.scalar_positions)
+        for name, flat_index in step.scalar_order:
+            scalar_order.append((prefix + name, flat_index + scalar_offset))
+        scalar_offset += sum(
+            len(tasks[position].scalar_args) for position in step.scalar_positions
+        )
+        for name, (slot, redop) in step.reductions.items():
+            reductions[prefix + name] = (slot, redop)
+        for slot, reads, writes, reduces in step.footprint:
+            if slot in folds:
+                continue
+            entry = footprint_merge.setdefault(slot, [False, False, False])
+            entry[0] = entry[0] or reads
+            entry[1] = entry[1] or writes
+            entry[2] = entry[2] or reduces
+
+    name = "superkernel_" + "_".join(
+        step.task_name for _i, step, _m in members[:3]
+    )
+    source = generate_superkernel_source(sections, name)
+    kernel = SuperKernel(source, name, tuple(binding_modes))
+
+    binding_plan: List[Tuple[str, object]] = []
+    for (_name, _slot, is_red, table), mode in zip(bindings, binding_modes):
+        if mode == "ranked" and is_red:
+            binding_plan.append(("reduction", None))
+        elif mode == "ranked":
+            binding_plan.append(
+                ("ranked", tuple(entry[0].slices() for entry in table))
+            )
+        else:
+            binding_plan.append(
+                ("merged", merged_table_span(table, 0, len(table)).slices())
+            )
+
+    fused_steps = tuple(plan.steps[index] for index in indices)
+    return SuperKernelStep(
+        kernel=kernel,
+        task_name=name,
+        fused=True,
+        constituents=sum(step.constituents for _i, step, _m in members),
+        launches=sum(step.launches for _i, step, _m in members),
+        num_points=num_points if chunkable else 1,
+        buffer_bindings=tuple(bindings),
+        scalar_order=tuple(scalar_order),
+        scalar_positions=tuple(scalar_positions),
+        reductions=reductions,
+        footprint=tuple(
+            (slot, reads, writes, reduces)
+            for slot, (reads, writes, reduces) in sorted(footprint_merge.items())
+        ),
+        kernel_seconds=sum(step.kernel_seconds for _i, step, _m in members),
+        communication_seconds=sum(
+            step.communication_seconds for _i, step, _m in members
+        ),
+        overhead_seconds=sum(step.overhead_seconds for _i, step, _m in members),
+        elementwise=False,
+        sections=tuple(infos),
+        fused_steps=fused_steps,
+        binding_modes=tuple(binding_modes),
+        chunkable=chunkable,
+        verify=verify,
+        folded_slots=tuple(sorted(folds)),
+        binding_plan=tuple(binding_plan),
+    )
+
+
+def maybe_lower_plan(
+    plan: ExecutionPlan, tasks, backend: str, profiler=None
+) -> Optional[ExecutionPlan]:
+    """The super-kernel lowering of ``plan``, or None when nothing fuses.
+
+    The lowering is computed once per plan and cached on it (retired by
+    :func:`config.reload_flags` via the registered callback).  The
+    caller gates on the ``REPRO_SUPERKERNEL`` flag, the interpreter
+    backend and the overlap model; the differential backend lowers in
+    verify mode.
+    """
+    cached = plan.superkernel
+    if cached is not None:
+        return None if cached is _NO_UNITS else cached
+
+    units = _collect_units(plan)
+    if not units:
+        plan.superkernel = _NO_UNITS
+        _register_lowered(plan)
+        return None
+
+    verify = backend == "differential"
+    fused_by_start: Dict[int, SuperKernelStep] = {}
+    consumed: set = set()
+    for indices in units:
+        unit = _build_unit(plan, indices, tasks, verify)
+        fused_by_start[indices[0]] = unit
+        consumed.update(indices)
+        if profiler is not None:
+            profiler.record_superkernel_fusion(len(unit.sections))
+
+    steps: List[object] = []
+    for index, step in enumerate(plan.steps):
+        unit = fused_by_start.get(index)
+        if unit is not None:
+            steps.append(unit)
+        elif index not in consumed:
+            steps.append(step)
+
+    lowered = ExecutionPlan(
+        steps=tuple(steps),
+        exit_states=plan.exit_states,
+        bytes_moved=plan.bytes_moved,
+        analysis_seconds=plan.analysis_seconds,
+        forwarded_tasks=plan.forwarded_tasks,
+        fused_tasks=plan.fused_tasks,
+        fused_constituents=plan.fused_constituents,
+        temporaries_eliminated=plan.temporaries_eliminated,
+        task_count=plan.task_count,
+        liveness=plan.liveness,
+    )
+    plan.superkernel = lowered
+    _register_lowered(plan)
+    return lowered
+
+
+# ----------------------------------------------------------------------
+# Execution.
+# ----------------------------------------------------------------------
+def run_superkernel_ranks(
+    step: SuperKernelStep,
+    prepared: Sequence[Tuple[str, object, bool, list]],
+    scalars: Dict[str, float],
+    start: int,
+    stop: int,
+) -> Dict[str, list]:
+    """Run rank chunk ``[start, stop)`` of a fused unit (one closure call).
+
+    Merged bindings hand the closure one contiguous span view; ranked
+    bindings hand it the chunk's per-rank view list.  Non-chunkable
+    units ignore the chunk range and execute every rank.  The returned
+    totals have the same shape and order as the per-step fold loop would
+    accumulate, so the scheduler's join points need no special casing.
+
+    Binding slices the resolved fields' backing arrays directly with the
+    slice tuples precomputed at lowering time (``step.binding_plan``) —
+    NumPy basic slicing always yields a view, so writes land in place
+    exactly as through the memoized per-rect view path the per-step
+    replay loop uses, without its per-rank cache lookups.
+    """
+    if step.verify:
+        return _run_verify(step, prepared, scalars)
+    buffers: Dict[str, object] = {}
+    chunked = step.chunkable
+    for (name, resolved, _is_reduction, table), (kind, payload) in zip(
+        prepared, step.binding_plan
+    ):
+        if kind == "reduction":
+            buffers[name] = None
+        elif kind == "ranked":
+            data = resolved.data
+            rank_slices = payload[start:stop] if chunked else payload
+            buffers[name] = [data[entry] for entry in rank_slices]
+        elif chunked and (start, stop) != (0, len(table)):
+            buffers[name] = resolved.view(merged_table_span(table, start, stop))
+        else:
+            buffers[name] = resolved.data[payload]
+    partials = step.kernel.executor(buffers, scalars)
+    totals: Dict[str, list] = {}
+    reductions = step.reductions
+    for name, partial_list in partials.items():
+        if name in reductions and partial_list:
+            totals[name] = list(partial_list)
+    return totals
+
+
+def _run_verify(
+    step: SuperKernelStep,
+    prepared: Sequence[Tuple[str, object, bool, list]],
+    scalars: Dict[str, float],
+) -> Dict[str, list]:
+    """Differential execution of a fused unit.
+
+    Runs the constituent steps first (the reference — themselves under
+    their own differential executors), snapshots the written fields,
+    rewinds to the pre-state, runs the fused closure, and demands
+    bitwise agreement on every written field and reduction partial.
+    """
+    from repro.runtime import scheduler as scheduler_module
+
+    resolved_by_slot: Dict[int, object] = {}
+    for (name, slot, _is_red, _table), (_n, resolved, _r, _t) in zip(
+        step.buffer_bindings, prepared
+    ):
+        if resolved is not None:
+            resolved_by_slot[slot] = resolved
+
+    written_slots = [slot for slot, _r, w, _x in step.footprint if w]
+    pre = {
+        slot: np.array(resolved_by_slot[slot].data, copy=True)
+        for slot in written_slots
+        if slot in resolved_by_slot
+    }
+
+    reference: Dict[str, list] = {}
+    for info in step.sections:
+        member = info.step
+        member_prepared = [
+            (name, None if is_red else resolved_by_slot[slot], is_red, table)
+            for name, slot, is_red, table in member.buffer_bindings
+        ]
+        member_scalars = {
+            name: scalars[info.prefix + name] for name, _index in member.scalar_order
+        }
+        totals = scheduler_module._run_compiled_ranks(
+            member, member_prepared, member_scalars, 0, member.num_points
+        )
+        for name, partial_list in totals.items():
+            reference[info.prefix + name] = partial_list
+
+    post = {slot: np.array(resolved_by_slot[slot].data, copy=True) for slot in pre}
+    for slot, snapshot in pre.items():
+        resolved_by_slot[slot].data[...] = snapshot
+
+    buffers: Dict[str, object] = {}
+    for (name, resolved, is_reduction, table), mode in zip(
+        prepared, step.binding_modes
+    ):
+        if mode == "ranked":
+            if is_reduction:
+                buffers[name] = None
+            else:
+                buffers[name] = [
+                    resolved.view(table[rank][0]) for rank in range(len(table))
+                ]
+        else:
+            buffers[name] = resolved.view(merged_table_span(table, 0, len(table)))
+    partials = step.kernel.executor(buffers, scalars)
+
+    for slot, expected in post.items():
+        actual = resolved_by_slot[slot].data
+        if not np.array_equal(actual, expected, equal_nan=True):
+            raise BackendDivergenceError(
+                f"super-kernel '{step.task_name}': fused and constituent "
+                f"execution disagree on slot {slot}"
+            )
+    totals: Dict[str, list] = {}
+    reductions = step.reductions
+    for name, partial_list in partials.items():
+        if name in reductions and partial_list:
+            totals[name] = list(partial_list)
+    if set(totals) != set(reference):
+        raise BackendDivergenceError(
+            f"super-kernel '{step.task_name}': reduction targets differ "
+            f"({sorted(reference)} vs {sorted(totals)})"
+        )
+    for name, expected_list in reference.items():
+        actual_list = totals[name]
+        if len(actual_list) != len(expected_list):
+            raise BackendDivergenceError(
+                f"super-kernel '{step.task_name}': partial counts differ "
+                f"for '{name}'"
+            )
+        for expected, actual in zip(expected_list, actual_list):
+            if expected.kind is not actual.kind or not (
+                expected.value == actual.value
+                or (np.isnan(expected.value) and np.isnan(actual.value))
+            ):
+                raise BackendDivergenceError(
+                    f"super-kernel '{step.task_name}': reduction partial "
+                    f"'{name}' diverged ({expected} vs {actual})"
+                )
+    return totals

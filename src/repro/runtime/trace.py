@@ -242,6 +242,15 @@ class ExecutionPlan:
     #: on the plan so the DAG is built once per captured plan, not once
     #: per replay.
     schedule: Optional[object] = None
+    #: Per-slot application liveness sampled at canonicalization (part of
+    #: the trace key, re-exposed here so the super-kernel lowering can
+    #: fold dead intermediate slots without re-deriving liveness).
+    liveness: Tuple[bool, ...] = ()
+    #: Cached super-kernel lowering (``runtime.superkernel``): the
+    #: lowered plan, or a module-private sentinel when nothing fused.
+    #: Retired on ``config.reload_flags()`` so flag flips cannot replay
+    #: stale fused closures.
+    superkernel: Optional[object] = None
 
 
 # ----------------------------------------------------------------------
@@ -440,6 +449,7 @@ class TraceRecorder:
             fused_constituents=fused_constituents,
             temporaries_eliminated=temporaries,
             task_count=len(self.stream.position_of_uid),
+            liveness=tuple(self.stream.stream_key[1]),
         )
 
 

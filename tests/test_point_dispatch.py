@@ -233,6 +233,10 @@ class TestWideAppParity:
         monkeypatch.setenv("REPRO_WORKERS", "4")
         monkeypatch.setenv("REPRO_TRACE", "1")
         monkeypatch.setenv("REPRO_KERNEL_BACKEND", "codegen")
+        # Super-kernel lowering would fuse the width-2 level into one
+        # step, hiding exactly the multi-step dispatch window this
+        # regression test exists to exercise.
+        monkeypatch.setenv("REPRO_SUPERKERNEL", "0")
         config.reload_flags()
         context = RuntimeContext(
             num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4)
@@ -288,6 +292,7 @@ class TestWideAppParity:
         monkeypatch.setenv("REPRO_WORKERS", "4")
         monkeypatch.setenv("REPRO_TRACE", "1")
         monkeypatch.setenv("REPRO_KERNEL_BACKEND", "codegen")
+        monkeypatch.setenv("REPRO_SUPERKERNEL", "0")
         config.reload_flags()
         context = RuntimeContext(
             num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4)

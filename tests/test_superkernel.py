@@ -1,0 +1,345 @@
+"""Epoch super-kernels (``REPRO_SUPERKERNEL``).
+
+Acceptance bar: lowering captured plans into fused compiled units must
+be invisible to every observable — buffers, checksums and simulated
+seconds stay bit-identical across ``REPRO_SUPERKERNEL`` × worker-pool
+width × point-dispatch width × dispatch substrate, asserted under the
+differential kernel backend (which additionally runs every fused call
+in verify mode against its constituent steps).  On top of parity, the
+pass must actually fuse: vertical splices fold dead intermediates into
+locals, independent same-level steps merge horizontally, fused units
+ship to worker processes, and the CG replay path must drop its
+compiled-closure calls per epoch by at least 3x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.apps.base import build_application
+from repro.experiments.harness import scaled_machine
+from repro.frontend.cunumeric.array import ndarray as cn_ndarray
+from repro.frontend.legate.context import RuntimeContext, set_context
+from repro.fusion.engine import FusionConfig
+from repro.runtime import superkernel as superkernel_module
+
+
+@pytest.fixture(autouse=True)
+def _reload_flags_after():
+    yield
+    config.reload_flags()
+
+
+@pytest.fixture(autouse=True)
+def _force_dispatch(monkeypatch):
+    """Zero both dispatch thresholds so tiny launches hit the pool."""
+    import repro.runtime.executor as executor_module
+    import repro.runtime.scheduler as scheduler_module
+
+    monkeypatch.setattr(executor_module, "MIN_POINT_DISPATCH_VOLUME", 0)
+    monkeypatch.setattr(scheduler_module, "MIN_DISPATCH_VOLUME", 0)
+
+
+# ----------------------------------------------------------------------
+# Flag plumbing.
+# ----------------------------------------------------------------------
+class TestSuperkernelConfig:
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUPERKERNEL", raising=False)
+        config.reload_flags()
+        assert config.superkernel_enabled() is True
+
+    def test_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUPERKERNEL", "0")
+        config.reload_flags()
+        assert config.superkernel_enabled() is False
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity: the hammer matrix.
+# ----------------------------------------------------------------------
+def _run_app(
+    app_name,
+    monkeypatch,
+    iterations,
+    superkernel="1",
+    workers=1,
+    point_workers=1,
+    backend="thread",
+    kernel_backend="differential",
+    **app_kwargs,
+):
+    monkeypatch.setenv("REPRO_SUPERKERNEL", superkernel)
+    monkeypatch.setenv("REPRO_WORKERS", str(workers))
+    monkeypatch.setenv("REPRO_POINT_WORKERS", str(point_workers))
+    monkeypatch.setenv("REPRO_DISPATCH_BACKEND", backend)
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", kernel_backend)
+    config.reload_flags()
+    context = RuntimeContext(num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4))
+    set_context(context)
+    try:
+        app = build_application(app_name, context=context, **app_kwargs)
+        app.run(iterations)
+        checksum = app.checksum()
+        state = {
+            name: value.to_numpy()
+            for name, value in vars(app).items()
+            if isinstance(value, cn_ndarray)
+        }
+    finally:
+        set_context(None)
+    return context, state, checksum
+
+
+#: (superkernel, workers, point_workers, backend) corners of the hammer
+#: matrix.  The serial SK=0 baseline is run separately; the remaining
+#: corners cover both flag values across both pool dimensions and both
+#: dispatch substrates without running the full 16-point cube per app.
+HAMMER_COMBOS = [
+    ("1", 1, 1, "thread"),
+    ("1", 4, 1, "thread"),
+    ("1", 1, 4, "thread"),
+    ("1", 4, 4, "thread"),
+    ("0", 4, 4, "thread"),
+    ("1", 4, 4, "process"),
+    ("0", 4, 4, "process"),
+]
+
+
+class TestSuperkernelParity:
+    """The PR-6 hammer: fused replay is bit-identical everywhere."""
+
+    APPS = [
+        ("cg", dict(grid_points_per_gpu=8), 5),
+        ("jacobi", dict(rows_per_gpu=24), 5),
+        ("black-scholes", dict(elements_per_gpu=96), 5),
+        ("two-matvec", dict(rows_per_gpu=20), 5),
+    ]
+
+    @pytest.mark.parametrize("app_name,kwargs,iterations", APPS, ids=[a[0] for a in APPS])
+    def test_matrix_bit_identical(self, app_name, kwargs, iterations, monkeypatch):
+        ctx_base, state_base, checksum_base = _run_app(
+            app_name, monkeypatch, iterations, superkernel="0", **kwargs
+        )
+        for superkernel, workers, point_workers, backend in HAMMER_COMBOS:
+            ctx, state, checksum = _run_app(
+                app_name,
+                monkeypatch,
+                iterations,
+                superkernel=superkernel,
+                workers=workers,
+                point_workers=point_workers,
+                backend=backend,
+                **kwargs,
+            )
+            label = (
+                f"sk={superkernel} workers={workers} "
+                f"point={point_workers} backend={backend}"
+            )
+            assert checksum == checksum_base, label
+            assert set(state) == set(state_base), label
+            for name in state_base:
+                assert np.array_equal(state[name], state_base[name]), (label, name)
+            assert (
+                ctx.profiler.iteration_seconds()
+                == ctx_base.profiler.iteration_seconds()
+            ), label
+            assert (
+                ctx.legion.simulated_seconds == ctx_base.legion.simulated_seconds
+            ), label
+
+    def test_cg_closure_calls_drop(self, monkeypatch):
+        """The tentpole's point: >= 3x fewer compiled-closure calls."""
+        ctx_off, _state, checksum_off = _run_app(
+            "cg", monkeypatch, 5, superkernel="0", kernel_backend="codegen",
+            grid_points_per_gpu=8,
+        )
+        ctx_on, _state, checksum_on = _run_app(
+            "cg", monkeypatch, 5, superkernel="1", kernel_backend="codegen",
+            grid_points_per_gpu=8,
+        )
+        assert checksum_on == checksum_off
+        assert ctx_on.profiler.superkernel_fusions > 0
+        assert ctx_on.profiler.superkernel_calls > 0
+        off_rate = ctx_off.profiler.closure_calls_per_epoch
+        on_rate = ctx_on.profiler.closure_calls_per_epoch
+        assert on_rate > 0
+        assert off_rate / on_rate >= 3.0
+
+    def test_two_matvec_opaque_fallback(self, monkeypatch):
+        """Opaque GEMV steps replay step-by-step around fused units."""
+        ctx, _state, checksum = _run_app(
+            "two-matvec", monkeypatch, 5, superkernel="1",
+            kernel_backend="codegen", workers=4, rows_per_gpu=20,
+        )
+        assert ctx.profiler.trace_hits > 0
+        assert ctx.profiler.plan_width_max == 2
+        # Same recurrence in plain NumPy (mirrors TwoMatVec.__init__).
+        rows = int(np.ceil(20.0 * np.sqrt(4)))
+        rows = max(4, (rows // 4) * 4)
+        rng = np.random.default_rng(7)
+        a = rng.uniform(1.0, 2.0, (rows, rows))
+        b = rng.uniform(1.0, 2.0, (rows, rows))
+        x = rng.uniform(0.0, 1.0, rows)
+        y = rng.uniform(0.0, 1.0, rows)
+        scale = 1.0 / (2.0 * rows)
+        for _ in range(5):
+            x = x + (a @ x) * scale
+            y = y + (b @ y) * scale
+        # The simulated checksum reduces tile by tile, so it can differ
+        # from the flat NumPy sum in the last ulp; bit-identity across
+        # flag values is what the hammer above asserts.
+        assert checksum == pytest.approx(float(x.sum()) + float(y.sum()), rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Fusion structure: folding, horizontal merges, process shipping.
+# ----------------------------------------------------------------------
+def _window1_config():
+    """Defeat window fusion so adjacent element-wise tasks stay separate
+    compiled steps — the vertical-splice shape of the lowering pass."""
+    return FusionConfig(
+        initial_window_size=1, max_window_size=1, adaptive_window=False
+    )
+
+
+def _run_chain(monkeypatch, superkernel, iterations=6):
+    """``w = a * 2.0 + 1.0`` with a window of one: two adjacent compiled
+    element-wise steps whose intermediate dies inside the epoch."""
+    monkeypatch.setenv("REPRO_SUPERKERNEL", superkernel)
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    monkeypatch.setenv("REPRO_POINT_WORKERS", "1")
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "codegen")
+    config.reload_flags()
+    context = RuntimeContext(
+        num_gpus=4,
+        fusion=True,
+        machine=scaled_machine(4, 1e-4),
+        fusion_config=_window1_config(),
+    )
+    set_context(context)
+    try:
+        import repro.frontend.cunumeric as cn
+
+        rng = np.random.default_rng(3)
+        a_host = rng.uniform(1.0, 2.0, 64)
+        a = cn.array(a_host, name="foldA")
+        result = None
+        for _ in range(iterations):
+            context.profiler.begin_iteration()
+            w = a * 2.0 + 1.0
+            result = w.to_numpy()
+        sim = context.legion.simulated_seconds
+    finally:
+        set_context(None)
+    return context, a_host, result, sim
+
+
+class TestVerticalSpliceAndFolding:
+    def test_dead_intermediate_folds_into_local(self, monkeypatch):
+        ctx, a_host, result, _sim = _run_chain(monkeypatch, "1")
+        np.testing.assert_array_equal(result, a_host * 2.0 + 1.0)
+        assert ctx.profiler.superkernel_fusions == 1
+        assert ctx.profiler.superkernel_fused_steps == 2
+        folded = [
+            step
+            for ref in superkernel_module._LOWERED_PLANS
+            for plan in [ref()]
+            if plan is not None and plan.superkernel is not None
+            for step in plan.superkernel.steps
+            if getattr(step, "folded_slots", ())
+        ]
+        assert folded, "the dead intermediate was not folded"
+
+    def test_folding_is_bit_identical(self, monkeypatch):
+        _ctx0, _a, result_off, sim_off = _run_chain(monkeypatch, "0")
+        _ctx1, _a, result_on, sim_on = _run_chain(monkeypatch, "1")
+        np.testing.assert_array_equal(result_on, result_off)
+        assert sim_on == sim_off
+
+
+class TestHorizontalMerge:
+    def test_independent_steps_merge(self, monkeypatch):
+        """Two same-level element-wise steps of different shapes fuse
+        into one two-section super-kernel (the width-2 shape of the
+        point-dispatch regression suite, this time with lowering on)."""
+        monkeypatch.setenv("REPRO_SUPERKERNEL", "1")
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        monkeypatch.setenv("REPRO_POINT_WORKERS", "1")
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "differential")
+        config.reload_flags()
+        context = RuntimeContext(
+            num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4)
+        )
+        set_context(context)
+        try:
+            import repro.frontend.cunumeric as cn
+
+            rng = np.random.default_rng(11)
+            a_host = rng.uniform(1.0, 2.0, (16, 64))
+            b_host = rng.uniform(0.0, 1.0, 128)
+            a = cn.array(a_host, name="wideA")
+            b = cn.array(b_host, name="wideB")
+            for _ in range(6):
+                context.profiler.begin_iteration()
+                u = a * 2.0
+                v = b + 1.0
+                np.testing.assert_array_equal(u.to_numpy(), a_host * 2.0)
+                np.testing.assert_array_equal(v.to_numpy(), b_host + 1.0)
+        finally:
+            set_context(None)
+        assert context.profiler.superkernel_fusions == 1
+        assert context.profiler.superkernel_fused_steps == 2
+        assert context.profiler.trace_hits > 0
+
+
+class TestProcessShipping:
+    def test_fused_units_execute_on_worker_processes(self, monkeypatch):
+        """Fused CG units chunk across the process pool bit-identically."""
+        ctx_thread, state_thread, checksum_thread = _run_app(
+            "cg", monkeypatch, 5, superkernel="1", workers=4,
+            point_workers=4, backend="thread", kernel_backend="codegen",
+            grid_points_per_gpu=8,
+        )
+        ctx_proc, state_proc, checksum_proc = _run_app(
+            "cg", monkeypatch, 5, superkernel="1", workers=4,
+            point_workers=4, backend="process", kernel_backend="codegen",
+            grid_points_per_gpu=8,
+        )
+        assert checksum_proc == checksum_thread
+        for name in state_thread:
+            assert np.array_equal(state_proc[name], state_thread[name]), name
+        assert ctx_proc.profiler.superkernel_calls > 0
+        assert ctx_proc.profiler.point_process_chunks > 0
+        assert (
+            ctx_proc.profiler.iteration_seconds()
+            == ctx_thread.profiler.iteration_seconds()
+        )
+
+
+# ----------------------------------------------------------------------
+# Cache lifecycle: reload_flags retires every cached lowering.
+# ----------------------------------------------------------------------
+class TestReloadRetiresLowerings:
+    def test_reload_flags_drops_cached_plans(self, monkeypatch):
+        ctx, _state, checksum = _run_app(
+            "cg", monkeypatch, 5, superkernel="1", kernel_backend="codegen",
+            grid_points_per_gpu=8,
+        )
+        assert ctx.profiler.superkernel_fusions > 0
+        assert superkernel_module.lowered_plan_count() > 0
+        config.reload_flags()
+        assert superkernel_module.lowered_plan_count() == 0
+        # A run after the reload re-lowers from scratch and still agrees.
+        ctx2, _state, checksum2 = _run_app(
+            "cg", monkeypatch, 5, superkernel="1", kernel_backend="codegen",
+            grid_points_per_gpu=8,
+        )
+        assert checksum2 == checksum
+        assert ctx2.profiler.superkernel_fusions > 0
+        assert superkernel_module.lowered_plan_count() > 0
