@@ -56,6 +56,17 @@ enabled) under five configurations:
     per step per rank.  Every legacy mode pins ``REPRO_SUPERKERNEL=0``
     (the flag defaults to on) so they keep measuring their own layer.
 
+``resident``
+    ``process`` plus ``REPRO_RESIDENT_PLANS=1``: captured plans are
+    shipped to the worker processes once (kernel specs, step geometry,
+    shared-memory descriptors) and every subsequent replay dispatch
+    sends only ``(plan id, epoch scalars, rank ranges)`` — the PR-7
+    tentpole, which removes the per-epoch serialization of chunk
+    requests from the process substrate's steady state.  Every legacy
+    mode pins ``REPRO_RESIDENT_PLANS=0`` (the flag defaults to on under
+    the process backend) so ``process`` keeps measuring the per-chunk
+    protocol.
+
 The ``scheduler`` mode is additionally timed against ``trace`` on a
 kernel-dominated gate configuration (Black-Scholes with a large batch,
 where the deduplicated transcendentals dominate); full mode enforces a
@@ -75,8 +86,15 @@ where per-step closure dispatch dominates replay — full mode enforces a
 >= 1.2x superkernel-over-scheduler paired speedup there (no core
 requirement: the win is single-thread overhead elimination), plus a
 >= 3x drop in compiled-closure calls per replay epoch on the CG sweep,
-asserted on the deterministic profiler counters.  ``--gates-only`` runs
-just the gate measurements at full scale (the CI gate job).
+asserted on the deterministic profiler counters.  The ``resident`` mode
+has a two-part gate on a steady-epoch, many-rank CG configuration:
+``wire_bytes_per_epoch`` must drop >= 10x vs the per-chunk protocol —
+the counters size the actual pickled pipe payloads, so this is
+deterministic and enforced regardless of core count — and the paired
+resident-over-chunked wall-clock speedup must reach >= 1.2x on hosts
+with at least two CPUs (``host_cpus`` is recorded either way).
+``--gates-only`` runs just the gate measurements at full scale (the CI
+gate job).
 
 Before timing, a differential pass (``REPRO_KERNEL_BACKEND=differential``
 with tracing, the scheduler, point dispatch AND the process dispatch
@@ -147,6 +165,7 @@ MODES = {
         "REPRO_NORMALIZE": "0",
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
     },
     "codegen": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -157,6 +176,7 @@ MODES = {
         "REPRO_NORMALIZE": "0",
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
     },
     "trace": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -167,6 +187,7 @@ MODES = {
         "REPRO_NORMALIZE": "0",
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
     },
     "scheduler": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -177,6 +198,7 @@ MODES = {
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
     },
     # The PR-6 tentpole: identical to ``scheduler`` except that captured
     # plans are lowered to epoch super-kernels, so the paired gate below
@@ -190,6 +212,7 @@ MODES = {
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "1",
+        "REPRO_RESIDENT_PLANS": "0",
     },
     "point": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -200,6 +223,7 @@ MODES = {
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
     },
     "process": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -210,6 +234,47 @@ MODES = {
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "process",
         "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
+    },
+    # The PR-7 tentpole: identical to ``process`` except that captured
+    # plans live in the worker processes, so the paired gate below
+    # isolates exactly the plan-residency effect.
+    "resident": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "4",
+        "REPRO_NORMALIZE": "1",
+        "REPRO_DISPATCH_BACKEND": "process",
+        "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "1",
+    },
+    # The resident gate's two legs: the process substrate at a wider
+    # point-dispatch fan-out (many chunks per step, so the per-chunk
+    # protocol re-serializes many requests per epoch), chunked vs
+    # plan-resident.
+    "process-wide": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "16",
+        "REPRO_NORMALIZE": "1",
+        "REPRO_DISPATCH_BACKEND": "process",
+        "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
+    },
+    "resident-wide": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "16",
+        "REPRO_NORMALIZE": "1",
+        "REPRO_DISPATCH_BACKEND": "process",
+        "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "1",
     },
     # The process gate compares the two dispatch substrates on an
     # interpreter-heavy, small-tile configuration: the tree-walking
@@ -225,6 +290,7 @@ MODES = {
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
     },
     "process-gil": {
         "REPRO_KERNEL_BACKEND": "interpreter",
@@ -235,6 +301,7 @@ MODES = {
         "REPRO_NORMALIZE": "1",
         "REPRO_DISPATCH_BACKEND": "process",
         "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
     },
     "differential": {
         "REPRO_KERNEL_BACKEND": "differential",
@@ -252,6 +319,11 @@ MODES = {
         # backend: every fused call is checked bitwise against its
         # constituent steps, so the pass certifies the PR-6 lowering too.
         "REPRO_SUPERKERNEL": "1",
+        # Resident replay runs under the differential executor as well:
+        # every chunk a worker serves from a resident template is
+        # cross-checked bitwise, so ``make bench`` smoke fails on any
+        # resident-path divergence.
+        "REPRO_RESIDENT_PLANS": "1",
     },
 }
 
@@ -312,6 +384,30 @@ SUPERKERNEL_GATE_SMOKE_CONFIG = dict(
     num_gpus=8, iterations=10, warmup=2, app_kwargs={"grid_points_per_gpu": 6}
 )
 SUPERKERNEL_SPEEDUP_THRESHOLD = 1.2
+
+#: Resident-plan gate: a steady-epoch CG replay at high rank count with
+#: a wide point-dispatch fan-out — every epoch the per-chunk protocol
+#: re-pickles one request per chunk per step (names, descriptors,
+#: scalar dicts, rank bounds) while plan-resident replay references the
+#: worker-held templates by id.  Two thresholds: the wire-traffic drop
+#: is measured on the deterministic payload-size counters (enforced in
+#: full mode regardless of core count) and the paired wall-clock
+#: speedup needs real cores (enforced on multi-core hosts, like the
+#: other dispatch gates).
+RESIDENT_GATE_APP = "cg"
+#: The wire comparison uses the *steady* per-epoch counters (measured
+#: iterations only), and the warm-up is long enough that the one-time
+#: spec/geometry/plan ships *and* the descriptor-interning ramp (the
+#: arena's recycled-offset set is fully sighted after a few epochs)
+#: both land inside it.
+RESIDENT_GATE_CONFIG = dict(
+    num_gpus=64, iterations=96, warmup=24, app_kwargs={"grid_points_per_gpu": 24}
+)
+RESIDENT_GATE_SMOKE_CONFIG = dict(
+    num_gpus=16, iterations=10, warmup=6, app_kwargs={"grid_points_per_gpu": 32}
+)
+RESIDENT_SPEEDUP_THRESHOLD = 1.2
+RESIDENT_WIRE_DROP_THRESHOLD = 10.0
 
 #: Closure-call drop the super-kernel pass must deliver on the CG sweep
 #: configuration: compiled-closure calls per steady replay epoch with the
@@ -450,7 +546,14 @@ def run_harness(
         point_seconds, point = _measure(app, spec, "point", repeats)
         print(f"[{app}] timing process dispatch ...", flush=True)
         process_seconds, process = _measure(app, spec, "process", repeats)
+        print(f"[{app}] timing plan-resident process replay ...", flush=True)
+        resident_seconds, resident = _measure(app, spec, "resident", repeats)
 
+        if baseline.checksum != resident.checksum:
+            failures.append(
+                f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
+                f"vs resident {resident.checksum!r})"
+            )
         if baseline.checksum != process.checksum:
             failures.append(
                 f"{app}: checksum mismatch (baseline {baseline.checksum!r} "
@@ -529,6 +632,9 @@ def run_harness(
         process_speedup = (
             baseline_seconds / process_seconds if process_seconds > 0 else float("inf")
         )
+        resident_speedup = (
+            baseline_seconds / resident_seconds if resident_seconds > 0 else float("inf")
+        )
         all_checksums_equal = (
             baseline.checksum
             == codegen.checksum
@@ -537,6 +643,7 @@ def run_harness(
             == superkernel.checksum
             == point.checksum
             == process.checksum
+            == resident.checksum
         )
         report[app] = {
             "config": {
@@ -552,14 +659,22 @@ def run_harness(
             "superkernel_seconds": round(superkernel_seconds, 6),
             "point_seconds": round(point_seconds, 6),
             "process_seconds": round(process_seconds, 6),
+            "resident_seconds": round(resident_seconds, 6),
             "codegen_speedup": round(codegen_speedup, 3),
             "speedup": round(speedup, 3),
             "scheduler_speedup": round(scheduler_speedup, 3),
             "superkernel_speedup": round(superkernel_speedup, 3),
             "point_speedup": round(point_speedup, 3),
             "process_speedup": round(process_speedup, 3),
+            "resident_speedup": round(resident_speedup, 3),
             "process_vs_point": round(
                 point_seconds / process_seconds if process_seconds > 0 else float("inf"),
+                3,
+            ),
+            "resident_vs_process": round(
+                process_seconds / resident_seconds
+                if resident_seconds > 0
+                else float("inf"),
                 3,
             ),
             "trace_vs_codegen": round(
@@ -597,6 +712,17 @@ def run_harness(
             "process_launches": process.point_launches,
             "process_chunks": process.point_process_chunks,
             "process_thread_fallback_chunks": process.point_thread_chunks,
+            "resident_chunks": resident.point_process_chunks,
+            # Wire traffic both protocols actually put on the worker
+            # pipes (sizes of the pickled payloads, deterministic).
+            "process_wire_bytes_per_epoch": round(process.wire_bytes_per_epoch, 1),
+            "resident_wire_bytes_per_epoch": round(resident.wire_bytes_per_epoch, 1),
+            "process_wire_requests_per_epoch": round(
+                process.wire_requests_per_epoch, 3
+            ),
+            "resident_wire_requests_per_epoch": round(
+                resident.wire_requests_per_epoch, 3
+            ),
             "batched_launches": point.batched_launches,
             "batched_calls": point.batched_calls,
             "superkernel_fusions": superkernel.superkernel_fusions,
@@ -624,7 +750,10 @@ def run_harness(
             f"{scheduler.closure_calls_per_epoch:.2f}->"
             f"{superkernel.closure_calls_per_epoch:.2f})  point "
             f"{point_seconds:.4f}s ({point_speedup:.2f}x)  process "
-            f"{process_seconds:.4f}s ({process_speedup:.2f}x)",
+            f"{process_seconds:.4f}s ({process_speedup:.2f}x)  resident "
+            f"{resident_seconds:.4f}s ({resident_speedup:.2f}x, "
+            f"wire/epoch {process.wire_bytes_per_epoch:.0f}->"
+            f"{resident.wire_bytes_per_epoch:.0f}B)",
             flush=True,
         )
 
@@ -890,6 +1019,111 @@ def run_harness(
                 f"{SUPERKERNEL_SPEEDUP_THRESHOLD}x acceptance threshold"
             )
 
+    # ------------------------------------------------------------------
+    # Resident-plan gate: the PR-7 plan-resident protocol vs the PR-5
+    # per-chunk protocol on the same process substrate — the two legs
+    # differ only in ``REPRO_RESIDENT_PLANS``.  The wire-traffic drop is
+    # asserted on the deterministic payload-size counters (any host);
+    # the wall-clock speedup needs real cores, so its threshold follows
+    # the dispatch-gate rule (multi-core hosts only).
+    # ------------------------------------------------------------------
+    resident_gate_spec = RESIDENT_GATE_SMOKE_CONFIG if smoke else RESIDENT_GATE_CONFIG
+    resident_gate_report = None
+    if apps is None or RESIDENT_GATE_APP in (apps or []):
+        app = RESIDENT_GATE_APP
+        print(
+            f"[resident-gate] timing {app} {resident_gate_spec['app_kwargs']} "
+            f"(steady replay epochs, {resident_gate_spec['num_gpus']} ranks, "
+            "wide point fan-out) ...",
+            flush=True,
+        )
+        (
+            gate_chunked_seconds,
+            gate_chunked,
+            gate_resident_seconds,
+            gate_resident,
+            resident_gate_speedup,
+        ) = _measure_pair(
+            app, resident_gate_spec, "process-wide", "resident-wide", gate_repeats
+        )
+        if gate_chunked.checksum != gate_resident.checksum:
+            failures.append(
+                f"resident-gate: checksum mismatch (chunked "
+                f"{gate_chunked.checksum!r} vs resident {gate_resident.checksum!r})"
+            )
+        if gate_resident.point_process_chunks == 0:
+            failures.append(
+                "resident-gate: resident mode never dispatched chunks to the "
+                "worker-process pool"
+            )
+        wire_drop = (
+            gate_chunked.steady_wire_bytes_per_epoch
+            / gate_resident.steady_wire_bytes_per_epoch
+            if gate_resident.steady_wire_bytes_per_epoch > 0
+            else float("inf")
+        )
+        enforced = not smoke and host_cpus >= 2
+        resident_gate_report = {
+            "app": app,
+            "config": {
+                "num_gpus": resident_gate_spec["num_gpus"],
+                "iterations": resident_gate_spec["iterations"],
+                "warmup_iterations": resident_gate_spec["warmup"],
+                **resident_gate_spec["app_kwargs"],
+            },
+            "chunked_seconds": round(gate_chunked_seconds, 6),
+            "resident_seconds": round(gate_resident_seconds, 6),
+            "resident_vs_chunked": round(resident_gate_speedup, 3),
+            "threshold": RESIDENT_SPEEDUP_THRESHOLD,
+            "host_cpus": host_cpus,
+            "enforced": enforced,
+            "chunked_wire_bytes_per_epoch": round(
+                gate_chunked.steady_wire_bytes_per_epoch, 1
+            ),
+            "resident_wire_bytes_per_epoch": round(
+                gate_resident.steady_wire_bytes_per_epoch, 1
+            ),
+            "chunked_wire_requests_per_epoch": round(
+                gate_chunked.steady_wire_requests_per_epoch, 3
+            ),
+            "resident_wire_requests_per_epoch": round(
+                gate_resident.steady_wire_requests_per_epoch, 3
+            ),
+            "wire_bytes_drop": round(wire_drop, 3),
+            "wire_drop_threshold": RESIDENT_WIRE_DROP_THRESHOLD,
+            "resident_chunks": gate_resident.point_process_chunks,
+            "checksums_equal": gate_chunked.checksum == gate_resident.checksum,
+        }
+        print(
+            f"[resident-gate] chunked {gate_chunked_seconds:.4f}s  resident "
+            f"{gate_resident_seconds:.4f}s ({resident_gate_speedup:.2f}x, "
+            f"steady wire/epoch {gate_chunked.steady_wire_bytes_per_epoch:.0f}->"
+            f"{gate_resident.steady_wire_bytes_per_epoch:.0f}B = {wire_drop:.1f}x drop, "
+            f"host cpus {host_cpus}, "
+            f"{'enforced' if enforced else 'not enforced'})",
+            flush=True,
+        )
+        if not smoke and wire_drop < RESIDENT_WIRE_DROP_THRESHOLD:
+            failures.append(
+                f"resident-gate: steady wire bytes per epoch dropped only "
+                f"{wire_drop:.2f}x "
+                f"({gate_chunked.steady_wire_bytes_per_epoch:.0f}B "
+                f"-> {gate_resident.steady_wire_bytes_per_epoch:.0f}B), below "
+                f"the {RESIDENT_WIRE_DROP_THRESHOLD}x acceptance threshold"
+            )
+        if enforced and resident_gate_speedup < RESIDENT_SPEEDUP_THRESHOLD:
+            failures.append(
+                f"resident-gate: {resident_gate_speedup:.3f}x below the "
+                f"{RESIDENT_SPEEDUP_THRESHOLD}x acceptance threshold"
+            )
+        elif not smoke and not enforced:
+            print(
+                "[resident-gate] single-core host: wall-clock threshold "
+                "recorded but not enforceable (the wire-drop threshold was "
+                "still enforced)",
+                flush=True,
+            )
+
     if not smoke:
         for app, threshold in SPEEDUP_THRESHOLDS.items():
             if app in report and report[app]["speedup"] < threshold:
@@ -902,7 +1136,7 @@ def run_harness(
         "benchmark": (
             "wall-clock: seed interpreter vs codegen JIT vs trace replay "
             "vs plan scheduler vs epoch super-kernels vs point dispatch "
-            "vs process dispatch"
+            "vs process dispatch vs plan-resident replay"
         ),
         "mode": "gates-only" if gates_only else ("smoke" if smoke else "full"),
         "repeats_per_mode": repeats,
@@ -914,6 +1148,7 @@ def run_harness(
         "point_gate": point_gate_report,
         "process_gate": process_gate_report,
         "superkernel_gate": superkernel_gate_report,
+        "resident_gate": resident_gate_report,
         "failures": failures,
     }
     with open(output, "w") as handle:

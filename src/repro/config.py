@@ -87,6 +87,20 @@ can flip them between runs in one process:
     segment get a dedicated segment).  Only meaningful with
     ``REPRO_DISPATCH_BACKEND=process``.
 
+``REPRO_RESIDENT_PLANS``
+    ``1`` (default) makes captured execution plans *resident* in the
+    worker processes of the process dispatch backend
+    (``repro.runtime.procpool``): the first resident replay ships each
+    plan's kernel specs, rect tables, shared-memory descriptors and
+    calling conventions to each worker once under a parent-assigned plan
+    id, and every later replay sends only ``(plan id, step, epoch
+    scalars, rank ranges)`` per dispatch — the per-chunk wire traffic of
+    a steady epoch collapses to a few dozen bytes per message.  Buffers
+    and simulated seconds stay bit-identical to both the per-chunk
+    protocol and the thread backend.  ``0`` restores the per-chunk
+    protocol; the flag is only meaningful with
+    ``REPRO_DISPATCH_BACKEND=process``.
+
 ``REPRO_SUPERKERNEL``
     ``1`` (default) enables the plan→super-kernel lowering pass
     (``repro.runtime.superkernel``): contiguous compiled-step runs of a
@@ -145,6 +159,9 @@ DEFAULT_SHM_SEGMENT_BYTES = 16 * 1024 * 1024
 
 #: Environment variable gating plan→super-kernel lowering.
 SUPERKERNEL_ENV_VAR = "REPRO_SUPERKERNEL"
+
+#: Environment variable gating plan-resident process replay.
+RESIDENT_PLANS_ENV_VAR = "REPRO_RESIDENT_PLANS"
 
 #: Upper bound on the default worker count (explicit settings may exceed it).
 MAX_DEFAULT_WORKERS = 8
@@ -339,6 +356,25 @@ def superkernel_enabled() -> bool:
     return _superkernel_flag
 
 
+_resident_plans_flag: bool | None = None
+
+
+def resident_plans_enabled() -> bool:
+    """True unless ``REPRO_RESIDENT_PLANS`` disables plan-resident replay.
+
+    On by default; only consulted by the process dispatch backend (the
+    thread backend has no wire protocol to amortise).  Memoized like the
+    other flags — call :func:`reload_flags` after changing the variable
+    inside a running process.
+    """
+    global _resident_plans_flag
+    if _resident_plans_flag is None:
+        _resident_plans_flag = os.environ.get(
+            RESIDENT_PLANS_ENV_VAR, "1"
+        ).strip().lower() not in ("0", "off", "false")
+    return _resident_plans_flag
+
+
 #: Callbacks invoked by :func:`reload_flags` after the memoized flags are
 #: reset.  The worker pools register themselves here so a flag flip
 #: (worker counts, dispatch backend) retires a now-stale pool singleton
@@ -365,7 +401,9 @@ def reload_flags() -> None:
     global _overlap_model_flag, _normalize_flag
     global _point_worker_count, _point_min_ranks
     global _dispatch_backend, _shm_segment_bytes, _superkernel_flag
+    global _resident_plans_flag
     _superkernel_flag = None
+    _resident_plans_flag = None
     _hotpath_cache_flag = None
     _trace_flag = None
     _worker_count = None

@@ -127,6 +127,21 @@ class RunResult:
     dispatch_backend: str = "thread"
     point_thread_chunks: int = 0
     point_process_chunks: int = 0
+    #: Process-pool wire traffic (zero under the thread backend): bytes
+    #: and request messages pickled onto worker pipes, and their
+    #: per-replayed-epoch rates — the figure plan-resident replay
+    #: (``REPRO_RESIDENT_PLANS``) exists to shrink.
+    wire_bytes: int = 0
+    wire_requests: int = 0
+    wire_bytes_per_epoch: float = 0.0
+    wire_requests_per_epoch: float = 0.0
+    #: Steady-state wire rates: traffic of the *measured* iterations
+    #: only, excluding warm-up — and with it the one-time kernel-spec,
+    #: geometry and resident-plan ships, which the whole-run rates above
+    #: amortise.  This is the figure the resident-replay wire gate
+    #: compares: what one more epoch costs on the pipes.
+    steady_wire_bytes_per_epoch: float = 0.0
+    steady_wire_requests_per_epoch: float = 0.0
     #: Element-wise batching: launches executed as merged chunk calls.
     batched_launches: int = 0
     batched_calls: int = 0
@@ -189,6 +204,12 @@ def run_application_experiment(
         # REPRO_OVERLAP_MODEL=1 and the iteration ended mid-group).
         context.legion.flush_overlap_accounting()
         warmup_seconds = sum(context.profiler.iteration_seconds()[:warmup])
+        # Snapshot wire counters so the steady rates cover the measured
+        # iterations alone (warm-up absorbs the one-time spec/geometry/
+        # plan ships of the process backend).
+        warmup_wire_bytes = context.profiler.wire_bytes
+        warmup_wire_requests = context.profiler.wire_requests
+        warmup_trace_hits = context.profiler.trace_hits
         # Measured iterations.
         application.run(iterations)
         checksum = application.checksum()
@@ -196,6 +217,9 @@ def run_application_experiment(
         set_context(None)
 
     profiler = context.profiler
+    steady_epochs = profiler.trace_hits - warmup_trace_hits
+    steady_wire_bytes = profiler.wire_bytes - warmup_wire_bytes
+    steady_wire_requests = profiler.wire_requests - warmup_wire_requests
     return RunResult(
         app=app_name,
         configuration=configuration or ("fused" if fusion else "unfused"),
@@ -227,6 +251,16 @@ def run_application_experiment(
         dispatch_backend=repro_config.dispatch_backend(),
         point_thread_chunks=profiler.point_thread_chunks,
         point_process_chunks=profiler.point_process_chunks,
+        wire_bytes=profiler.wire_bytes,
+        wire_requests=profiler.wire_requests,
+        wire_bytes_per_epoch=profiler.wire_bytes_per_epoch,
+        wire_requests_per_epoch=profiler.wire_requests_per_epoch,
+        steady_wire_bytes_per_epoch=(
+            steady_wire_bytes / steady_epochs if steady_epochs else 0.0
+        ),
+        steady_wire_requests_per_epoch=(
+            steady_wire_requests / steady_epochs if steady_epochs else 0.0
+        ),
         batched_launches=profiler.batched_launches,
         batched_calls=profiler.batched_calls,
         scalar_pattern_flips=profiler.scalar_pattern_flips,

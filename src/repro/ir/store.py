@@ -32,6 +32,7 @@ class Store:
         "dtype",
         "name",
         "_application_refs",
+        "_ever_application_referenced",
         "_runtime_refs",
         "_pending_stream_refs",
         "_manager",
@@ -50,6 +51,7 @@ class Store:
         self.dtype = np.dtype(dtype)
         self.name = name if name is not None else f"store{uid}"
         self._application_refs = 0
+        self._ever_application_referenced = False
         self._runtime_refs = 0
         self._pending_stream_refs = 0
         self._manager = manager
@@ -83,6 +85,7 @@ class Store:
     def add_application_reference(self) -> None:
         """Record that user-visible code holds a handle to this store."""
         self._application_refs += 1
+        self._ever_application_referenced = True
 
     def remove_application_reference(self) -> None:
         """Drop a user-visible handle (e.g. Python ``del`` of an ndarray)."""
@@ -104,6 +107,19 @@ class Store:
     def application_references(self) -> int:
         """Number of live application references."""
         return self._application_refs
+
+    @property
+    def ever_application_referenced(self) -> bool:
+        """True when user code *ever* held a handle to this store.
+
+        Distinguishes frontend-managed stores — whose death the split
+        reference counts witness, so their storage can be reclaimed —
+        from runtime-internal stores created bare (e.g. the CSR arrays
+        of a sparse matrix), which are kept alive by plain Python
+        references the counters never see and must not be collected on
+        a zero count.
+        """
+        return self._ever_application_referenced
 
     def add_pending_stream_reference(self) -> None:
         """Record that a deferred (not yet analysed) task references this store.

@@ -109,12 +109,17 @@ class TaskExecutor:
         #: stable; the memo is only consulted when the caches are on,
         #: which is also when tables are interned).
         self._elementwise_cache: Dict[Tuple[int, ...], bool] = {}
-        #: (table id, start, stop) -> (pinning table ref, wire rects):
-        #: the chunk rect lists shipped to process-pool workers are pure
-        #: functions of immutable tables, so they are built once per
-        #: geometry instead of once per launch (the pinned reference
-        #: keeps the id collision-free, like the SpMV caches).
-        self._wire_rect_cache: Dict[Tuple[int, int, int], Tuple[object, list]] = {}
+        #: (table id, start, stop) -> (pinning table ref, stable wire
+        #: table id, wire rects): the chunk rect lists shipped to
+        #: process-pool workers are pure functions of immutable tables,
+        #: so they are built once per geometry instead of once per
+        #: launch (the pinned reference keeps the ``id()`` key
+        #: collision-free, like the SpMV caches).  The stable id names
+        #: the list in the workers' intern caches so the same geometry
+        #: crosses the pipe once per worker, not once per chunk.
+        self._wire_rect_cache: Dict[
+            Tuple[int, int, int], Tuple[object, Optional[int], list]
+        ] = {}
         #: Per-argument (field id, rect-table id, is-reduction) signature
         #: plus rank count -> (pinned field tuple, per-rank buffer dicts).
         #: A replayed opaque launch re-resolves the same fields and
@@ -282,21 +287,16 @@ class TaskExecutor:
         modes = getattr(kernel, "binding_modes", None)
         requests = []
         for start, stop in chunks:
-            buffers = tuple(
-                (
-                    entry[0],
-                    entry[2],
-                    descriptor,
-                    self._wire_chunk_rects(entry[3], start, stop),
-                )
-                for entry, descriptor in zip(prepared, descriptors)
-            )
+            buffers = []
+            for entry, descriptor in zip(prepared, descriptors):
+                table_id, wire = self._wire_chunk_rects(entry[3], start, stop)
+                buffers.append((entry[0], entry[2], descriptor, table_id, wire))
             requests.append(
                 procpool.ChunkRequest(
                     kernel_id=kernel_id,
                     spec=None,
                     scalars=scalars,
-                    buffers=buffers,
+                    buffers=tuple(buffers),
                     start=start,
                     stop=stop,
                     elementwise=elementwise,
@@ -305,29 +305,149 @@ class TaskExecutor:
                     modes=modes,
                 )
             )
+        pool = procpool.process_pool()
+        wire_bytes, wire_requests = pool.wire_bytes, pool.wire_requests
         try:
-            return procpool.process_pool().run_chunks(kernel_id, spec, requests)
+            return pool.run_chunks(kernel_id, spec, requests)
         except procpool.ProcessPoolBrokenError:
             # A worker died (not a kernel error — those re-raise with
             # their own type): the pool tore itself down; degrade this
             # launch to the thread substrate and let the next launch
             # rebuild a fresh pool.
             return None
+        finally:
+            self._record_wire_traffic(pool, wire_bytes, wire_requests)
 
-    def _wire_chunk_rects(self, table, start: int, stop: int) -> list:
+    def _record_wire_traffic(
+        self, pool, bytes_before: int, requests_before: int
+    ) -> None:
+        """Report a dispatch's pipe traffic delta to the profiler."""
+        if self.profiler is not None:
+            self.profiler.record_wire_traffic(
+                pool.wire_bytes - bytes_before,
+                pool.wire_requests - requests_before,
+            )
+
+    def _wire_chunk_rects(self, table, start: int, stop: int) -> Tuple[Optional[int], list]:
         """The pipe form of ranks ``[start, stop)`` of a rect table.
 
-        Memoized per (table identity, range): the tables are immutable
-        and the wire lists are rebuilt on every launch of every replay
-        otherwise.  The cached table reference pins the id.
+        Returns ``(stable wire-table id, rect list)``, memoized per
+        (table identity, range): the tables are immutable and the wire
+        lists are rebuilt on every launch of every replay otherwise.
+        The cached table reference pins the ``id()`` key; the stable id
+        (assigned once per distinct geometry) keys the worker-side
+        intern caches.  With the hot-path caches off the rect tables are
+        rebuilt per launch, so no stable id is assigned and the rects
+        always travel inline (interning ``id()``-unstable tables would
+        grow the worker caches without bound).
         """
+        if not self.use_caches:
+            return None, [
+                (table[rank][0].lo, table[rank][0].hi) for rank in range(start, stop)
+            ]
         key = (id(table), start, stop)
         entry = self._wire_rect_cache.get(key)
         if entry is not None and entry[0] is table:
-            return entry[1]
+            return entry[1], entry[2]
+        from repro.runtime import procpool
+
         wire = [(table[rank][0].lo, table[rank][0].hi) for rank in range(start, stop)]
-        self._wire_rect_cache[key] = (table, wire)
-        return wire
+        table_id = procpool.next_wire_table_id()
+        self._wire_rect_cache[key] = (table, table_id, wire)
+        return table_id, wire
+
+    # ------------------------------------------------------------------
+    # Plan-resident replay (``REPRO_RESIDENT_PLANS``).
+    # ------------------------------------------------------------------
+    def resident_step_template(
+        self,
+        kernel: CompiledKernel,
+        prepared,
+        num_points: int,
+        scalar_names: Tuple[str, ...],
+        elementwise: bool,
+        chunks: Sequence[Tuple[int, int]],
+    ):
+        """Build one compiled step's worker-resident template.
+
+        Returns ``None`` when the step cannot ship (a non-reduction
+        field without a shared-memory descriptor), mirroring the
+        shippability test of :meth:`_process_chunks_compiled`.  The
+        template carries the *full* rank-indexed wire rect table of
+        every argument (workers slice chunk ranges from it locally) and
+        the step's chunk plan, which the pool cuts per worker at ship
+        time so dispatches never re-send rank ranges.
+        """
+        from repro.runtime import procpool
+
+        buffers = []
+        for name, field, is_reduction, table in prepared:
+            if is_reduction:
+                descriptor = None
+            else:
+                descriptor = getattr(field, "shm_descriptor", None)
+                if descriptor is None:
+                    return None
+            table_id, wire = self._wire_chunk_rects(table, 0, num_points)
+            buffers.append((name, is_reduction, descriptor, table_id, wire))
+        return procpool.ResidentStep(
+            kernel_id=procpool.kernel_spec_id(kernel),
+            spec=procpool.spec_for(kernel),
+            buffers=tuple(buffers),
+            scalar_names=scalar_names,
+            elementwise=elementwise,
+            modes=getattr(kernel, "binding_modes", None),
+            chunks=tuple(chunks),
+        )
+
+    def _process_chunks_resident(
+        self,
+        resident,
+        step_index: int,
+        prepared,
+        scalars: Dict[str, float],
+        chunks: Sequence[Tuple[int, int]],
+    ):
+        """Run one resident step's chunks on the worker-process pool.
+
+        ``prepared`` is the *epoch's* resolved bindings: frontends bind
+        fresh stores (hence fresh arena blocks) to a slot every epoch,
+        so the step's current shared-memory descriptors are re-derived
+        here per dispatch and the pool syncs them as per-worker-interned
+        ids.  Returns per-chunk results in chunk order like
+        :meth:`_process_chunks_compiled` (with empty seconds — replay
+        charges captured seconds parent-side), or ``None`` when the step
+        cannot ship this epoch (a field without a descriptor, or a chunk
+        plan that disagrees with the ranges baked into the workers'
+        templates) or the pool broke, in which case the caller degrades
+        to the per-chunk protocol (rebuilding a fresh pool) and the plan
+        re-ships there.
+        """
+        from repro.runtime import procpool
+
+        template = resident.steps[step_index]
+        if tuple(chunks) != template.chunks:
+            return None
+        descriptors = []
+        for _name, field, is_reduction, _table in prepared:
+            if is_reduction:
+                descriptors.append(None)
+                continue
+            descriptor = getattr(field, "shm_descriptor", None)
+            if descriptor is None:
+                return None
+            descriptors.append(descriptor)
+        values = tuple(scalars[name] for name in template.scalar_names)
+        pool = procpool.process_pool()
+        wire_bytes, wire_requests = pool.wire_bytes, pool.wire_requests
+        try:
+            return pool.run_resident_chunks(
+                resident, step_index, values, tuple(descriptors), chunks
+            )
+        except procpool.ProcessPoolBrokenError:
+            return None
+        finally:
+            self._record_wire_traffic(pool, wire_bytes, wire_requests)
 
     # ------------------------------------------------------------------
     # Compiled (KIR) execution.

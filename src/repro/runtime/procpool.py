@@ -37,6 +37,53 @@ for every ``REPRO_WORKERS`` × ``REPRO_POINT_WORKERS`` combination.
 Exceptions (including ``BackendDivergenceError`` from a differential
 worker) are pickled back and re-raised in the parent.
 
+Geometry is interned on both sides of the pipe: every wire rect list
+carries a stable parent-assigned table id, workers cache the list under
+that id on receipt, and the parent ships ``None`` in place of a list a
+worker already holds — identical rect tables cross the pipe once per
+worker, not once per chunk.
+
+Plan-resident replay (``REPRO_RESIDENT_PLANS``)
+-----------------------------------------------
+Replaying a captured :class:`ExecutionPlan` through per-chunk requests
+re-sends the same descriptors, names and geometry every iteration.  With
+residency enabled the parent instead registers the whole plan with the
+pool once — a :class:`ResidentPlan` maps schedule-step indices to
+:class:`ResidentStep` templates holding the kernel spec, the full
+rank-indexed rect table, the step's chunk plan and the calling
+convention of every shippable compiled step — and ships it to each
+worker at most once, keyed by a parent-assigned plan id.  Chunk i of a
+resident step always lands on worker ``i % size``, so each worker's
+rank ranges are baked into its copy of the plan at ship time and never
+travel again.  Every later dispatch sends one lean ``("r", plan id,
+step index, scalar values, descriptor sync)`` message per engaged
+worker and gets the per-chunk results back in one reply; once the sync
+is all-integer (the steady state) the message travels as a fixed
+binary frame (:func:`_pack_run_message`) a fraction the size of its
+pickled form and byte-stable across Python versions.  Frontends bind
+fresh stores (hence fresh arena blocks) per epoch, so field addresses
+*cannot* be baked into the template; instead the sync entry interns
+descriptors per worker — a :class:`~repro.runtime.shm.BlockDescriptor`
+crosses the pipe once and is a small integer id ever after (arena
+offsets cycle through a bounded set in steady replay, so the id table
+saturates after a few epochs).  Workers slice the resident rect tables
+to each ``[start, stop)`` range themselves and execute through the
+same :func:`_execute_chunk` machinery as the per-chunk protocol, so
+results are bit-identical.  Staleness is generation-based:
+``RegionManager.attach`` (descriptor swaps), store releases and
+``config.reload_flags()`` bump :func:`resident_generation`, which
+retires every parent-side :class:`ResidentPlan` built under an older
+generation; a dead worker tears the pool down, the affected launch
+degrades to the per-chunk protocol (which rebuilds a fresh pool), and
+the next replay re-ships the plan to the fresh workers.
+
+The pool also meters its own wire traffic: every request message is
+pickled once (``ForkingPickler``, exactly what ``Connection.send``
+does), its byte length added to :attr:`ProcessWorkerPool.wire_bytes`,
+and the payload sent with ``send_bytes`` — so the profiler's
+``wire_bytes_per_epoch`` figures measure real serialized sizes with no
+double pickling.
+
 Lifetime
 --------
 The pool is a lazy process-wide singleton sized like the shared thread
@@ -51,9 +98,12 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import pickle
+import struct
 import threading
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing.reduction import ForkingPickler
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -97,8 +147,15 @@ class ChunkRequest:
     #: Filled in by the pool for the first request a worker sees.
     spec: Optional[object]  # KernelSpec | SuperKernelSpec
     scalars: Dict[str, float]
-    #: ``(buffer name, is_reduction, descriptor or None, chunk rects)``.
-    buffers: Tuple[Tuple[str, bool, Optional[BlockDescriptor], List[WireRect]], ...]
+    #: ``(buffer name, is_reduction, descriptor or None, table id or
+    #: None, chunk rects or None)``.  The table id names the rect list in
+    #: the worker-side intern cache; the pool nulls the rects of tables a
+    #: worker already holds, so identical geometry crosses the pipe once
+    #: per worker.
+    buffers: Tuple[
+        Tuple[str, bool, Optional[BlockDescriptor], Optional[int], Optional[List[WireRect]]],
+        ...,
+    ]
     start: int
     stop: int
     #: Purely element-wise launch: one merged closure call per chunk.
@@ -116,6 +173,60 @@ class ChunkRequest:
 #: Reply payload: per-rank reduction partials and per-rank seconds
 #: (empty seconds when no cost model was shipped).
 ChunkResult = Tuple[List[Dict[str, object]], List[float]]
+
+
+@dataclass
+class ResidentStep:
+    """Worker-resident form of one shippable compiled plan step.
+
+    Shipped inside a resident-plan message and cached worker-side; run
+    messages reference it by ``(plan id, step index)`` and carry only the
+    epoch's scalar values and a per-buffer descriptor sync.  ``buffers``
+    holds the *full* rank-indexed wire rect table of every argument (the
+    worker slices ``[start, stop)`` ranges itself), interned by table id
+    like per-chunk geometry.
+    """
+
+    kernel_id: int
+    spec: object  # KernelSpec | SuperKernelSpec
+    #: ``(name, is_reduction, descriptor or None, table id or None,
+    #: full wire rect table or None when the worker interned it)``.
+    #: The descriptors are placeholders only: frontends bind fresh
+    #: stores (hence fresh arena blocks) to a slot on every epoch, so
+    #: every run message carries the step's *current* addresses as a
+    #: per-worker-interned sync (see :func:`_execute_resident`).
+    buffers: Tuple[
+        Tuple[str, bool, Optional[BlockDescriptor], Optional[int], Optional[List[WireRect]]],
+        ...,
+    ]
+    #: Scalar parameter names in the order run messages pack values.
+    scalar_names: Tuple[str, ...]
+    elementwise: bool
+    #: Super-kernel steps: per-buffer calling convention (see
+    #: :class:`ChunkRequest`).
+    modes: Optional[Tuple[str, ...]]
+    #: The step's rank-chunk plan.  On the parent template this is the
+    #: *full* chunk list (the executor degrades when a dispatch's chunks
+    #: disagree); on worker w's shipped copy it holds only the chunks
+    #: assigned to w (``i % size == w``), in chunk-index order, so run
+    #: messages carry no geometry at all.
+    chunks: Tuple[Tuple[int, int], ...] = ()
+
+
+@dataclass
+class ResidentPlan:
+    """Parent-side handle of one plan registered for resident replay.
+
+    Built once per captured plan (cached on the plan object by the
+    scheduler) and shipped to each worker at most once; retired when
+    :func:`resident_generation` moves past :attr:`generation`.
+    """
+
+    plan_id: int
+    #: :func:`resident_generation` value the templates were built under.
+    generation: int
+    #: Schedule-step index -> template (shippable compiled steps only).
+    steps: Dict[int, ResidentStep]
 
 
 class ProcessPoolBrokenError(RuntimeError):
@@ -147,6 +258,69 @@ def _rect_volume(rect: WireRect) -> int:
     return volume
 
 
+#: First byte of a binary-framed resident run message.  Pickled payloads
+#: begin with the pickle PROTO opcode (``0x80`` for every protocol the
+#: pool can emit), so one leading byte cleanly separates the framings.
+_RUN_FRAME_MAGIC = 0x01
+
+
+def _pack_run_message(
+    plan_id: int, step_index: int, values: tuple, sync: tuple
+) -> Optional[bytes]:
+    """Binary frame of a steady-state resident run message.
+
+    Once the per-worker descriptor interning saturates, every sync entry
+    is a small int (or ``None`` for reductions) and the whole message is
+    a handful of scalars — packing it with :mod:`struct` instead of
+    pickle roughly halves the bytes *and* makes the wire-gate counters
+    byte-stable across Python versions (pickle framing is not).  Layout:
+    magic u8, plan id u32, step index u16, value count u8 + f64 values,
+    sync count u8 + i16 entries (``-1`` ⇒ ``None``).  Returns ``None``
+    when the message does not fit the frame (a first-sighting descriptor
+    in the sync, a non-float scalar, an id beyond i16) — the caller
+    falls back to the pickled tuple framing.
+    """
+    if len(values) > 255 or len(sync) > 255:
+        return None
+    entries = []
+    for item in sync:
+        if item is None:
+            entries.append(-1)
+        elif type(item) is int and item <= 0x7FFF:
+            entries.append(item)
+        else:
+            return None
+    for value in values:
+        if type(value) is not float:
+            return None
+    try:
+        return struct.pack(
+            f"<BIHB{len(values)}dB{len(entries)}h",
+            _RUN_FRAME_MAGIC,
+            plan_id,
+            step_index,
+            len(values),
+            *values,
+            len(entries),
+            *entries,
+        )
+    except struct.error:  # pragma: no cover - plan id beyond u32
+        return None
+
+
+def _unpack_run_message(data: bytes) -> tuple:
+    """Decode a binary run frame back to the pickled-tuple shape."""
+    plan_id, step_index, value_count = struct.unpack_from("<IHB", data, 1)
+    offset = 8
+    values = struct.unpack_from(f"<{value_count}d", data, offset)
+    offset += 8 * value_count
+    (sync_count,) = struct.unpack_from("<B", data, offset)
+    offset += 1
+    entries = struct.unpack_from(f"<{sync_count}h", data, offset)
+    sync = tuple(None if entry == -1 else entry for entry in entries)
+    return ("r", plan_id, step_index, values, sync)
+
+
 # ----------------------------------------------------------------------
 # Worker side.
 # ----------------------------------------------------------------------
@@ -174,7 +348,7 @@ def _execute_chunk(
         executors[request.kernel_id] = executor
 
     bases: Dict[str, Optional[np.ndarray]] = {}
-    for name, is_reduction, descriptor, _rects in request.buffers:
+    for name, is_reduction, descriptor, _table_id, _rects in request.buffers:
         bases[name] = None if is_reduction else attach_view(descriptor)
 
     if request.modes is not None:
@@ -182,7 +356,7 @@ def _execute_chunk(
         # views — merged buffers get the contiguous span, ranked buffers
         # the per-rank view list (mirroring ``run_superkernel_ranks``).
         fused_buffers: Dict[str, object] = {}
-        for (name, _is_reduction, _descriptor, rects), mode in zip(
+        for (name, _is_reduction, _descriptor, _table_id, rects), mode in zip(
             request.buffers, request.modes
         ):
             base = bases[name]
@@ -207,7 +381,7 @@ def _execute_chunk(
         # element-for-element identical to the per-rank loop (the launch
         # passed ``pool.contiguous_elementwise_tables`` before routing;
         # this is ``pool.merged_table_span`` in wire-rect form).
-        for name, is_reduction, _descriptor, rects in request.buffers:
+        for name, is_reduction, _descriptor, _table_id, rects in request.buffers:
             base = bases[name]
             merged = (rects[0][0], rects[-1][1])
             buffers[name] = None if base is None else _view_of(base, merged)
@@ -215,7 +389,7 @@ def _execute_chunk(
         partials_by_rank = [{} for _ in range(request.stop - request.start)]
     else:
         for index in range(request.stop - request.start):
-            for name, is_reduction, _descriptor, rects in request.buffers:
+            for name, is_reduction, _descriptor, _table_id, rects in request.buffers:
                 base = bases[name]
                 buffers[name] = (
                     None if base is None else _view_of(base, rects[index])
@@ -226,7 +400,7 @@ def _execute_chunk(
         for index in range(request.stop - request.start):
             volumes = tuple(
                 _rect_volume(rects[index])
-                for _name, _is_reduction, _descriptor, rects in request.buffers
+                for _name, _is_reduction, _descriptor, _table_id, rects in request.buffers
             )
             seconds = seconds_memo.get(volumes)
             if seconds is None:
@@ -240,19 +414,150 @@ def _execute_chunk(
     return partials_by_rank, seconds_by_rank
 
 
+def _intern_request_tables(request: ChunkRequest, tables: Dict[int, list]) -> None:
+    """Resolve a per-chunk request's interned rect tables in place.
+
+    Runs on receipt, *before* execution: a carried rect list is cached
+    under its table id unconditionally, so the parent's per-worker
+    shipped-table sets stay truthful even when the chunk itself errors.
+    """
+    resolved = []
+    rewritten = False
+    for entry in request.buffers:
+        name, is_reduction, descriptor, table_id, rects = entry
+        if table_id is not None:
+            if rects is None:
+                rects = tables[table_id]
+                entry = (name, is_reduction, descriptor, table_id, rects)
+                rewritten = True
+            else:
+                tables[table_id] = rects
+        resolved.append(entry)
+    if rewritten:
+        request.buffers = tuple(resolved)
+
+
+def _register_resident_plan(
+    message: tuple, tables: Dict[int, list]
+) -> Tuple[int, Dict[int, ResidentStep]]:
+    """Install one shipped plan's templates, interning their rect tables."""
+    _tag, plan_id, steps = message
+    for template in steps.values():
+        buffers = []
+        for name, is_reduction, descriptor, table_id, rects in template.buffers:
+            if rects is None:
+                rects = tables[table_id]
+            elif table_id is not None:
+                tables[table_id] = rects
+            buffers.append((name, is_reduction, descriptor, table_id, rects))
+        template.buffers = tuple(buffers)
+    return plan_id, steps
+
+
+def _execute_resident(
+    message: tuple,
+    plans: Dict[int, Dict[int, ResidentStep]],
+    executors: Dict[int, object],
+    descriptors: List[BlockDescriptor],
+) -> List[ChunkResult]:
+    """Run one resident-plan step over the worker's baked rank ranges.
+
+    The run message carries no geometry, names or ranges — the worker
+    iterates the chunk ranges baked into its copy of the template,
+    slices the resident rect tables to each ``[start, stop)`` range and
+    executes through the same :func:`_execute_chunk` path as the
+    per-chunk protocol, so results are bit-identical.  The ``sync``
+    tuple resolves the step's *current* per-buffer field addresses
+    against this worker's descriptor intern list: ``None`` marks a
+    reduction, an ``int`` an already-interned descriptor, and a full
+    :class:`~repro.runtime.shm.BlockDescriptor` a first sighting, which
+    the worker appends to the list — send order over a FIFO pipe keeps
+    both sides' id assignment in lockstep.  Replay ships no cost model
+    (captured seconds are charged parent-side in recorded order), so
+    seconds come back empty.
+    """
+    _tag, plan_id, step_index, values, sync = message
+    # Intern sync descriptors *before* anything can fail: the parent
+    # assigned their ids at send time, so the worker must record them
+    # even when the run itself errors, or both sides' id tables desync.
+    resolved = []
+    for item in sync:
+        if item is None or type(item) is int:
+            resolved.append(None if item is None else descriptors[item])
+        else:
+            descriptors.append(item)
+            resolved.append(item)
+    plan = plans.get(plan_id)
+    if plan is None:
+        raise RuntimeError(f"worker holds no resident plan {plan_id}")
+    template = plan[step_index]
+    scalars = dict(zip(template.scalar_names, values))
+    results: List[ChunkResult] = []
+    for start, stop in template.chunks:
+        buffers = tuple(
+            (name, is_reduction, descriptor, None, rects[start:stop])
+            for (name, is_reduction, _old, _table_id, rects), descriptor in zip(
+                template.buffers, resolved
+            )
+        )
+        request = ChunkRequest(
+            kernel_id=template.kernel_id,
+            spec=template.spec,
+            scalars=scalars,
+            buffers=buffers,
+            start=start,
+            stop=stop,
+            elementwise=template.elementwise,
+            modes=template.modes,
+        )
+        results.append(_execute_chunk(request, executors))
+    return results
+
+
 def _worker_main(connection) -> None:
     """Request loop of one worker process (module-level for ``spawn``)."""
     executors: Dict[int, object] = {}
+    #: Parent-assigned table id -> interned wire rect list.
+    tables: Dict[int, list] = {}
+    #: Parent-assigned plan id -> resident step templates.
+    plans: Dict[int, Dict[int, ResidentStep]] = {}
+    #: Descriptors interned from resident run messages, in arrival
+    #: order — index i here is descriptor id i on the parent side.
+    descriptors: List[BlockDescriptor] = []
     try:
         while True:
             try:
-                message = connection.recv()
+                data = connection.recv_bytes()
             except (EOFError, OSError):
                 break
+            # One leading byte picks the framing: steady resident run
+            # messages arrive as fixed binary frames, everything else
+            # (including the ``None`` shutdown sentinel) as pickle.
+            if data[:1] == bytes((_RUN_FRAME_MAGIC,)):
+                message = _unpack_run_message(data)
+            else:
+                message = pickle.loads(data)
             if message is None:
                 break
+            if type(message) is tuple and message[0] == "plan":
+                # Fire-and-forget registration (pure bookkeeping): a
+                # failure here surfaces as a normal error reply on the
+                # first run message referencing the missing plan.
+                try:
+                    plan_id, steps = _register_resident_plan(message, tables)
+                    plans[plan_id] = steps
+                except Exception:  # pragma: no cover - malformed ship
+                    pass
+                continue
             try:
-                connection.send(("ok", _execute_chunk(message, executors)))
+                if type(message) is tuple and message[0] == "r":
+                    reply = _execute_resident(
+                        message, plans, executors, descriptors
+                    )
+                else:
+                    _intern_request_tables(message, tables)
+                    reply = _execute_chunk(message, executors)
+                connection.send(("ok", reply))
             except BaseException as error:  # noqa: BLE001 - shipped to parent
                 try:
                     connection.send(("err", error, traceback.format_exc()))
@@ -282,6 +587,23 @@ class ProcessWorkerPool:
         self._processes = []
         #: Kernel ids each worker already holds an executor for.
         self._shipped: List[set] = []
+        #: Wire-table ids each worker has interned the rects of.
+        self._tables_shipped: List[set] = []
+        #: Resident-plan ids each worker holds the templates of.
+        self._plans_shipped: List[set] = []
+        #: Per-worker descriptor intern table for resident run messages:
+        #: ``BlockDescriptor -> small id``, assigned densely in send
+        #: order (the worker appends to an id-indexed list in arrival
+        #: order; FIFO pipes keep the two in lockstep).  Steady replay
+        #: cycles through a bounded set of arena offsets, so after a few
+        #: epochs every sync entry is an ``int``.
+        self._descriptor_ids: List[Dict[BlockDescriptor, int]] = []
+        #: Request traffic actually written to the pipes, measured on the
+        #: pickled payloads (``wire_requests`` counts messages).  The
+        #: executor snapshots deltas around each dispatch and reports
+        #: them to the profiler.
+        self.wire_bytes = 0
+        self.wire_requests = 0
         self._lock = threading.Lock()
         self._next_worker = 0
         self.closed = False
@@ -296,6 +618,42 @@ class ProcessWorkerPool:
             self._connections.append(parent_end)
             self._processes.append(process)
             self._shipped.append(set())
+            self._tables_shipped.append(set())
+            self._plans_shipped.append(set())
+            self._descriptor_ids.append({})
+
+    def _send(self, worker: int, message) -> None:
+        """Pickle, meter and write one request message to a worker.
+
+        ``Connection.send(obj)`` is ``send_bytes(ForkingPickler.dumps
+        (obj))``; doing the two halves explicitly makes the measured
+        byte count the exact serialized payload with no double pickling.
+        """
+        payload = ForkingPickler.dumps(message)
+        self.wire_bytes += len(payload)
+        self.wire_requests += 1
+        self._connections[worker].send_bytes(payload)
+
+    def _send_raw(self, worker: int, payload: bytes) -> None:
+        """Meter and write one pre-framed (non-pickle) request payload."""
+        self.wire_bytes += len(payload)
+        self.wire_requests += 1
+        self._connections[worker].send_bytes(payload)
+
+    def _filter_shipped_tables(self, worker: int, buffers: tuple) -> tuple:
+        """Null out rect lists the worker already interned (by table id)."""
+        shipped = self._tables_shipped[worker]
+        filtered = []
+        for entry in buffers:
+            name, is_reduction, descriptor, table_id, rects = entry
+            if table_id is not None:
+                if table_id in shipped:
+                    if rects is not None:
+                        entry = (name, is_reduction, descriptor, table_id, None)
+                else:
+                    shipped.add(table_id)
+            filtered.append(entry)
+        return tuple(filtered)
 
     # ------------------------------------------------------------------
     def run_chunks(
@@ -324,7 +682,10 @@ class ProcessWorkerPool:
                         spec if kernel_id not in self._shipped[worker] else None
                     )
                     self._shipped[worker].add(kernel_id)
-                    self._connections[worker].send(request)
+                    request.buffers = self._filter_shipped_tables(
+                        worker, request.buffers
+                    )
+                    self._send(worker, request)
                     assignments.append(worker)
                 results: List[ChunkResult] = []
                 # Per-worker FIFO: replies of one worker come back in the
@@ -365,6 +726,127 @@ class ProcessWorkerPool:
             f"process-pool worker died mid-chunk: {failure!r}"
         ) from failure
 
+    # ------------------------------------------------------------------
+    def _plan_ship_message(self, plan: ResidentPlan, worker: int) -> tuple:
+        """Build one worker's copy of a resident-plan ship message.
+
+        Rect tables the worker already interned (from per-chunk requests
+        or earlier plan ships) travel as their id alone; fresh tables are
+        carried once and marked shipped.  Each step's chunk plan is cut
+        down to the chunks this worker owns (``i % size == worker``), so
+        run messages never carry rank ranges.
+        """
+        steps: Dict[int, ResidentStep] = {}
+        for index, template in plan.steps.items():
+            steps[index] = ResidentStep(
+                kernel_id=template.kernel_id,
+                spec=template.spec,
+                buffers=self._filter_shipped_tables(worker, template.buffers),
+                scalar_names=template.scalar_names,
+                elementwise=template.elementwise,
+                modes=template.modes,
+                chunks=tuple(
+                    chunk
+                    for position, chunk in enumerate(template.chunks)
+                    if position % self.size == worker
+                ),
+            )
+        return ("plan", plan.plan_id, steps)
+
+    def run_resident_chunks(
+        self,
+        plan: ResidentPlan,
+        step_index: int,
+        values: Tuple[float, ...],
+        descriptors: tuple,
+        chunks: Sequence[Tuple[int, int]],
+    ) -> List[ChunkResult]:
+        """Execute one resident step's rank chunks, results in chunk order.
+
+        Chunk i always runs on worker ``i % size`` — the fixed mapping
+        the plan-ship message baked each worker's rank ranges under —
+        so each engaged worker receives *one* run message carrying only
+        the epoch's scalar values and the descriptor sync (plus, the
+        first time it sees this plan id, the plan-ship message) and
+        returns one reply with its chunk results in chunk-index order.
+        Reassembling by the same mapping yields chunk — and therefore
+        rank — order, bit-identical to the per-chunk protocol.
+
+        ``descriptors`` is the step's *current* per-buffer field-address
+        tuple (``None`` entries for reductions): frontends rebind fresh
+        stores per epoch, so the sync always travels, but each entry is
+        interned per worker — a descriptor crosses the pipe once, then
+        rides as a small int id.  Arena offsets cycle through a bounded
+        set in steady replay, so the table saturates after a few epochs
+        and the steady run message is a few dozen bytes.
+        """
+        with self._lock:
+            if self.closed:
+                raise ProcessPoolBrokenError("process pool is closed")
+            try:
+                order: List[int] = [
+                    position % self.size for position in range(len(chunks))
+                ]
+                engaged = sorted(set(order))
+                for worker in engaged:
+                    if plan.plan_id not in self._plans_shipped[worker]:
+                        self._send(worker, self._plan_ship_message(plan, worker))
+                        self._plans_shipped[worker].add(plan.plan_id)
+                    ids = self._descriptor_ids[worker]
+                    sync = []
+                    for descriptor in descriptors:
+                        if descriptor is None:
+                            sync.append(None)
+                            continue
+                        known = ids.get(descriptor)
+                        if known is None:
+                            ids[descriptor] = len(ids)
+                            sync.append(descriptor)
+                        else:
+                            sync.append(known)
+                    packed = _pack_run_message(
+                        plan.plan_id, step_index, values, tuple(sync)
+                    )
+                    if packed is not None:
+                        self._send_raw(worker, packed)
+                    else:
+                        self._send(
+                            worker,
+                            ("r", plan.plan_id, step_index, values, tuple(sync)),
+                        )
+                replies: Dict[int, List[ChunkResult]] = {}
+                for position, worker in enumerate(engaged):
+                    reply = self._connections[worker].recv()
+                    if reply[0] == "err":
+                        _tag, error, worker_traceback = reply
+                        for later in engaged[position + 1 :]:
+                            self._connections[later].recv()
+                        # Unlike per-chunk kernel ships, nothing needs
+                        # forgetting: templates re-carry their spec on
+                        # every run, so a failed executor install simply
+                        # retries from the resident template next time.
+                        message = (
+                            f"{error} (in process-pool worker)\n"
+                            f"--- worker traceback ---\n{worker_traceback}"
+                        )
+                        try:
+                            raised = type(error)(message)
+                        except Exception:  # pragma: no cover - exotic ctor
+                            raised = RuntimeError(message)
+                        raise raised from error
+                    replies[worker] = list(reply[1])
+                results: List[ChunkResult] = []
+                for worker in order:
+                    results.append(replies[worker].pop(0))
+                return results
+            except (EOFError, BrokenPipeError, OSError) as transport_error:
+                self.closed = True
+                failure = transport_error
+        self.shutdown()
+        raise ProcessPoolBrokenError(
+            f"process-pool worker died mid-chunk: {failure!r}"
+        ) from failure
+
     def shutdown(self) -> None:
         """Stop every worker (idempotent)."""
         with self._lock:
@@ -390,6 +872,9 @@ class ProcessWorkerPool:
             self._connections = []
             self._processes = []
             self._shipped = []
+            self._tables_shipped = []
+            self._plans_shipped = []
+            self._descriptor_ids = []
 
 
 # ----------------------------------------------------------------------
@@ -399,6 +884,52 @@ _POOL: Optional[ProcessWorkerPool] = None
 _POOL_LOCK = threading.Lock()
 _KERNEL_IDS_LOCK = threading.Lock()
 _NEXT_KERNEL_ID = 0
+_RESIDENT_LOCK = threading.Lock()
+_NEXT_PLAN_ID = 0
+_NEXT_TABLE_ID = 0
+_RESIDENT_GENERATION = 0
+
+
+def next_resident_plan_id() -> int:
+    """A fresh process-lifetime id for one resident plan (never reused)."""
+    global _NEXT_PLAN_ID
+    with _RESIDENT_LOCK:
+        _NEXT_PLAN_ID += 1
+        return _NEXT_PLAN_ID
+
+
+def next_wire_table_id() -> int:
+    """A fresh process-lifetime id for one wire rect list (never reused)."""
+    global _NEXT_TABLE_ID
+    with _RESIDENT_LOCK:
+        _NEXT_TABLE_ID += 1
+        return _NEXT_TABLE_ID
+
+
+def resident_generation() -> int:
+    """The current resident-plan validity generation."""
+    return _RESIDENT_GENERATION
+
+
+def invalidate_resident_plans() -> None:
+    """Retire every resident plan built so far (generation bump).
+
+    Called whenever worker-held state could go stale: region-field
+    descriptor swaps (``RegionManager.attach``), shared-memory releases
+    whose blocks may be recycled, and ``config.reload_flags()``.  Plans
+    carrying an older generation are rebuilt — with a fresh plan id —
+    on their next replay and re-shipped; ids are never reused, so a
+    worker still holding the old templates can never serve them again.
+    """
+    global _RESIDENT_GENERATION
+    with _RESIDENT_LOCK:
+        _RESIDENT_GENERATION += 1
+
+
+def retire_resident_plan(plan) -> None:
+    """Drop one plan's cached resident registration (if any)."""
+    if getattr(plan, "resident", None) is not None:
+        plan.resident = None
 
 
 def process_pool() -> ProcessWorkerPool:
@@ -431,10 +962,14 @@ def _reload_process_pool() -> None:
     A pool sized from stale flag values must not serve the next launch;
     shutting down (rather than letting :func:`process_pool` resize
     lazily) also reaps the worker processes promptly when a test flips
-    ``REPRO_DISPATCH_BACKEND`` back to ``thread``.
+    ``REPRO_DISPATCH_BACKEND`` back to ``thread``.  Every reload also
+    retires the resident plans: a flag flip can change chunking, plan
+    lowering or backing storage, so templates built under the old flags
+    must not be replayed.
     """
     from repro.runtime.pool import shared_pool_size
 
+    invalidate_resident_plans()
     with _POOL_LOCK:
         pool = _POOL
     if pool is None:

@@ -103,6 +103,11 @@ class Profiler:
         #: launch, one per super-kernel chunk) — the interpreter-overhead
         #: figure the super-kernel lowering exists to shrink.
         self.replay_closure_calls: int = 0
+        #: Process-pool wire traffic: bytes and request messages actually
+        #: pickled onto worker pipes (measured by sizing each payload at
+        #: send time) — the figure plan-resident replay exists to shrink.
+        self.wire_bytes: int = 0
+        self.wire_requests: int = 0
         self._current_iteration: Optional[IterationRecord] = None
 
     # ------------------------------------------------------------------
@@ -227,6 +232,21 @@ class Profiler:
     def add_replay_closure_calls(self, calls: int) -> None:
         """Record compiled-closure invocations performed by plan replay."""
         self.replay_closure_calls += calls
+
+    def record_wire_traffic(self, bytes_sent: int, requests: int) -> None:
+        """Record pickled bytes / messages sent to the worker-process pool."""
+        self.wire_bytes += bytes_sent
+        self.wire_requests += requests
+
+    @property
+    def wire_bytes_per_epoch(self) -> float:
+        """Average wire bytes shipped to workers per replayed epoch."""
+        return self.wire_bytes / self.trace_hits if self.trace_hits else 0.0
+
+    @property
+    def wire_requests_per_epoch(self) -> float:
+        """Average wire request messages sent per replayed epoch."""
+        return self.wire_requests / self.trace_hits if self.trace_hits else 0.0
 
     @property
     def closure_calls_per_epoch(self) -> float:
@@ -360,4 +380,6 @@ class Profiler:
         self.superkernel_fused_steps = 0
         self.superkernel_calls = 0
         self.replay_closure_calls = 0
+        self.wire_bytes = 0
+        self.wire_requests = 0
         self._current_iteration = None

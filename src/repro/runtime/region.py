@@ -185,25 +185,74 @@ class RegionManager:
         plan-scheduler worker racing :meth:`field` never observes a
         half-installed replacement (attach itself only happens at host
         synchronisation points, which drain both dispatch levels first).
+        Swapping a field retires every resident process plan: their
+        worker-side templates hold the *old* field's shared-memory
+        descriptor, and replaying them would write through a released
+        (possibly recycled) block.
         """
         with self._allocate_lock:
             field = RegionField(store, initial=data, arena=self._field_arena())
             replaced = self._fields.get(store.uid)
             self._fields[store.uid] = field
         if replaced is not None:
+            if replaced.shm_descriptor is not None:
+                self._invalidate_resident_plans()
             replaced.release_storage()
         return field
+
+    @staticmethod
+    def _invalidate_resident_plans() -> None:
+        """Retire resident process plans whose descriptors went stale."""
+        from repro.runtime import procpool
+
+        procpool.invalidate_resident_plans()
 
     def has_field(self, store: Store) -> bool:
         """True when backing storage for the store has been allocated."""
         return store.uid in self._fields
 
     def release(self, store: Store) -> None:
-        """Free the backing storage of a store (e.g. eliminated temporaries)."""
+        """Free the backing storage of a store (e.g. eliminated temporaries).
+
+        Releasing a shared-memory block makes it recyclable, so any
+        resident plan whose templates still address it is retired first
+        (releases happen during capture-side analysis, not between
+        steady replays, so this does not thrash the resident cache).
+        """
         with self._allocate_lock:
             field = self._fields.pop(store.uid, None)
         if field is not None:
+            if field.shm_descriptor is not None:
+                self._invalidate_resident_plans()
             field.release_storage()
+
+    def reclaim_storage(self, store: Store) -> bool:
+        """Free a *dead* store's backing storage between epochs.
+
+        The storage-reclamation pass (``runtime/trace.py``) calls this at
+        epoch boundaries for stores whose split reference counts all hit
+        zero: the application dropped its handle and no buffered task
+        will touch the store again, so its region field — megabytes of
+        arena or heap pages per epoch in a functional-update program —
+        is garbage.  Returning the block keeps steady-state memory
+        bounded *and* keeps the arena's first-fit offsets cycling
+        through a small set, which is what lets the resident-replay
+        descriptor interning converge to all-int syncs.
+
+        Unlike :meth:`release`, reclamation does **not** retire resident
+        plans: resident run messages always carry the epoch's current
+        descriptors (worker-side templates never dereference the baked
+        ones), and interned descriptor ids name physical ``(segment,
+        offset, shape, dtype)`` addresses, so a recycled block re-enters
+        the protocol only through the fresh field that now owns it.
+        Returns True when a field was actually reclaimed.
+        """
+        with self._allocate_lock:
+            field = self._fields.pop(store.uid, None)
+        if field is None:
+            return False
+        field.release_storage()
+        return True
 
     @property
     def allocated_bytes(self) -> int:

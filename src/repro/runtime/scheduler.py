@@ -42,6 +42,16 @@ steps point-dispatch inside :meth:`TaskExecutor.execute_opaque_deferred`
 when they execute inline; when handed to a pool worker the nested-
 dispatch guard (``runtime/pool.py``) keeps them serial.
 
+Under ``REPRO_DISPATCH_BACKEND=process`` with ``REPRO_RESIDENT_PLANS=1``
+(the default) the scheduler additionally registers each replayed plan
+with the worker-process pool on first replay
+(:meth:`PlanScheduler._ensure_resident_plan`): every shippable compiled
+step's kernel spec, full rect tables, shared-memory descriptors and
+calling convention become worker-resident under a parent-assigned plan
+id, and later replays dispatch with lean ``(plan id, step, scalars,
+rank ranges)`` messages instead of rebuilding per-chunk requests — see
+``runtime/procpool.py`` for the protocol and its staleness story.
+
 ``REPRO_WORKERS=1`` with ``REPRO_POINT_WORKERS=1`` (and the overlap
 model off) takes none of this machinery: :func:`_execute_plan_serial`
 is the PR-2 replay path, kept verbatim.
@@ -595,6 +605,7 @@ class PlanScheduler:
 
         point_width = config.point_worker_count()
         pool_size = shared_pool_size()
+        resident = None
         if config.dispatch_backend() == "process" and point_width > 1:
             # Materialise the worker-process pool now, while no thread
             # futures are in flight: forking from a quiescent point
@@ -602,6 +613,10 @@ class PlanScheduler:
             from repro.runtime import procpool
 
             procpool.process_pool()
+            if config.resident_plans_enabled():
+                resident = self._ensure_resident_plan(
+                    plan, schedule, regions, slot_stores, tasks
+                )
         #: Per-replay slot -> region field memo shared across all steps.
         fields: Dict[int, object] = {}
         #: Per-step compute results, indexed like ``schedule.steps``.
@@ -677,17 +692,34 @@ class PlanScheduler:
                         totals = None
                         chunk_backend = "thread"
                         if config.dispatch_backend() == "process":
-                            # Replay steps ship no cost model: their
-                            # simulated seconds were captured at record
-                            # time and charged by the accounting fold.
-                            proc_results = executor._process_chunks_compiled(
-                                entry.step.kernel,
-                                prepared,
-                                scalars,
-                                chunks,
-                                entry.step.elementwise,
-                                with_cost=False,
-                            )
+                            proc_results = None
+                            if resident is not None and index in resident.steps:
+                                # Resident route: the workers hold this
+                                # step's spec, geometry and rank ranges
+                                # already — the dispatch sends only
+                                # (plan id, step, scalars) plus the
+                                # epoch's field descriptors as interned
+                                # per-worker ids.
+                                proc_results = executor._process_chunks_resident(
+                                    resident, index, prepared, scalars, chunks
+                                )
+                            if proc_results is None:
+                                # Per-chunk protocol: first resident
+                                # replay, unshippable step, or a broken
+                                # pool being rebuilt (the resident plan
+                                # re-ships to the fresh pool next
+                                # replay).  Replay steps ship no cost
+                                # model: their simulated seconds were
+                                # captured at record time and charged by
+                                # the accounting fold.
+                                proc_results = executor._process_chunks_compiled(
+                                    entry.step.kernel,
+                                    prepared,
+                                    scalars,
+                                    chunks,
+                                    entry.step.elementwise,
+                                    with_cost=False,
+                                )
                             if proc_results is not None:
                                 totals = _merge_process_totals(
                                     entry.step, proc_results
@@ -750,6 +782,72 @@ class PlanScheduler:
             width=schedule.width,
             dispatched=dispatched,
         )
+
+    def _ensure_resident_plan(
+        self,
+        plan: ExecutionPlan,
+        schedule: PlanSchedule,
+        regions,
+        slot_stores: Sequence[Store],
+        tasks: Sequence[IndexTask],
+    ):
+        """Register ``plan`` for resident process replay (cached on it).
+
+        Builds a worker-resident template for every compiled step that
+        can both chunk (multi-rank, above the dispatch-volume floor) and
+        ship (all non-reduction fields shared-memory backed), assigns a
+        parent-assigned plan id, and caches the result on the plan.  The
+        pool ships the whole template set to each worker at most once;
+        :func:`procpool.resident_generation` bumps (descriptor swaps,
+        store releases, flag reloads) retire the cache so the next
+        replay rebuilds against fresh descriptors under a fresh id.
+        Returns ``None`` when nothing in the plan is shippable (cached
+        as an empty registration so the scan runs once per generation).
+        """
+        from repro.runtime import procpool
+
+        generation = procpool.resident_generation()
+        resident = plan.resident
+        if resident is not None and resident.generation == generation:
+            return resident if resident.steps else None
+        executor = self.runtime.executor
+        templates: Dict[int, object] = {}
+        point_width = config.point_worker_count()
+        for index, entry in enumerate(schedule.steps):
+            if not entry.compiled or entry.num_points <= 1:
+                continue
+            if entry.volume < executor_module.MIN_POINT_DISPATCH_VOLUME:
+                # Never chunked at replay, so never dispatched to the
+                # pool — shipping a template would be dead weight.
+                continue
+            step = entry.step
+            prepared = _prepare_compiled_bindings(step, regions, slot_stores)
+            scalar_names = tuple(name for name, _index in step.scalar_order or ())
+            # The chunk plan the resident dispatch will use: resident
+            # routing only happens on inline steps owning the full point
+            # width, so this mirrors ``_compiled_point_work`` with
+            # ``width=point_width`` exactly.  The dispatch site degrades
+            # to the per-chunk protocol if its chunks ever disagree.
+            chunks = point_chunks(
+                entry.num_points, point_width, config.point_min_ranks()
+            )
+            template = executor.resident_step_template(
+                step.kernel,
+                prepared,
+                entry.num_points,
+                scalar_names,
+                step.elementwise,
+                chunks,
+            )
+            if template is not None:
+                templates[index] = template
+        resident = procpool.ResidentPlan(
+            plan_id=procpool.next_resident_plan_id() if templates else 0,
+            generation=generation,
+            steps=templates,
+        )
+        plan.resident = resident
+        return resident if templates else None
 
     def _compiled_point_work(
         self,

@@ -198,7 +198,9 @@ class SharedArena:
 #: Segment name -> attached SharedMemory, cached per process.
 _ATTACHMENTS: Dict[str, shared_memory.SharedMemory] = {}
 #: Bound on the attachment cache: segments of dead arenas linger only
-#: until enough newer segments displace them (FIFO eviction).
+#: until enough newer segments displace them (LRU eviction — a resident
+#: worker re-touches the same few segments every replay, so the hot set
+#: must never be displaced by one-shot segments of retired arenas).
 _MAX_ATTACHMENTS = 64
 
 
@@ -207,10 +209,12 @@ def attach_view(descriptor: BlockDescriptor) -> np.ndarray:
 
     Used by process-pool workers: the first touch of a segment attaches
     it by name; later blocks of the same segment reuse the cached
-    attachment.  The attach's resource-tracker registration is a no-op
-    re-add into the parent's shared cache (see the module docstring).
+    attachment (refreshed to most-recently-used, so steady resident
+    replay keeps its segments pinned).  The attach's resource-tracker
+    registration is a no-op re-add into the parent's shared cache (see
+    the module docstring).
     """
-    segment = _ATTACHMENTS.get(descriptor.segment)
+    segment = _ATTACHMENTS.pop(descriptor.segment, None)
     if segment is None:
         segment = shared_memory.SharedMemory(name=descriptor.segment)
         while len(_ATTACHMENTS) >= _MAX_ATTACHMENTS:
@@ -220,7 +224,7 @@ def attach_view(descriptor: BlockDescriptor) -> np.ndarray:
                 stale.close()
             except BufferError:  # pragma: no cover - view still alive
                 pass
-        _ATTACHMENTS[descriptor.segment] = segment
+    _ATTACHMENTS[descriptor.segment] = segment
     return np.ndarray(
         descriptor.shape,
         dtype=np.dtype(descriptor.dtype),

@@ -145,10 +145,24 @@ def _register_lowered(plan: ExecutionPlan) -> None:
 
 
 def _reload_superkernels() -> None:
-    """Config-reload hook: drop every cached plan lowering."""
+    """Config-reload hook: drop every cached plan lowering.
+
+    Also retires the resident-process registration of each plan *and* of
+    its lowered form (the lowered plan is what the scheduler executes, so
+    it is what carries the ``resident`` cache).  The process pool's own
+    reload hook already bumps the resident generation — this drop is
+    hygiene so a discarded lowering cannot keep a dead registration (and
+    its parent-side template tuples) alive through the plan it hangs off.
+    """
+    from repro.runtime import procpool
+
     for ref in _LOWERED_PLANS:
         plan = ref()
         if plan is not None:
+            cached = plan.superkernel
+            if cached is not None and cached is not _NO_UNITS:
+                procpool.retire_resident_plan(cached)
+            procpool.retire_resident_plan(plan)
             plan.superkernel = None
     _LOWERED_PLANS.clear()
 

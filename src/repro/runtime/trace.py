@@ -251,6 +251,14 @@ class ExecutionPlan:
     #: Retired on ``config.reload_flags()`` so flag flips cannot replay
     #: stale fused closures.
     superkernel: Optional[object] = None
+    #: Cached resident-process registration (``runtime.procpool``): the
+    #: :class:`ResidentPlan` whose parent-assigned id names this plan's
+    #: worker-resident templates, tagged with the resident generation it
+    #: was built under.  Descriptor swaps (``RegionManager.attach``),
+    #: store releases and ``config.reload_flags()`` bump the generation,
+    #: which retires the registration on its next replay; plan ids are
+    #: never reused, so stale worker-side templates can never be served.
+    resident: Optional[object] = None
 
 
 # ----------------------------------------------------------------------
@@ -479,6 +487,12 @@ class TraceController:
         #: the canonical hit/miss counters).
         self.captured_plans = 0
         self.replayed_epochs = 0
+        #: Stores seen in a processed epoch that were still live at its
+        #: boundary, re-checked at later boundaries — a handle dropped
+        #: *after* the epoch holding the store's last task (e.g. a local
+        #: that outlives its final launch) would otherwise never be
+        #: rescanned and its field never reclaimed.
+        self._reclaim_watch: Dict[int, Store] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -563,6 +577,7 @@ class TraceController:
                 )
             finally:
                 self._release(tasks, 0)
+            self._reclaim_dead_fields(tasks)
             return
 
         profiler.record_trace_miss()
@@ -586,6 +601,7 @@ class TraceController:
         finally:
             engine.end_capture()
             self._release(tasks, fed)
+        self._reclaim_dead_fields(tasks)
 
         captured_launches = any(
             not isinstance(step, AnalysisCharge) for step in recorder.steps
@@ -606,3 +622,41 @@ class TraceController:
         for task in tasks[already_fed:]:
             for arg in task.args:
                 arg.store.remove_pending_stream_reference()
+
+    def _reclaim_dead_fields(self, tasks: Sequence[IndexTask]) -> None:
+        """Free the backing storage of stores this epoch killed.
+
+        Functional-update programs (``v_new = f(v_old)``) rebind their
+        handles every iteration, so each epoch strands the previous
+        epoch's region fields: nothing frees them, steady-state memory
+        grows by the working set per iteration, and the shared arena's
+        first-fit allocator marches to fresh offsets forever (defeating
+        the resident-replay descriptor interning, which relies on
+        addresses recycling).  The epoch boundary is the one quiescent
+        point where liveness is decidable from the split reference
+        counts alone (paper Section 5.1): every launch of the epoch has
+        joined, so a store with no application handle, no buffered task
+        and no runtime reference can never be observed again — its
+        field is reclaimed (the store object itself stays registered;
+        should code ever touch it again it gets a fresh zeroed field,
+        the defined initial state).
+        """
+        regions = self.engine.runtime.regions
+        watch = self._reclaim_watch
+        for task in tasks:
+            for arg in task.args:
+                store = arg.store
+                # Only frontend-managed stores: a store created bare by
+                # runtime internals (e.g. CSR index arrays) is held by
+                # plain Python references the counters never witness.
+                if store.ever_application_referenced:
+                    watch.setdefault(store.uid, store)
+        for uid in list(watch):
+            store = watch[uid]
+            if (
+                store.application_references == 0
+                and store.pending_stream_references == 0
+                and store.runtime_references == 0
+            ):
+                del watch[uid]
+                regions.reclaim_storage(store)

@@ -1,0 +1,362 @@
+"""Plan-resident process replay (``REPRO_RESIDENT_PLANS``).
+
+Acceptance bar: with plans resident in the worker processes the replay
+stays bit-identical to the thread backend — buffers, checksums AND
+simulated seconds — across ``REPRO_RESIDENT_PLANS`` {0,1} ×
+``REPRO_SUPERKERNEL`` {0,1} × ``REPRO_WORKERS`` {1,4} ×
+``REPRO_POINT_WORKERS`` {1,4}, asserted under the differential kernel
+backend with the dispatch thresholds forced to zero.  Alongside the
+hammer, this file covers the staleness story (descriptor swaps through
+``RegionManager.attach``/``release`` and ``config.reload_flags()``
+retire resident plans) and the broken-pool degrade path (a killed
+worker falls back to the per-chunk protocol, then re-ships the plan to
+the fresh pool), plus the wire-traffic counters the residency exists
+to shrink.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.apps.base import build_application
+from repro.experiments.harness import scaled_machine
+from repro.frontend.cunumeric.array import ndarray as cn_ndarray
+from repro.frontend.legate.context import RuntimeContext, set_context
+from repro.runtime import procpool
+from repro.runtime.procpool import shutdown_process_pool
+
+
+@pytest.fixture(autouse=True)
+def _reload_flags_after():
+    yield
+    config.reload_flags()
+
+
+@pytest.fixture(autouse=True)
+def _force_dispatch(monkeypatch):
+    """Zero both dispatch thresholds so tiny launches hit the pools."""
+    import repro.runtime.executor as executor_module
+    import repro.runtime.scheduler as scheduler_module
+
+    monkeypatch.setattr(executor_module, "MIN_POINT_DISPATCH_VOLUME", 0)
+    monkeypatch.setattr(scheduler_module, "MIN_DISPATCH_VOLUME", 0)
+
+
+# ----------------------------------------------------------------------
+# Configuration.
+# ----------------------------------------------------------------------
+class TestResidentConfig:
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESIDENT_PLANS", raising=False)
+        config.reload_flags()
+        assert config.resident_plans_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "OFF"])
+    def test_disabled_spellings(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_RESIDENT_PLANS", value)
+        config.reload_flags()
+        assert not config.resident_plans_enabled()
+
+    def test_junk_means_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESIDENT_PLANS", "sure")
+        config.reload_flags()
+        assert config.resident_plans_enabled()
+
+
+# ----------------------------------------------------------------------
+# Staleness: descriptor swaps and flag reloads retire resident plans.
+# ----------------------------------------------------------------------
+class TestResidentInvalidation:
+    def test_plan_ids_never_repeat(self):
+        first = procpool.next_resident_plan_id()
+        second = procpool.next_resident_plan_id()
+        assert second > first
+
+    def test_reload_flags_bumps_generation(self):
+        before = procpool.resident_generation()
+        config.reload_flags()
+        assert procpool.resident_generation() > before
+
+    def test_attach_swap_bumps_generation(self, monkeypatch):
+        """Re-binding a store to fresh data retires resident plans.
+
+        The swapped-out field's arena block is freed and may be recycled
+        at the same offset for an unrelated field — any worker-resident
+        descriptor pointing at it is stale the moment ``attach`` returns.
+        """
+        from repro.ir.store import StoreManager
+        from repro.runtime.region import RegionManager
+
+        monkeypatch.setenv("REPRO_DISPATCH_BACKEND", "process")
+        config.reload_flags()
+        manager = RegionManager()
+        store = StoreManager().create_store((32,), name="field")
+        field = manager.field(store)
+        assert field.shm_descriptor is not None
+        before = procpool.resident_generation()
+        manager.attach(store, np.arange(32.0))
+        assert procpool.resident_generation() > before
+        released_at = procpool.resident_generation()
+        manager.release(store)
+        assert procpool.resident_generation() > released_at
+        manager.close_arena()
+
+    def test_thread_backend_attach_does_not_bump(self, monkeypatch):
+        from repro.ir.store import StoreManager
+        from repro.runtime.region import RegionManager
+
+        monkeypatch.setenv("REPRO_DISPATCH_BACKEND", "thread")
+        config.reload_flags()
+        manager = RegionManager()
+        store = StoreManager().create_store((32,), name="field")
+        manager.field(store)
+        before = procpool.resident_generation()
+        manager.attach(store, np.arange(32.0))
+        manager.release(store)
+        assert procpool.resident_generation() == before
+
+    def test_retire_resident_plan_clears_cache(self):
+        class PlanStub:
+            resident = "sentinel"
+
+        plan = PlanStub()
+        procpool.retire_resident_plan(plan)
+        assert plan.resident is None
+        # Idempotent, and tolerant of plans never registered.
+        procpool.retire_resident_plan(plan)
+        procpool.retire_resident_plan(object())
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity: the resident differential hammer (tentpole).
+# ----------------------------------------------------------------------
+COMBOS = [(1, 1), (4, 1), (1, 4), (4, 4)]
+
+APPS = [
+    ("cg", dict(grid_points_per_gpu=12), 5),
+    ("jacobi", dict(rows_per_gpu=32), 6),
+    ("black-scholes", dict(elements_per_gpu=128), 6),
+    ("two-matvec", dict(rows_per_gpu=24), 6),
+]
+
+
+def _run_app(
+    app_name,
+    backend,
+    point_workers,
+    workers,
+    monkeypatch,
+    iterations,
+    resident="1",
+    superkernel="0",
+    **kwargs,
+):
+    monkeypatch.setenv("REPRO_DISPATCH_BACKEND", backend)
+    monkeypatch.setenv("REPRO_POINT_WORKERS", str(point_workers))
+    monkeypatch.setenv("REPRO_WORKERS", str(workers))
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "differential")
+    monkeypatch.setenv("REPRO_RESIDENT_PLANS", resident)
+    monkeypatch.setenv("REPRO_SUPERKERNEL", superkernel)
+    config.reload_flags()
+    context = RuntimeContext(num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4))
+    set_context(context)
+    try:
+        app = build_application(app_name, context=context, **kwargs)
+        app.run(iterations)
+        checksum = app.checksum()
+        state = {
+            name: value.to_numpy()
+            for name, value in vars(app).items()
+            if isinstance(value, cn_ndarray)
+        }
+    finally:
+        set_context(None)
+    return context, state, checksum
+
+
+def _assert_matches(ctx, state, checksum, baseline, label):
+    ctx_base, state_base, checksum_base = baseline
+    assert checksum == checksum_base, label
+    assert set(state) == set(state_base), label
+    for name in state_base:
+        assert np.array_equal(state[name], state_base[name]), (label, name)
+    assert ctx.profiler.iteration_seconds() == ctx_base.profiler.iteration_seconds(), label
+    assert ctx.legion.simulated_seconds == ctx_base.legion.simulated_seconds, label
+
+
+class TestResidentParity:
+    """The resident × super-kernel × workers × point-workers hammer.
+
+    CG (compiled kernels with reductions), Jacobi (opaque GEMV that
+    stays on the thread substrate), Black-Scholes (elementwise chains)
+    and two-matvec (width-2 plan levels) must all be bit-identical —
+    buffers, checksums and simulated seconds — to the thread/1/1
+    baseline for every flag combination, with both kernel backends
+    cross-checked inside the workers by the differential executor.
+    """
+
+    @pytest.mark.parametrize("app_name,kwargs,iterations", APPS, ids=[a[0] for a in APPS])
+    def test_matrix_bit_identical(self, app_name, kwargs, iterations, monkeypatch):
+        baseline = _run_app(
+            app_name, "thread", 1, 1, monkeypatch, iterations, resident="0", **kwargs
+        )
+        for resident in ("0", "1"):
+            for superkernel in ("0", "1"):
+                for point_workers, workers in COMBOS:
+                    ctx, state, checksum = _run_app(
+                        app_name,
+                        "process",
+                        point_workers,
+                        workers,
+                        monkeypatch,
+                        iterations,
+                        resident=resident,
+                        superkernel=superkernel,
+                        **kwargs,
+                    )
+                    label = (
+                        f"resident={resident} superkernel={superkernel} "
+                        f"point={point_workers} workers={workers}"
+                    )
+                    _assert_matches(ctx, state, checksum, baseline, label)
+                    if point_workers > 1 and app_name != "jacobi":
+                        assert ctx.profiler.point_process_chunks > 0, label
+                        assert ctx.profiler.wire_bytes > 0, label
+                        assert ctx.profiler.wire_requests > 0, label
+        shutdown_process_pool()
+
+    def test_resident_shrinks_steady_state_wire_bytes(self, monkeypatch):
+        """The counters the residency exists to move.
+
+        Same replay, same ranks: shipping the plan once and referencing
+        it by id must put fewer bytes on the worker pipes than
+        re-sending every chunk's geometry and descriptors each epoch.
+        The counters are deterministic (sizes of actual pickled
+        payloads), so this holds on any host.
+        """
+        iterations = 12
+        chunked = _run_app(
+            "cg", "process", 4, 1, monkeypatch, iterations,
+            resident="0", grid_points_per_gpu=12,
+        )[0]
+        shutdown_process_pool()
+        resident = _run_app(
+            "cg", "process", 4, 1, monkeypatch, iterations,
+            resident="1", grid_points_per_gpu=12,
+        )[0]
+        shutdown_process_pool()
+        assert resident.profiler.wire_bytes > 0
+        assert resident.profiler.wire_bytes < chunked.profiler.wire_bytes
+        assert (
+            resident.profiler.wire_bytes_per_epoch
+            < chunked.profiler.wire_bytes_per_epoch
+        )
+
+
+# ----------------------------------------------------------------------
+# Staleness and degradation, end to end.
+# ----------------------------------------------------------------------
+class TestResidentRecovery:
+    def _start_app(self, monkeypatch, app_name="cg", **kwargs):
+        monkeypatch.setenv("REPRO_DISPATCH_BACKEND", "process")
+        monkeypatch.setenv("REPRO_POINT_WORKERS", "4")
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "differential")
+        monkeypatch.setenv("REPRO_RESIDENT_PLANS", "1")
+        config.reload_flags()
+        context = RuntimeContext(num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4))
+        set_context(context)
+        return context, build_application(app_name, context=context, **kwargs)
+
+    def _baseline(self, monkeypatch, iterations):
+        _ctx, state, checksum = _run_app(
+            "cg", "thread", 1, 1, monkeypatch, iterations,
+            resident="0", grid_points_per_gpu=12,
+        )
+        return state, checksum
+
+    def test_reload_flags_mid_run_reships_under_fresh_id(self, monkeypatch):
+        """``reload_flags`` retires resident plans; replay recovers.
+
+        After the reload the captured plan must be re-registered under a
+        *new* plan id (ids are never reused) and the run must stay
+        bit-identical to an uninterrupted thread-backend run.
+        """
+        state_base, checksum_base = self._baseline(monkeypatch, 6)
+        context, app = self._start_app(monkeypatch, grid_points_per_gpu=12)
+        try:
+            app.run(3)
+            generation = procpool.resident_generation()
+            config.reload_flags()
+            assert procpool.resident_generation() > generation
+            app.run(3)
+            assert app.checksum() == checksum_base
+            for name, value in vars(app).items():
+                if isinstance(value, cn_ndarray):
+                    assert np.array_equal(value.to_numpy(), state_base[name]), name
+        finally:
+            set_context(None)
+        shutdown_process_pool()
+
+    def test_killed_worker_degrades_then_reships(self, monkeypatch):
+        """A dead worker must not wedge or corrupt resident replay.
+
+        The dispatch that hits the broken pipe degrades to the thread
+        substrate for that launch, the pool singleton is rebuilt, and
+        the plan re-ships to the fresh workers — with the final state
+        still bit-identical to the thread backend.
+        """
+        state_base, checksum_base = self._baseline(monkeypatch, 6)
+        context, app = self._start_app(monkeypatch, grid_points_per_gpu=12)
+        try:
+            app.run(3)
+            pool = procpool.process_pool()
+            assert any(shipped for shipped in pool._plans_shipped)
+            for process in pool._processes:
+                process.terminate()
+                process.join(timeout=5.0)
+            app.run(3)
+            assert pool.closed
+            fresh = procpool.process_pool()
+            assert fresh is not pool
+            assert app.checksum() == checksum_base
+            for name, value in vars(app).items():
+                if isinstance(value, cn_ndarray):
+                    assert np.array_equal(value.to_numpy(), state_base[name]), name
+        finally:
+            set_context(None)
+        shutdown_process_pool()
+
+    def test_descriptor_swap_mid_run_stays_identical(self, monkeypatch):
+        """Arena blocks moving between epochs must never be served stale.
+
+        Allocating an unrelated field mid-run perturbs the arena's
+        first-fit layout, so the app's next epoch binds its slots at
+        *different* offsets than the templates were shipped with.  The
+        per-dispatch descriptor sync must deliver the new addresses to
+        the workers (this exact scenario produced silent zeros before
+        the sync existed).
+        """
+        from repro.ir.store import StoreManager
+
+        state_base, checksum_base = self._baseline(monkeypatch, 6)
+        context, app = self._start_app(monkeypatch, grid_points_per_gpu=12)
+        try:
+            app.run(3)
+            # Pin a wedge block in the arena so freed blocks stop
+            # recycling to their old offsets.
+            wedge_store = StoreManager().create_store((64,), name="wedge")
+            wedge = context.legion.regions.field(wedge_store)
+            assert wedge.shm_descriptor is not None
+            app.run(3)
+            assert app.checksum() == checksum_base
+            for name, value in vars(app).items():
+                if isinstance(value, cn_ndarray):
+                    assert np.array_equal(value.to_numpy(), state_base[name]), name
+        finally:
+            set_context(None)
+        shutdown_process_pool()
