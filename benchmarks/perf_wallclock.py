@@ -93,6 +93,11 @@ the counters size the actual pickled pipe payloads, so this is
 deterministic and enforced regardless of core count — and the paired
 resident-over-chunked wall-clock speedup must reach >= 1.2x on hosts
 with at least two CPUs (``host_cpus`` is recorded either way).
+The opaque-chunk gate (PR-8) compares per-rank vs chunk-level opaque
+operator execution on the two-mat-vec GEMV app at 8 ranks — the two
+legs differ only in ``REPRO_OPAQUE_CHUNKS`` — and enforces a >= 4x
+drop in opaque operator calls per steady epoch on the deterministic
+profiler counters (full mode, regardless of core count).
 ``--gates-only`` runs just the gate measurements at full scale (the CI
 gate job).
 
@@ -146,6 +151,13 @@ APP_CONFIGS = {
     # and the super-kernel pass's opaque-step fallback (GEMV stays
     # opaque) on every mode.
     "two-matvec": dict(num_gpus=8, iterations=48, warmup=2, app_kwargs={"rows_per_gpu": 48}),
+    # Interleaves fusible smoother chains with three distinct opaque
+    # operator families (SpMV, restriction, prolongation), so the sweep —
+    # and in particular the differential pass with chunked opaque
+    # execution on the process backend — covers every registered chunk
+    # implementation end to end.  No perf gate yet: the V-cycle's task
+    # mix is too varied for a stable paired ratio at smoke scale.
+    "gmg": dict(num_gpus=8, iterations=12, warmup=2, app_kwargs={"grid_points_per_gpu": 16}),
 }
 
 SMOKE_CONFIGS = {
@@ -153,6 +165,7 @@ SMOKE_CONFIGS = {
     "jacobi": dict(num_gpus=4, iterations=8, warmup=2, app_kwargs={"rows_per_gpu": 64}),
     "black-scholes": dict(num_gpus=4, iterations=10, warmup=2, app_kwargs={"elements_per_gpu": 512}),
     "two-matvec": dict(num_gpus=4, iterations=8, warmup=2, app_kwargs={"rows_per_gpu": 32}),
+    "gmg": dict(num_gpus=4, iterations=4, warmup=2, app_kwargs={"grid_points_per_gpu": 12}),
 }
 
 MODES = {
@@ -166,6 +179,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     "codegen": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -177,6 +191,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     "trace": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -188,6 +203,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     "scheduler": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -199,6 +215,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     # The PR-6 tentpole: identical to ``scheduler`` except that captured
     # plans are lowered to epoch super-kernels, so the paired gate below
@@ -213,6 +230,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "1",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     "point": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -224,6 +242,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     "process": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -235,6 +254,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "process",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     # The PR-7 tentpole: identical to ``process`` except that captured
     # plans live in the worker processes, so the paired gate below
@@ -249,6 +269,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "process",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "1",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     # The resident gate's two legs: the process substrate at a wider
     # point-dispatch fan-out (many chunks per step, so the per-chunk
@@ -264,6 +285,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "process",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     "resident-wide": {
         "REPRO_KERNEL_BACKEND": "codegen",
@@ -275,6 +297,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "process",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "1",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     # The process gate compares the two dispatch substrates on an
     # interpreter-heavy, small-tile configuration: the tree-walking
@@ -291,6 +314,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "thread",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     "process-gil": {
         "REPRO_KERNEL_BACKEND": "interpreter",
@@ -302,6 +326,7 @@ MODES = {
         "REPRO_DISPATCH_BACKEND": "process",
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
     },
     "differential": {
         "REPRO_KERNEL_BACKEND": "differential",
@@ -324,6 +349,41 @@ MODES = {
         # cross-checked bitwise, so ``make bench`` smoke fails on any
         # resident-path divergence.
         "REPRO_RESIDENT_PLANS": "1",
+        # Chunked opaque execution rides the same pass: every merged
+        # chunk-level operator call is checked bitwise against the seed
+        # kernels, so the PR-8 chunk implementations are certified on
+        # every app too.  Every legacy mode pins the flag off (it
+        # defaults to on) so each keeps measuring its own layer.
+        "REPRO_OPAQUE_CHUNKS": "1",
+    },
+    # The opaque gate's two legs: serial single-chunk replay (one chunk
+    # spans the whole launch at point width 1), per-rank vs chunk-level
+    # opaque execution.  Everything else is pinned identical, so the
+    # deterministic opaque-call counters isolate exactly the PR-8
+    # call-collapsing effect.
+    "opaque-off": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "1",
+        "REPRO_POINT_WORKERS": "1",
+        "REPRO_NORMALIZE": "1",
+        "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "0",
+    },
+    "opaque-chunks": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "1",
+        "REPRO_POINT_WORKERS": "1",
+        "REPRO_NORMALIZE": "1",
+        "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "0",
+        "REPRO_OPAQUE_CHUNKS": "1",
     },
 }
 
@@ -414,6 +474,22 @@ RESIDENT_WIRE_DROP_THRESHOLD = 10.0
 #: pass off vs on, asserted on the deterministic profiler counters (full
 #: mode; the smoke configuration's 4-GPU plans sit exactly at 3x).
 SUPERKERNEL_CLOSURE_DROP_THRESHOLD = 3.0
+
+#: Opaque-chunk gate: the two-mat-vec app at 8 ranks runs two opaque
+#: GEMV launches per epoch — 16 per-rank operator calls with chunking
+#: off, 2 chunk-level calls with it on (point width 1, so each launch
+#: collapses to a single merged-row-block GEMV): an 8x drop, asserted
+#: on the deterministic opaque-call counters.  Like the super-kernel
+#: closure gate this is independent of machine load, so the threshold
+#: is enforced in full mode regardless of core count.
+OPAQUE_GATE_APP = "two-matvec"
+OPAQUE_GATE_CONFIG = dict(
+    num_gpus=8, iterations=16, warmup=2, app_kwargs={"rows_per_gpu": 48}
+)
+OPAQUE_GATE_SMOKE_CONFIG = dict(
+    num_gpus=8, iterations=4, warmup=2, app_kwargs={"rows_per_gpu": 32}
+)
+OPAQUE_CALL_DROP_THRESHOLD = 4.0
 
 
 def _host_cpus() -> int:
@@ -737,6 +813,15 @@ def run_harness(
             "checksum": trace.checksum,
             "checksums_equal": all_checksums_equal,
             "differential_check": "passed",
+            # Opaque-operator counters from the differential run (chunked
+            # opaque execution on the process backend): deterministic, and
+            # nonzero only for apps that launch opaque tasks.
+            "opaque_rank_calls": diff_result.opaque_rank_calls,
+            "opaque_chunk_calls": diff_result.opaque_chunk_calls,
+            "opaque_process_chunks": diff_result.opaque_process_chunks,
+            "opaque_calls_per_epoch": round(
+                diff_result.steady_opaque_calls_per_epoch, 3
+            ),
         }
         print(
             f"[{app}] baseline {baseline_seconds:.4f}s  codegen "
@@ -1124,6 +1209,93 @@ def run_harness(
                 flush=True,
             )
 
+    # ------------------------------------------------------------------
+    # Opaque-chunk gate: the PR-8 chunk-level operator calls vs the
+    # per-rank path on the two-GEMV app — the two legs differ only in
+    # ``REPRO_OPAQUE_CHUNKS``.  The call-count drop is asserted on the
+    # deterministic opaque-call counters, so like the super-kernel
+    # closure gate it is enforced in full mode regardless of core count.
+    # ------------------------------------------------------------------
+    opaque_gate_spec = OPAQUE_GATE_SMOKE_CONFIG if smoke else OPAQUE_GATE_CONFIG
+    opaque_gate_report = None
+    if apps is None or OPAQUE_GATE_APP in (apps or []):
+        app = OPAQUE_GATE_APP
+        print(
+            f"[opaque-gate] timing {app} {opaque_gate_spec['app_kwargs']} "
+            f"({opaque_gate_spec['num_gpus']} ranks, per-rank vs chunked "
+            "opaque calls) ...",
+            flush=True,
+        )
+        (
+            gate_perrank_seconds,
+            gate_perrank,
+            gate_chunked_seconds,
+            gate_chunked,
+            opaque_gate_speedup,
+        ) = _measure_pair(
+            app, opaque_gate_spec, "opaque-off", "opaque-chunks", gate_repeats
+        )
+        if gate_perrank.checksum != gate_chunked.checksum:
+            failures.append(
+                f"opaque-gate: checksum mismatch (per-rank "
+                f"{gate_perrank.checksum!r} vs chunked {gate_chunked.checksum!r})"
+            )
+        if gate_chunked.opaque_chunk_calls == 0:
+            failures.append(
+                "opaque-gate: chunked mode never executed a chunk-level "
+                "opaque operator call"
+            )
+        if gate_perrank.opaque_chunk_calls != 0:
+            failures.append(
+                "opaque-gate: per-rank mode executed chunk-level calls "
+                "despite REPRO_OPAQUE_CHUNKS=0"
+            )
+        opaque_call_drop = (
+            gate_perrank.steady_opaque_calls_per_epoch
+            / gate_chunked.steady_opaque_calls_per_epoch
+            if gate_chunked.steady_opaque_calls_per_epoch > 0
+            else float("inf")
+        )
+        opaque_gate_report = {
+            "app": app,
+            "config": {
+                "num_gpus": opaque_gate_spec["num_gpus"],
+                "iterations": opaque_gate_spec["iterations"],
+                "warmup_iterations": opaque_gate_spec["warmup"],
+                **opaque_gate_spec["app_kwargs"],
+            },
+            "per_rank_seconds": round(gate_perrank_seconds, 6),
+            "chunked_seconds": round(gate_chunked_seconds, 6),
+            "chunked_vs_per_rank": round(opaque_gate_speedup, 3),
+            "per_rank_opaque_calls_per_epoch": round(
+                gate_perrank.steady_opaque_calls_per_epoch, 3
+            ),
+            "chunked_opaque_calls_per_epoch": round(
+                gate_chunked.steady_opaque_calls_per_epoch, 3
+            ),
+            "opaque_call_drop": round(opaque_call_drop, 3),
+            "threshold": OPAQUE_CALL_DROP_THRESHOLD,
+            "per_rank_opaque_rank_calls": gate_perrank.opaque_rank_calls,
+            "chunked_opaque_chunk_calls": gate_chunked.opaque_chunk_calls,
+            "checksums_equal": gate_perrank.checksum == gate_chunked.checksum,
+        }
+        print(
+            f"[opaque-gate] per-rank {gate_perrank_seconds:.4f}s  chunked "
+            f"{gate_chunked_seconds:.4f}s ({opaque_gate_speedup:.2f}x, opaque "
+            f"calls/epoch {gate_perrank.steady_opaque_calls_per_epoch:.2f}->"
+            f"{gate_chunked.steady_opaque_calls_per_epoch:.2f} = "
+            f"{opaque_call_drop:.1f}x drop)",
+            flush=True,
+        )
+        if not smoke and opaque_call_drop < OPAQUE_CALL_DROP_THRESHOLD:
+            failures.append(
+                f"opaque-gate: opaque calls per epoch dropped only "
+                f"{opaque_call_drop:.2f}x "
+                f"({gate_perrank.steady_opaque_calls_per_epoch:.2f} "
+                f"-> {gate_chunked.steady_opaque_calls_per_epoch:.2f}), below "
+                f"the {OPAQUE_CALL_DROP_THRESHOLD}x acceptance threshold"
+            )
+
     if not smoke:
         for app, threshold in SPEEDUP_THRESHOLDS.items():
             if app in report and report[app]["speedup"] < threshold:
@@ -1149,6 +1321,7 @@ def run_harness(
         "process_gate": process_gate_report,
         "superkernel_gate": superkernel_gate_report,
         "resident_gate": resident_gate_report,
+        "opaque_gate": opaque_gate_report,
         "failures": failures,
     }
     with open(output, "w") as handle:

@@ -66,8 +66,75 @@ def _transfer_cost(task: IndexTask, point, buffers, machine: MachineConfig) -> f
     return machine.kernel_launch_latency + bytes_moved / machine.gpu_memory_bandwidth
 
 
-register_opaque_task("gmg_restrict", _restrict_execute, _transfer_cost)
-register_opaque_task("gmg_prolong", _prolong_execute, _transfer_cost)
+def _restrict_chunk_execute(bases, rects, scalars):
+    """Injection restriction over a chunk's merged output row span.
+
+    A pure element-wise gather (no reductions), so computing the merged
+    row range in one vectorised expression performs the exact
+    per-element operations of the per-rank calls.
+    """
+    fine, coarse = bases[0], bases[1]
+    fine_n = int(scalars[0])
+    coarse_n = int(scalars[1])
+    for lo, hi in _merged_row_spans(rects[1]):
+        rows = np.arange(lo, hi, dtype=np.int64)
+        ci, cj = np.divmod(rows, coarse_n)
+        coarse[lo:hi] = fine[(2 * ci) * fine_n + 2 * cj]
+    return None
+
+
+def _prolong_chunk_execute(bases, rects, scalars):
+    """Constant prolongation over a chunk's merged output row span."""
+    coarse, fine = bases[0], bases[1]
+    fine_n = int(scalars[0])
+    coarse_n = int(scalars[1])
+    for lo, hi in _merged_row_spans(rects[1]):
+        rows = np.arange(lo, hi, dtype=np.int64)
+        fi, fj = np.divmod(rows, fine_n)
+        ci = np.minimum(fi // 2, coarse_n - 1)
+        cj = np.minimum(fj // 2, coarse_n - 1)
+        fine[lo:hi] = coarse[ci * coarse_n + cj]
+    return None
+
+
+def _merged_row_spans(row_rects):
+    """Coalesce contiguous per-rank ``(lo, hi)`` rects into maximal spans."""
+    spans = []
+    for lo, hi in row_rects:
+        if spans and spans[-1][1] == lo[0]:
+            spans[-1][1] = hi[0]
+        else:
+            spans.append([lo[0], hi[0]])
+    return [(lo, hi) for lo, hi in spans]
+
+
+def _transfer_chunk_cost(bases, rects, scalars, machine: MachineConfig):
+    """Per-rank modelled seconds of a transfer chunk (mirrors ``_transfer_cost``)."""
+    seconds = []
+    for lo, hi in rects[1]:
+        elements = max(0, hi[0] - lo[0])
+        bytes_moved = 2.0 * elements * 8.0
+        seconds.append(
+            machine.kernel_launch_latency
+            + bytes_moved / machine.gpu_memory_bandwidth
+        )
+    return seconds
+
+
+register_opaque_task(
+    "gmg_restrict",
+    _restrict_execute,
+    _transfer_cost,
+    chunk_execute=_restrict_chunk_execute,
+    chunk_cost_seconds=_transfer_chunk_cost,
+)
+register_opaque_task(
+    "gmg_prolong",
+    _prolong_execute,
+    _transfer_cost,
+    chunk_execute=_prolong_chunk_execute,
+    chunk_cost_seconds=_transfer_chunk_cost,
+)
 
 
 @register_application("gmg")

@@ -77,9 +77,11 @@ can flip them between runs in one process:
     zero-copy shared-memory region fields (``repro.runtime.shm``),
     removing the GIL ceiling for interpreter-heavy and small-tile
     kernels.  Buffers and simulated seconds are bit-identical between
-    the two backends for every worker/width combination; opaque
-    launches (whose implementations are arbitrary host callables) always
-    use the thread substrate.
+    the two backends for every worker/width combination.  Opaque
+    launches ship too when their operator is registered with a
+    chunk-level implementation (``REPRO_OPAQUE_CHUNKS``, below); opaque
+    launches without one — and non-shm fields — fall back to the thread
+    substrate.
 
 ``REPRO_SHM_SEGMENT_BYTES``
     Size of each shared-memory segment the region-field arena carves
@@ -111,6 +113,19 @@ can flip them between runs in one process:
     materialisation entirely.  Buffers, simulated seconds and profiler
     accounting are bit-identical to the unfused replay.  ``0`` restores
     step-by-step plan replay.
+
+``REPRO_OPAQUE_CHUNKS``
+    ``1`` (default) executes opaque launches whose operator registers a
+    chunk-level implementation (``repro.runtime.opaque``) with one
+    library call per contiguous rank chunk — a single merged-span GEMV/
+    SpMV/transfer instead of one call per rank — and lets those chunks
+    ship to the worker-process pool and ride resident plans (opaque
+    operators are importable by name, so workers resolve them from
+    their own registry).  Reduction partials and per-rank modelled
+    seconds still fold at the launch join in recorded rank order, so
+    buffers and simulated time are bit-identical to the per-rank path.
+    ``0`` restores the one-call-per-rank execution of every opaque
+    launch.
 """
 
 from __future__ import annotations
@@ -162,6 +177,9 @@ SUPERKERNEL_ENV_VAR = "REPRO_SUPERKERNEL"
 
 #: Environment variable gating plan-resident process replay.
 RESIDENT_PLANS_ENV_VAR = "REPRO_RESIDENT_PLANS"
+
+#: Environment variable gating chunk-level opaque operator execution.
+OPAQUE_CHUNKS_ENV_VAR = "REPRO_OPAQUE_CHUNKS"
 
 #: Upper bound on the default worker count (explicit settings may exceed it).
 MAX_DEFAULT_WORKERS = 8
@@ -375,6 +393,25 @@ def resident_plans_enabled() -> bool:
     return _resident_plans_flag
 
 
+_opaque_chunks_flag: bool | None = None
+
+
+def opaque_chunks_enabled() -> bool:
+    """True unless ``REPRO_OPAQUE_CHUNKS`` disables chunk-level opaque calls.
+
+    On by default; only takes effect for operators registered with a
+    chunk-level implementation.  Memoized like the other flags — call
+    :func:`reload_flags` after changing the variable inside a running
+    process.
+    """
+    global _opaque_chunks_flag
+    if _opaque_chunks_flag is None:
+        _opaque_chunks_flag = os.environ.get(
+            OPAQUE_CHUNKS_ENV_VAR, "1"
+        ).strip().lower() not in ("0", "off", "false")
+    return _opaque_chunks_flag
+
+
 #: Callbacks invoked by :func:`reload_flags` after the memoized flags are
 #: reset.  The worker pools register themselves here so a flag flip
 #: (worker counts, dispatch backend) retires a now-stale pool singleton
@@ -401,9 +438,10 @@ def reload_flags() -> None:
     global _overlap_model_flag, _normalize_flag
     global _point_worker_count, _point_min_ranks
     global _dispatch_backend, _shm_segment_bytes, _superkernel_flag
-    global _resident_plans_flag
+    global _resident_plans_flag, _opaque_chunks_flag
     _superkernel_flag = None
     _resident_plans_flag = None
+    _opaque_chunks_flag = None
     _hotpath_cache_flag = None
     _trace_flag = None
     _worker_count = None

@@ -145,6 +145,15 @@ class RunResult:
     #: Element-wise batching: launches executed as merged chunk calls.
     batched_launches: int = 0
     batched_calls: int = 0
+    #: Opaque-operator call counters (``REPRO_OPAQUE_CHUNKS``):
+    #: per-rank library calls, chunk-level library calls, the subset of
+    #: chunk calls the worker-process pool ran, and the steady per-epoch
+    #: rate of total opaque library calls over the measured iterations —
+    #: the figure the opaque-chunking gate compares.
+    opaque_rank_calls: int = 0
+    opaque_chunk_calls: int = 0
+    opaque_process_chunks: int = 0
+    steady_opaque_calls_per_epoch: float = 0.0
     #: Trace re-records forced by a scalar-equality-pattern flip.
     scalar_pattern_flips: int = 0
     #: Epoch super-kernels (``REPRO_SUPERKERNEL``): fused units built at
@@ -210,6 +219,10 @@ def run_application_experiment(
         warmup_wire_bytes = context.profiler.wire_bytes
         warmup_wire_requests = context.profiler.wire_requests
         warmup_trace_hits = context.profiler.trace_hits
+        warmup_opaque_calls = (
+            context.profiler.opaque_rank_calls
+            + context.profiler.opaque_chunk_calls
+        )
         # Measured iterations.
         application.run(iterations)
         checksum = application.checksum()
@@ -220,6 +233,9 @@ def run_application_experiment(
     steady_epochs = profiler.trace_hits - warmup_trace_hits
     steady_wire_bytes = profiler.wire_bytes - warmup_wire_bytes
     steady_wire_requests = profiler.wire_requests - warmup_wire_requests
+    steady_opaque_calls = (
+        profiler.opaque_rank_calls + profiler.opaque_chunk_calls
+    ) - warmup_opaque_calls
     return RunResult(
         app=app_name,
         configuration=configuration or ("fused" if fusion else "unfused"),
@@ -263,6 +279,12 @@ def run_application_experiment(
         ),
         batched_launches=profiler.batched_launches,
         batched_calls=profiler.batched_calls,
+        opaque_rank_calls=profiler.opaque_rank_calls,
+        opaque_chunk_calls=profiler.opaque_chunk_calls,
+        opaque_process_chunks=profiler.opaque_process_chunks,
+        steady_opaque_calls_per_epoch=(
+            steady_opaque_calls / steady_epochs if steady_epochs else 0.0
+        ),
         scalar_pattern_flips=profiler.scalar_pattern_flips,
         superkernel_fusions=profiler.superkernel_fusions,
         superkernel_fused_steps=profiler.superkernel_fused_steps,

@@ -127,19 +127,15 @@ def _row_plan(indptr: np.ndarray, indices: np.ndarray, row_lo: int, row_hi: int)
     return plan
 
 
-def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray]]):
-    indptr, indices, data, x, y = (buffers[i] for i in range(5))
-    if y is None:
-        return None
-    # The x argument is partitioned by blocks (its halo gather is modelled
-    # analytically in the cost function); the kernel needs the gathered
-    # vector, which in the single-address-space simulator is simply the
-    # view's base array.
-    if x is not None and x.base is not None:
-        x = x.base
-    row_lo, row_hi = _spmv_rows(task, point)
-    if row_hi <= row_lo:
-        return None
+def _spmv_row_block(indptr, indices, data, x, row_lo: int, row_hi: int):
+    """The y values of rows ``[row_lo, row_hi)`` — one merged reduceat.
+
+    ``reduceat`` sums each row's segment sequentially and the products
+    are an element-wise multiply, so the block's per-row sums are
+    bit-identical whether the block covers one rank or a whole chunk of
+    contiguous ranks.  Shared by the per-rank execute and the chunk
+    implementation.
+    """
     if hotpath_cache_enabled():
         lo, hi, cols, offsets, empty_mask, pad_products = _row_plan(
             indptr, indices, row_lo, row_hi
@@ -154,8 +150,7 @@ def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray
             sums = np.zeros(row_hi - row_lo)
         if empty_mask is not None:
             sums = np.where(empty_mask, sums, 0.0)
-        y[...] = sums
-        return None
+        return sums
     starts = indptr[row_lo : row_hi + 1].astype(np.int64)
     lo, hi = starts[0], starts[-1]
     cols = indices[lo:hi].astype(np.int64)
@@ -173,8 +168,23 @@ def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray
     else:
         sums = np.zeros(row_hi - row_lo)
     counts = np.diff(starts)
-    sums = np.where(counts > 0, sums, 0.0)
-    y[...] = sums
+    return np.where(counts > 0, sums, 0.0)
+
+
+def _spmv_execute(task: IndexTask, point, buffers: Dict[int, Optional[np.ndarray]]):
+    indptr, indices, data, x, y = (buffers[i] for i in range(5))
+    if y is None:
+        return None
+    # The x argument is partitioned by blocks (its halo gather is modelled
+    # analytically in the cost function); the kernel needs the gathered
+    # vector, which in the single-address-space simulator is simply the
+    # view's base array.
+    if x is not None and x.base is not None:
+        x = x.base
+    row_lo, row_hi = _spmv_rows(task, point)
+    if row_hi <= row_lo:
+        return None
+    y[...] = _spmv_row_block(indptr, indices, data, x, row_lo, row_hi)
     return None
 
 
@@ -233,7 +243,72 @@ def _spmv_cost_uncached(
     return seconds
 
 
-register_opaque_task("spmv_csr", _spmv_execute, _spmv_cost)
+def _spmv_chunk_execute(bases, rects, scalars):
+    """One SpMV over the merged row span of a contiguous rank chunk.
+
+    The chunk contract hands full base arrays, so x needs no
+    ``.base`` unwrap; the y row span comes from the chunk's y rects
+    (argument 4), merged when the ranks tile contiguously (block
+    partitions always do) and computed per rank otherwise.
+    """
+    indptr, indices, data, x, y = (bases[index] for index in range(5))
+    y_rects = rects[4]
+    if all(
+        y_rects[index][1][0] == y_rects[index + 1][0][0]
+        for index in range(len(y_rects) - 1)
+    ):
+        row_lo, row_hi = y_rects[0][0][0], y_rects[-1][1][0]
+        if row_hi > row_lo:
+            y[row_lo:row_hi] = _spmv_row_block(
+                indptr, indices, data, x, row_lo, row_hi
+            )
+    else:  # pragma: no cover - block partitions are always contiguous
+        for lo, hi in y_rects:
+            if hi[0] > lo[0]:
+                y[lo[0] : hi[0]] = _spmv_row_block(
+                    indptr, indices, data, x, lo[0], hi[0]
+                )
+    return None
+
+
+def _spmv_chunk_cost(bases, rects, scalars, machine: MachineConfig):
+    """Per-rank modelled seconds of an SpMV chunk (mirrors ``_spmv_cost``).
+
+    Reads only the sparsity structure (``indptr`` values, which the
+    chunk never writes) and y's shape, so running after the chunk's
+    execute observes the same state the interleaved per-rank loop does.
+    """
+    indptr = bases[0]
+    total_rows = bases[4].shape[0]
+    index_bytes = float(scalars[0]) if scalars else 8.0
+    seconds = []
+    for lo, hi in rects[4]:
+        row_lo, row_hi = lo[0], hi[0]
+        rows = max(0, row_hi - row_lo)
+        if rows == 0:
+            seconds.append(machine.kernel_launch_latency)
+            continue
+        nnz = float(indptr[row_hi] - indptr[row_lo])
+        bytes_moved = nnz * (8.0 + index_bytes + 8.0) + rows * (index_bytes + 8.0)
+        flops = 2.0 * nnz
+        rank_seconds = machine.kernel_launch_latency + max(
+            bytes_moved / machine.gpu_memory_bandwidth,
+            flops / machine.gpu_peak_flops,
+        )
+        if machine.num_gpus > 1:
+            halo_bytes = min(total_rows, 2 * int(np.sqrt(max(1, total_rows)))) * 8.0
+            rank_seconds += machine.point_to_point_time(halo_bytes)
+        seconds.append(rank_seconds)
+    return seconds
+
+
+register_opaque_task(
+    "spmv_csr",
+    _spmv_execute,
+    _spmv_cost,
+    chunk_execute=_spmv_chunk_execute,
+    chunk_cost_seconds=_spmv_chunk_cost,
+)
 
 
 class csr_matrix:  # noqa: N801 - mirrors the SciPy class name

@@ -44,13 +44,25 @@ Two further dispatch refinements compose with chunking:
   GIL from the chunk compute entirely.  Workers return per-rank
   reduction partials and modelled seconds which fold at the same join
   point, so results are bit-identical to the thread substrate; launches
-  that cannot ship (opaque implementations, non-shm fields) fall back
-  to threads.
+  that cannot ship (non-shm fields, opaque operators without a
+  registered chunk implementation) fall back to threads.
+* **Chunk-level opaque execution** (``REPRO_OPAQUE_CHUNKS``) — an
+  opaque launch whose operator registers a chunk-level implementation
+  (``runtime/opaque.py``) executes with *one library call per rank
+  chunk* over the merged span (a single GEMV over a multi-rank row
+  block) instead of one call per rank.  The chunk contract is
+  pipe-safe — full base arrays, per-rank wire rects and the scalar
+  tuple, no task objects — so the same chunks ship to the process pool
+  (workers resolve the operator from the registry by name) and ride
+  resident plans.  Chunk implementations return per-rank partials and
+  per-rank modelled seconds that fold at the same join point, so
+  buffers and simulated time are bit-identical to the per-rank path.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -63,7 +75,7 @@ from repro.ir.task import IndexTask, StoreArg
 from repro.kernel.compiler import CompiledKernel
 from repro.kernel.lowering import ReductionPartial
 from repro.runtime.machine import MachineConfig
-from repro.runtime.opaque import OpaqueTaskImpl
+from repro.runtime.opaque import OpaqueTaskImpl, default_opaque_registry
 from repro.runtime.pool import (
     contiguous_elementwise_tables,
     dispatch_chunks,
@@ -80,6 +92,9 @@ from repro.runtime.region import RegionManager
 #: so this is a pure performance knob — tests force it to 0 to exercise
 #: the pool on tiny problems.
 MIN_POINT_DISPATCH_VOLUME = 16384
+
+#: Entries the opaque-binding LRU retains (distinct launch geometries).
+OPAQUE_BINDING_MEMO_LIMIT = 1024
 
 
 class TaskExecutor:
@@ -133,8 +148,12 @@ class TaskExecutor:
         #: freely.  The value pins the fields (rect tables are immortal in
         #: ``_rect_table_cache``), so the ids in live keys cannot be
         #: recycled; ``RegionManager.attach`` swaps in a whole new field
-        #: object, which changes the key and forces a rebuild.
-        self._opaque_binding_memo: Dict[Tuple, Tuple[tuple, list]] = {}
+        #: object, which changes the key and forces a rebuild.  A bounded
+        #: LRU (:data:`OPAQUE_BINDING_MEMO_LIMIT`): hits move to the
+        #: recent end, inserts evict at most one stalest entry.
+        self._opaque_binding_memo: "OrderedDict[Tuple, Tuple[tuple, list]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Sub-store geometry.
@@ -221,6 +240,16 @@ class TaskExecutor:
     def _record_elementwise_batch(self, calls: int) -> None:
         if self.profiler is not None:
             self.profiler.record_elementwise_batch(calls)
+
+    def _record_opaque_calls(
+        self, rank_calls: int = 0, chunk_calls: int = 0, process_chunks: int = 0
+    ) -> None:
+        if self.profiler is not None:
+            self.profiler.record_opaque_execution(
+                rank_calls=rank_calls,
+                chunk_calls=chunk_calls,
+                process_chunks=process_chunks,
+            )
 
     # ------------------------------------------------------------------
     # Element-wise batching and process routing.
@@ -657,11 +686,36 @@ class TaskExecutor:
     # ------------------------------------------------------------------
     # Opaque execution.
     # ------------------------------------------------------------------
-    def execute_opaque(self, task: IndexTask, impl: OpaqueTaskImpl) -> float:
+    def execute_opaque(
+        self,
+        task: IndexTask,
+        impl: OpaqueTaskImpl,
+        resident=None,
+        resident_step: Optional[int] = None,
+    ) -> float:
         """Run a task through its opaque implementation; returns kernel seconds."""
-        seconds, reduction_totals = self.execute_opaque_deferred(task, impl)
+        seconds, reduction_totals = self.execute_opaque_deferred(
+            task, impl, resident=resident, resident_step=resident_step
+        )
         self._apply_reductions(task, reduction_totals)
         return seconds
+
+    def prepare_opaque_bindings(self, task: IndexTask):
+        """Resolve an opaque launch's per-argument fields and rect tables.
+
+        One ``(arg index, region field, is_reduction, rect table)`` tuple
+        per argument — the prepared form shared by the per-rank loop, the
+        chunk fast path and the resident-template builder.
+        """
+        return tuple(
+            (
+                index,
+                self.regions.field(arg.store),
+                arg.privilege is Privilege.REDUCE,
+                self._launch_rects(arg, task),
+            )
+            for index, arg in enumerate(task.args)
+        )
 
     def _opaque_binding_rows(self, prepared, num_points: int):
         """The per-rank buffer dicts of an opaque launch, memoized.
@@ -676,6 +730,12 @@ class TaskExecutor:
         )
         cached = self._opaque_binding_memo.get(key)
         if cached is not None:
+            # LRU touch; tolerates concurrent chunk workers racing an
+            # eviction of the same key (the rows were already fetched).
+            try:
+                self._opaque_binding_memo.move_to_end(key)
+            except KeyError:
+                pass
             return cached[1]
         rows = []
         for rank in range(num_points):
@@ -686,21 +746,24 @@ class TaskExecutor:
                 else:
                     buffers[index] = field.view(rect_table[rank][0])
             rows.append(buffers)
-        if len(self._opaque_binding_memo) >= 1024:
-            # FIFO eviction; tolerates concurrent chunk workers racing on
-            # the same launch (both build identical rows, last insert wins).
+        if len(self._opaque_binding_memo) >= OPAQUE_BINDING_MEMO_LIMIT:
+            # Single least-recently-used eviction; tolerates concurrent
+            # chunk workers racing on the same launch (both build
+            # identical rows, last insert wins).
             try:
-                self._opaque_binding_memo.pop(
-                    next(iter(self._opaque_binding_memo)), None
-                )
-            except (StopIteration, RuntimeError):
+                self._opaque_binding_memo.popitem(last=False)
+            except (KeyError, RuntimeError):
                 pass
         fields = tuple(entry[1] for entry in prepared)
         self._opaque_binding_memo[key] = (fields, rows)
         return rows
 
     def execute_opaque_deferred(
-        self, task: IndexTask, impl: OpaqueTaskImpl
+        self,
+        task: IndexTask,
+        impl: OpaqueTaskImpl,
+        resident=None,
+        resident_step: Optional[int] = None,
     ) -> Tuple[float, Dict[int, List[ReductionPartial]]]:
         """Run an opaque task but defer folding its reduction partials.
 
@@ -710,26 +773,85 @@ class TaskExecutor:
         target stores.  Returns ``(kernel seconds, partials per argument
         index)``; :meth:`execute_opaque` is the fold-immediately wrapper
         used by the eager pipeline and the serial replay path.
+
+        With ``REPRO_OPAQUE_CHUNKS`` on and a chunk-level implementation
+        registered, the launch executes with one library call per rank
+        chunk (one call total at dispatch width 1); under the process
+        backend the chunks ship to the worker pool — through the lean
+        resident protocol when the plan scheduler passes this step's
+        ``(resident plan, step index)`` and the workers hold its
+        template.  Every route folds per-rank partials and seconds at
+        the same join point in recorded rank order, so buffers and
+        simulated time are bit-identical to the per-rank loop.
         """
         per_gpu_seconds: Dict[int, float] = {}
         reduction_totals: Dict[int, List[ReductionPartial]] = {}
         num_gpus = max(1, self.machine.num_gpus)
 
         use_caches = self.use_caches
-        prepared = tuple(
-            (
-                index,
-                self.regions.field(arg.store),
-                arg.privilege is Privilege.REDUCE,
-                self._launch_rects(arg, task),
-            )
-            for index, arg in enumerate(task.args)
-        )
+        prepared = self.prepare_opaque_bindings(task)
         points = list(task.launch_domain.points())
         num_points = len(points)
 
         chunks = self.point_chunk_plan(num_points, prepared)
-        if len(chunks) > 1:
+        chunked = (
+            num_points > 1
+            and impl.chunk is not None
+            and config.opaque_chunks_enabled()
+        )
+        if chunked:
+            scalars = tuple(task.scalar_args)
+            results = None
+            dispatch_backend = None
+            if len(chunks) > 1 and config.dispatch_backend() == "process":
+                if resident is not None and resident_step in resident.steps:
+                    results = self._process_chunks_resident_opaque(
+                        resident, resident_step, prepared, scalars, chunks
+                    )
+                if results is None:
+                    results = self._process_chunks_opaque(
+                        impl, prepared, scalars, chunks
+                    )
+                if results is not None:
+                    dispatch_backend = "process"
+            if results is None:
+                if len(chunks) > 1:
+                    results = self._dispatch_chunks(
+                        chunks,
+                        lambda start, stop: self._opaque_chunk_ranks(
+                            impl, prepared, scalars, start, stop
+                        ),
+                    )
+                    dispatch_backend = "thread"
+                else:
+                    # Serial width: one chunk-level library call replaces
+                    # the whole per-rank loop (per-rank seconds still
+                    # accumulate below, so time is unchanged).
+                    results = [
+                        self._opaque_chunk_ranks(
+                            impl, prepared, scalars, 0, num_points
+                        )
+                    ]
+            # Join point: fold partials and per-GPU seconds in recorded
+            # rank order — bit-identical to the per-rank loop.
+            rank = 0
+            for partials_by_rank, seconds_by_rank in results:
+                for partials, seconds in zip(partials_by_rank, seconds_by_rank):
+                    if partials:
+                        for arg_index, partial in partials.items():
+                            reduction_totals.setdefault(arg_index, []).append(partial)
+                    gpu = rank % num_gpus
+                    per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
+                    rank += 1
+            if dispatch_backend is not None:
+                self._record_point_dispatch(
+                    num_points, len(chunks), dispatch_backend
+                )
+            self._record_opaque_calls(
+                chunk_calls=len(results),
+                process_chunks=len(results) if dispatch_backend == "process" else 0,
+            )
+        elif len(chunks) > 1:
             results = self._dispatch_chunks(
                 chunks,
                 lambda start, stop: self._opaque_ranks(
@@ -748,6 +870,7 @@ class TaskExecutor:
                     per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
                     rank += 1
             self._record_point_dispatch(num_points, len(chunks))
+            self._record_opaque_calls(rank_calls=num_points)
         else:
             rows = (
                 self._opaque_binding_rows(prepared, num_points)
@@ -773,6 +896,7 @@ class TaskExecutor:
                 gpu = rank % num_gpus
                 seconds = impl.cost_seconds(task, point, buffers, self.machine)
                 per_gpu_seconds[gpu] = per_gpu_seconds.get(gpu, 0.0) + seconds
+            self._record_opaque_calls(rank_calls=num_points)
 
         kernel_seconds = max(per_gpu_seconds.values()) if per_gpu_seconds else 0.0
         return kernel_seconds, reduction_totals
@@ -816,6 +940,191 @@ class TaskExecutor:
             partials_by_rank.append(impl.execute(task, point, buffers))
             seconds_by_rank.append(impl.cost_seconds(task, point, buffers, machine))
         return partials_by_rank, seconds_by_rank
+
+    def _opaque_chunk_ranks(
+        self,
+        impl: OpaqueTaskImpl,
+        prepared,
+        scalars: tuple,
+        start: int,
+        stop: int,
+    ) -> Tuple[List[Optional[Dict[int, ReductionPartial]]], List[float]]:
+        """Execute ranks ``[start, stop)`` with one chunk-level call.
+
+        Builds the pipe-safe chunk contract (full base arrays + per-rank
+        wire rects) and invokes the operator's chunk implementation once
+        over the whole range.  The chunk cost runs after the execute —
+        sound because registered chunk cost functions never read data the
+        chunk wrote (a registry contract; see ``runtime/opaque.py``).
+        """
+        bases: Dict[int, Optional[np.ndarray]] = {}
+        rects: Dict[int, list] = {}
+        for index, field, is_reduction, rect_table in prepared:
+            bases[index] = None if is_reduction else field.data
+            _table_id, wire = self._wire_chunk_rects(rect_table, start, stop)
+            rects[index] = wire
+        partials = impl.chunk.execute(bases, rects, scalars)
+        seconds = impl.chunk.cost_seconds(bases, rects, scalars, self.machine)
+        if partials is None:
+            partials = [None] * (stop - start)
+        return partials, seconds
+
+    def _process_chunks_opaque(
+        self,
+        impl: OpaqueTaskImpl,
+        prepared,
+        scalars: tuple,
+        chunks: Sequence[Tuple[int, int]],
+    ):
+        """Ship an opaque launch's rank chunks to the worker-process pool.
+
+        Returns per-chunk ``(partials_by_rank, seconds_by_rank)`` results
+        in chunk order, or ``None`` when the launch cannot ship: the
+        operator is not resolvable by name in a worker (hand-built impl
+        with no defining module, or not the registry's instance for its
+        name), or a non-reduction field has no shared-memory descriptor.
+        A broken pool also returns ``None`` — the caller degrades to the
+        thread substrate.
+        """
+        registry = default_opaque_registry()
+        if (
+            impl.module is None
+            or not registry.has(impl.name)
+            or registry.get(impl.name) is not impl
+        ):
+            return None
+        descriptors = []
+        for _index, field, is_reduction, _table in prepared:
+            if is_reduction:
+                descriptors.append(None)
+                continue
+            descriptor = getattr(field, "shm_descriptor", None)
+            if descriptor is None:
+                return None
+            descriptors.append(descriptor)
+
+        from repro.runtime import procpool
+
+        requests = []
+        for start, stop in chunks:
+            buffers = []
+            for entry, descriptor in zip(prepared, descriptors):
+                table_id, wire = self._wire_chunk_rects(entry[3], start, stop)
+                buffers.append((entry[0], entry[2], descriptor, table_id, wire))
+            requests.append(
+                procpool.OpaqueChunkRequest(
+                    op=impl.name,
+                    module=impl.module,
+                    scalars=scalars,
+                    buffers=tuple(buffers),
+                    start=start,
+                    stop=stop,
+                    machine=self.machine,
+                )
+            )
+        pool = procpool.process_pool()
+        wire_bytes, wire_requests = pool.wire_bytes, pool.wire_requests
+        try:
+            return pool.run_opaque_chunks(requests)
+        except procpool.ProcessPoolBrokenError:
+            return None
+        finally:
+            self._record_wire_traffic(pool, wire_bytes, wire_requests)
+
+    def resident_opaque_template(
+        self,
+        impl: OpaqueTaskImpl,
+        prepared,
+        num_points: int,
+        chunks: Sequence[Tuple[int, int]],
+    ):
+        """Build one opaque step's worker-resident template.
+
+        Mirrors :meth:`resident_step_template` for opaque operators: the
+        template names the operator (workers resolve it from their own
+        registry) and carries every argument's full rank-indexed wire
+        rect table plus the baked chunk plan.  Returns ``None`` when the
+        step cannot ship — no chunk implementation, an operator that is
+        not resolvable by name, or a field without a shared-memory
+        descriptor.
+        """
+        registry = default_opaque_registry()
+        if (
+            impl.chunk is None
+            or impl.module is None
+            or not registry.has(impl.name)
+            or registry.get(impl.name) is not impl
+        ):
+            return None
+
+        from repro.runtime import procpool
+
+        buffers = []
+        for index, field, is_reduction, table in prepared:
+            if is_reduction:
+                descriptor = None
+            else:
+                descriptor = getattr(field, "shm_descriptor", None)
+                if descriptor is None:
+                    return None
+            table_id, wire = self._wire_chunk_rects(table, 0, num_points)
+            buffers.append((index, is_reduction, descriptor, table_id, wire))
+        return procpool.OpaqueResidentStep(
+            op=impl.name,
+            module=impl.module,
+            machine=self.machine,
+            buffers=tuple(buffers),
+            chunks=tuple(chunks),
+        )
+
+    def _process_chunks_resident_opaque(
+        self,
+        resident,
+        step_index: int,
+        prepared,
+        scalars: tuple,
+        chunks: Sequence[Tuple[int, int]],
+    ):
+        """Run one resident opaque step's chunks on the worker pool.
+
+        Like :meth:`_process_chunks_resident`, but opaque replay
+        re-computes per-rank seconds worker-side (the machine model rides
+        the template) rather than charging captured seconds parent-side —
+        opaque costs may be data-dependent.  Returns ``None`` when the
+        step cannot ship this epoch (descriptor missing, chunk plan
+        disagreeing with the baked template, non-numeric scalars) or the
+        pool broke; the caller falls back to the per-chunk protocol.
+        """
+        from repro.runtime import procpool
+
+        template = resident.steps[step_index]
+        if not isinstance(template, procpool.OpaqueResidentStep):
+            return None
+        if tuple(chunks) != template.chunks:
+            return None
+        descriptors = []
+        for _index, field, is_reduction, _table in prepared:
+            if is_reduction:
+                descriptors.append(None)
+                continue
+            descriptor = getattr(field, "shm_descriptor", None)
+            if descriptor is None:
+                return None
+            descriptors.append(descriptor)
+        try:
+            values = tuple(float(value) for value in scalars)
+        except (TypeError, ValueError):
+            return None
+        pool = procpool.process_pool()
+        wire_bytes, wire_requests = pool.wire_bytes, pool.wire_requests
+        try:
+            return pool.run_resident_chunks(
+                resident, step_index, values, tuple(descriptors), chunks
+            )
+        except procpool.ProcessPoolBrokenError:
+            return None
+        finally:
+            self._record_wire_traffic(pool, wire_bytes, wire_requests)
 
     def apply_deferred_reductions(
         self, task: IndexTask, totals: Dict[int, List[ReductionPartial]]

@@ -43,6 +43,16 @@ that id on receipt, and the parent ships ``None`` in place of a list a
 worker already holds — identical rect tables cross the pipe once per
 worker, not once per chunk.
 
+Opaque launches (``REPRO_OPAQUE_CHUNKS``) ship as
+:class:`OpaqueChunkRequest` instead: no kernel spec travels — the
+request names a registered operator and its defining module, and the
+worker resolves the implementation from its *own* registry
+(:func:`repro.runtime.opaque.resolve_opaque_impl`; ``fork`` workers
+inherit the parent's populated registry, ``spawn`` workers import the
+module first).  The chunk executes over the same zero-copy
+shared-memory views and returns per-rank partials and per-rank modelled
+seconds like a compiled chunk with a cost model.
+
 Plan-resident replay (``REPRO_RESIDENT_PLANS``)
 -----------------------------------------------
 Replaying a captured :class:`ExecutionPlan` through per-chunk requests
@@ -176,6 +186,35 @@ ChunkResult = Tuple[List[Dict[str, object]], List[float]]
 
 
 @dataclass
+class OpaqueChunkRequest:
+    """One rank chunk of one opaque launch (``REPRO_OPAQUE_CHUNKS``).
+
+    Opaque operators ship no kernel spec: the worker resolves ``op``
+    from its own registry (:func:`repro.runtime.opaque
+    .resolve_opaque_impl`), importing ``module`` first under ``spawn``
+    start methods.  ``buffers`` follows the :class:`ChunkRequest` wire
+    shape with the argument *index* in the name slot, so the table
+    interning and shipped-table filters apply unchanged.  The machine
+    model always rides along — opaque costs may be data-dependent, so
+    workers model per-rank seconds themselves (even under resident
+    replay, unlike compiled steps whose captured seconds are charged
+    parent-side).
+    """
+
+    op: str
+    module: Optional[str]
+    #: The launch's positional ``scalar_args`` tuple.
+    scalars: tuple
+    buffers: Tuple[
+        Tuple[int, bool, Optional[BlockDescriptor], Optional[int], Optional[List[WireRect]]],
+        ...,
+    ]
+    start: int
+    stop: int
+    machine: Optional[object] = None
+
+
+@dataclass
 class ResidentStep:
     """Worker-resident form of one shippable compiled plan step.
 
@@ -214,6 +253,32 @@ class ResidentStep:
 
 
 @dataclass
+class OpaqueResidentStep:
+    """Worker-resident form of one shippable opaque plan step.
+
+    The opaque analogue of :class:`ResidentStep`: instead of a kernel
+    spec it names the operator, which workers resolve from their own
+    registry exactly like :class:`OpaqueChunkRequest`.  Run messages
+    carry the epoch's positional scalar values and the descriptor sync;
+    the worker rebuilds per-chunk requests from its baked rank ranges
+    and models per-rank seconds itself from the embedded machine model.
+    """
+
+    op: str
+    module: Optional[str]
+    machine: object
+    #: ``(arg index, is_reduction, descriptor or None, table id or None,
+    #: full wire rect table or None when the worker interned it)`` —
+    #: descriptors are placeholders, synced per run like compiled steps.
+    buffers: Tuple[
+        Tuple[int, bool, Optional[BlockDescriptor], Optional[int], Optional[List[WireRect]]],
+        ...,
+    ]
+    #: Chunk plan, cut per worker at ship time (see :class:`ResidentStep`).
+    chunks: Tuple[Tuple[int, int], ...] = ()
+
+
+@dataclass
 class ResidentPlan:
     """Parent-side handle of one plan registered for resident replay.
 
@@ -225,8 +290,9 @@ class ResidentPlan:
     plan_id: int
     #: :func:`resident_generation` value the templates were built under.
     generation: int
-    #: Schedule-step index -> template (shippable compiled steps only).
-    steps: Dict[int, ResidentStep]
+    #: Schedule-step index -> template (shippable compiled steps and,
+    #: with ``REPRO_OPAQUE_CHUNKS``, shippable chunked opaque steps).
+    steps: Dict[int, object]  # ResidentStep | OpaqueResidentStep
 
 
 class ProcessPoolBrokenError(RuntimeError):
@@ -414,7 +480,40 @@ def _execute_chunk(
     return partials_by_rank, seconds_by_rank
 
 
-def _intern_request_tables(request: ChunkRequest, tables: Dict[int, list]) -> None:
+def _execute_opaque_chunk(request: OpaqueChunkRequest) -> ChunkResult:
+    """Run one opaque rank chunk inside a worker process.
+
+    Resolves the operator by name from the worker's own registry (the
+    parent only ships operators registered at module import time, so
+    ``spawn`` workers re-create the exact implementation by importing
+    the defining module).  Cost runs after execute, matching the
+    parent-side chunk path — sound because registered chunk cost
+    functions never read chunk-written data.
+    """
+    from repro.runtime.opaque import resolve_opaque_impl
+
+    impl = resolve_opaque_impl(request.op, request.module)
+    if impl.chunk is None:
+        raise RuntimeError(
+            f"opaque operator '{request.op}' has no chunk implementation"
+        )
+    bases: Dict[int, Optional[np.ndarray]] = {}
+    rects_map: Dict[int, List[WireRect]] = {}
+    for index, is_reduction, descriptor, _table_id, rects in request.buffers:
+        bases[index] = None if is_reduction else attach_view(descriptor)
+        rects_map[index] = rects
+    partials = impl.chunk.execute(bases, rects_map, request.scalars)
+    if partials is None:
+        partials = [None] * (request.stop - request.start)
+    seconds = (
+        impl.chunk.cost_seconds(bases, rects_map, request.scalars, request.machine)
+        if request.machine is not None
+        else []
+    )
+    return partials, seconds
+
+
+def _intern_request_tables(request, tables: Dict[int, list]) -> None:
     """Resolve a per-chunk request's interned rect tables in place.
 
     Runs on receipt, *before* execution: a carried rect list is cached
@@ -491,6 +590,32 @@ def _execute_resident(
     if plan is None:
         raise RuntimeError(f"worker holds no resident plan {plan_id}")
     template = plan[step_index]
+    if isinstance(template, OpaqueResidentStep):
+        # Opaque step: rebuild per-chunk requests from the baked rank
+        # ranges; the positional scalar tuple travels as the run values
+        # and per-rank seconds are re-modelled worker-side.
+        opaque_results: List[ChunkResult] = []
+        for start, stop in template.chunks:
+            buffers = tuple(
+                (index, is_reduction, descriptor, None, rects[start:stop])
+                for (index, is_reduction, _old, _table_id, rects), descriptor in zip(
+                    template.buffers, resolved
+                )
+            )
+            opaque_results.append(
+                _execute_opaque_chunk(
+                    OpaqueChunkRequest(
+                        op=template.op,
+                        module=template.module,
+                        scalars=tuple(values),
+                        buffers=buffers,
+                        start=start,
+                        stop=stop,
+                        machine=template.machine,
+                    )
+                )
+            )
+        return opaque_results
     scalars = dict(zip(template.scalar_names, values))
     results: List[ChunkResult] = []
     for start, stop in template.chunks:
@@ -554,6 +679,9 @@ def _worker_main(connection) -> None:
                     reply = _execute_resident(
                         message, plans, executors, descriptors
                     )
+                elif isinstance(message, OpaqueChunkRequest):
+                    _intern_request_tables(message, tables)
+                    reply = _execute_opaque_chunk(message)
                 else:
                     _intern_request_tables(message, tables)
                     reply = _execute_chunk(message, executors)
@@ -727,6 +855,56 @@ class ProcessWorkerPool:
         ) from failure
 
     # ------------------------------------------------------------------
+    def run_opaque_chunks(
+        self, requests: Sequence[OpaqueChunkRequest]
+    ) -> List[ChunkResult]:
+        """Execute opaque chunk requests across the workers, in order.
+
+        Like :meth:`run_chunks`, but with no kernel spec to ship or
+        forget — workers resolve the operator by name from their own
+        registry, so a failed request leaves no half-installed executor
+        state behind.
+        """
+        with self._lock:
+            if self.closed:
+                raise ProcessPoolBrokenError("process pool is closed")
+            try:
+                assignments: List[int] = []
+                for request in requests:
+                    worker = self._next_worker
+                    self._next_worker = (self._next_worker + 1) % self.size
+                    request.buffers = self._filter_shipped_tables(
+                        worker, request.buffers
+                    )
+                    self._send(worker, request)
+                    assignments.append(worker)
+                results: List[ChunkResult] = []
+                for position, worker in enumerate(assignments):
+                    reply = self._connections[worker].recv()
+                    if reply[0] == "err":
+                        _tag, error, worker_traceback = reply
+                        for later in assignments[position + 1 :]:
+                            self._connections[later].recv()
+                        message = (
+                            f"{error} (in process-pool worker)\n"
+                            f"--- worker traceback ---\n{worker_traceback}"
+                        )
+                        try:
+                            raised = type(error)(message)
+                        except Exception:  # pragma: no cover - exotic ctor
+                            raised = RuntimeError(message)
+                        raise raised from error
+                    results.append(reply[1])
+                return results
+            except (EOFError, BrokenPipeError, OSError) as transport_error:
+                self.closed = True
+                failure = transport_error
+        self.shutdown()
+        raise ProcessPoolBrokenError(
+            f"process-pool worker died mid-chunk: {failure!r}"
+        ) from failure
+
+    # ------------------------------------------------------------------
     def _plan_ship_message(self, plan: ResidentPlan, worker: int) -> tuple:
         """Build one worker's copy of a resident-plan ship message.
 
@@ -736,21 +914,31 @@ class ProcessWorkerPool:
         down to the chunks this worker owns (``i % size == worker``), so
         run messages never carry rank ranges.
         """
-        steps: Dict[int, ResidentStep] = {}
+        steps: Dict[int, object] = {}
         for index, template in plan.steps.items():
-            steps[index] = ResidentStep(
-                kernel_id=template.kernel_id,
-                spec=template.spec,
-                buffers=self._filter_shipped_tables(worker, template.buffers),
-                scalar_names=template.scalar_names,
-                elementwise=template.elementwise,
-                modes=template.modes,
-                chunks=tuple(
-                    chunk
-                    for position, chunk in enumerate(template.chunks)
-                    if position % self.size == worker
-                ),
+            worker_chunks = tuple(
+                chunk
+                for position, chunk in enumerate(template.chunks)
+                if position % self.size == worker
             )
+            if isinstance(template, OpaqueResidentStep):
+                steps[index] = OpaqueResidentStep(
+                    op=template.op,
+                    module=template.module,
+                    machine=template.machine,
+                    buffers=self._filter_shipped_tables(worker, template.buffers),
+                    chunks=worker_chunks,
+                )
+            else:
+                steps[index] = ResidentStep(
+                    kernel_id=template.kernel_id,
+                    spec=template.spec,
+                    buffers=self._filter_shipped_tables(worker, template.buffers),
+                    scalar_names=template.scalar_names,
+                    elementwise=template.elementwise,
+                    modes=template.modes,
+                    chunks=worker_chunks,
+                )
         return ("plan", plan.plan_id, steps)
 
     def run_resident_chunks(

@@ -89,6 +89,13 @@ class Profiler:
         #: total merged calls they produced.
         self.batched_launches: int = 0
         self.batched_calls: int = 0
+        #: Opaque-operator execution counters (``REPRO_OPAQUE_CHUNKS``):
+        #: library calls made one-per-rank, library calls made
+        #: one-per-chunk by chunk-level implementations, and how many of
+        #: the chunk calls ran on the worker-process pool.
+        self.opaque_rank_calls: int = 0
+        self.opaque_chunk_calls: int = 0
+        self.opaque_process_chunks: int = 0
         #: Trace epochs whose scalar equality pattern flipped on a known
         #: stream structure, forcing a conservative re-record.
         self.scalar_pattern_flips: int = 0
@@ -215,6 +222,19 @@ class Profiler:
         """Record one element-wise launch executed as merged chunk calls."""
         self.batched_launches += 1
         self.batched_calls += calls
+
+    def record_opaque_execution(
+        self, rank_calls: int = 0, chunk_calls: int = 0, process_chunks: int = 0
+    ) -> None:
+        """Record one opaque launch's library-call counts.
+
+        A launch reports either per-rank calls (chunking off or not
+        applicable) or chunk-level calls; ``process_chunks`` counts the
+        subset of chunk calls executed by worker processes.
+        """
+        self.opaque_rank_calls += rank_calls
+        self.opaque_chunk_calls += chunk_calls
+        self.opaque_process_chunks += process_chunks
 
     def record_scalar_pattern_flip(self) -> None:
         """Record a trace re-record forced by a scalar-pattern flip."""
@@ -375,6 +395,9 @@ class Profiler:
         self.point_process_chunks = 0
         self.batched_launches = 0
         self.batched_calls = 0
+        self.opaque_rank_calls = 0
+        self.opaque_chunk_calls = 0
+        self.opaque_process_chunks = 0
         self.scalar_pattern_flips = 0
         self.superkernel_fusions = 0
         self.superkernel_fused_steps = 0

@@ -741,7 +741,9 @@ class PlanScheduler:
                     if entry.step.elementwise and entry.num_points > 1:
                         profiler.record_elementwise_batch(len(chunks))
                 else:
-                    work = self._opaque_work(entry, slot_stores, tasks)
+                    work = self._opaque_work(
+                        entry, slot_stores, tasks, resident, index
+                    )
                     if index in dispatchable:
                         # Whole-step handoff; the nested-dispatch guard
                         # keeps the executor's point dispatcher serial
@@ -793,9 +795,11 @@ class PlanScheduler:
     ):
         """Register ``plan`` for resident process replay (cached on it).
 
-        Builds a worker-resident template for every compiled step that
-        can both chunk (multi-rank, above the dispatch-volume floor) and
-        ship (all non-reduction fields shared-memory backed), assigns a
+        Builds a worker-resident template for every compiled step — and,
+        with ``REPRO_OPAQUE_CHUNKS``, every chunk-capable opaque step —
+        that can both chunk (multi-rank, above the dispatch-volume
+        floor) and ship (all non-reduction fields shared-memory backed;
+        opaque operators additionally resolvable by name), assigns a
         parent-assigned plan id, and caches the result on the plan.  The
         pool ships the whole template set to each worker at most once;
         :func:`procpool.resident_generation` bumps (descriptor swaps,
@@ -814,11 +818,32 @@ class PlanScheduler:
         templates: Dict[int, object] = {}
         point_width = config.point_worker_count()
         for index, entry in enumerate(schedule.steps):
-            if not entry.compiled or entry.num_points <= 1:
+            if entry.num_points <= 1:
                 continue
             if entry.volume < executor_module.MIN_POINT_DISPATCH_VOLUME:
                 # Never chunked at replay, so never dispatched to the
                 # pool — shipping a template would be dead weight.
+                continue
+            if not entry.compiled:
+                # Opaque step: resident only when the chunk fast path
+                # could route it (flag on, chunk-level implementation
+                # registered); the template builder re-checks name
+                # resolvability and descriptor coverage.
+                if not config.opaque_chunks_enabled():
+                    continue
+                impl = entry.step.impl
+                if getattr(impl, "chunk", None) is None:
+                    continue
+                task = _rebuild_opaque_task(entry.step, slot_stores, tasks)
+                prepared = executor.prepare_opaque_bindings(task)
+                chunks = point_chunks(
+                    entry.num_points, point_width, config.point_min_ranks()
+                )
+                template = executor.resident_opaque_template(
+                    impl, prepared, entry.num_points, chunks
+                )
+                if template is not None:
+                    templates[index] = template
                 continue
             step = entry.step
             prepared = _prepare_compiled_bindings(step, regions, slot_stores)
@@ -898,14 +923,23 @@ class PlanScheduler:
         entry: ScheduledStep,
         slot_stores: Sequence[Store],
         tasks: Sequence[IndexTask],
+        resident=None,
+        index: Optional[int] = None,
     ) -> Callable[[], object]:
-        """Build an opaque step's compute closure on the scheduling thread."""
+        """Build an opaque step's compute closure on the scheduling thread.
+
+        ``resident``/``index`` thread the plan's resident registration
+        through to the executor so a chunked opaque step whose template
+        the workers hold replays over the lean resident protocol.
+        """
         step = entry.step
         task = _rebuild_opaque_task(step, slot_stores, tasks)
         executor = self.runtime.executor
 
         def opaque_work() -> object:
-            seconds, totals = executor.execute_opaque_deferred(task, step.impl)
+            seconds, totals = executor.execute_opaque_deferred(
+                task, step.impl, resident=resident, resident_step=index
+            )
             return (task, seconds, totals)
 
         return opaque_work

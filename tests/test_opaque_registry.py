@@ -1,0 +1,390 @@
+"""Chunk-level opaque operator registry (``REPRO_OPAQUE_CHUNKS``).
+
+Acceptance bar: chunk-level opaque execution is bit-identical to the
+per-rank path — buffers, checksums AND simulated seconds — for every
+``REPRO_DISPATCH_BACKEND`` × ``REPRO_WORKERS`` {1,4} ×
+``REPRO_POINT_WORKERS`` {1,4} combination, asserted under the
+differential kernel backend on apps covering every registered chunk
+implementation (GEMV, SpMV, the multigrid transfers).  Alongside the
+hammer, this file unit-tests the registry/resolve API, the bounded
+opaque-binding LRU, the shippability guards (hand-built and
+chunk-less operators fall back without crossing the pipe), the worker
+pool's unknown-operator error path and the dead-worker degrade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.apps.base import build_application
+from repro.experiments.harness import scaled_machine
+from repro.frontend.cunumeric.array import ndarray as cn_ndarray
+from repro.frontend.legate.context import RuntimeContext, set_context
+from repro.runtime.opaque import (
+    OpaqueTaskImpl,
+    OpaqueTaskRegistry,
+    default_opaque_registry,
+    register_opaque_task,
+    resolve_opaque_impl,
+)
+from repro.runtime.procpool import shutdown_process_pool
+
+
+@pytest.fixture(autouse=True)
+def _reload_flags_after():
+    yield
+    config.reload_flags()
+
+
+@pytest.fixture(autouse=True)
+def _force_dispatch(monkeypatch):
+    """Zero both dispatch thresholds so tiny launches hit the pools."""
+    import repro.runtime.executor as executor_module
+    import repro.runtime.scheduler as scheduler_module
+
+    monkeypatch.setattr(executor_module, "MIN_POINT_DISPATCH_VOLUME", 0)
+    monkeypatch.setattr(scheduler_module, "MIN_DISPATCH_VOLUME", 0)
+
+
+# ----------------------------------------------------------------------
+# The registry and name resolution.
+# ----------------------------------------------------------------------
+def _execute(task, point, buffers):
+    return None
+
+
+def _cost(task, point, buffers, machine):
+    return 0.0
+
+
+def _chunk_execute(bases, rects, scalars):
+    return None
+
+
+def _chunk_cost(bases, rects, scalars, machine):
+    return []
+
+
+class TestRegistry:
+    def test_register_records_chunk_and_module(self):
+        registry = OpaqueTaskRegistry()
+        impl = register_opaque_task(
+            "probe",
+            _execute,
+            _cost,
+            registry=registry,
+            chunk_execute=_chunk_execute,
+            chunk_cost_seconds=_chunk_cost,
+        )
+        assert registry.get("probe") is impl
+        assert impl.chunk is not None
+        assert impl.chunk.execute is _chunk_execute
+        assert impl.module == _execute.__module__
+
+    def test_chunk_requires_both_halves(self):
+        registry = OpaqueTaskRegistry()
+        impl = register_opaque_task(
+            "probe", _execute, _cost, registry=registry, chunk_execute=_chunk_execute
+        )
+        assert impl.chunk is None
+
+    def test_builtin_operators_carry_chunk_impls(self):
+        registry = default_opaque_registry()
+        for name in ("gemv", "spmv_csr", "gmg_restrict", "gmg_prolong"):
+            impl = registry.get(name)
+            assert impl.chunk is not None, name
+            assert impl.module, name
+
+    def test_resolve_known_operator(self):
+        impl = resolve_opaque_impl("gmg_restrict", module="repro.apps.gmg")
+        assert impl is default_opaque_registry().get("gmg_restrict")
+
+    def test_resolve_unknown_operator_raises(self):
+        with pytest.raises(KeyError):
+            resolve_opaque_impl("not-a-registered-operator")
+
+
+# ----------------------------------------------------------------------
+# The bounded opaque-binding LRU (satellite regression).
+# ----------------------------------------------------------------------
+class _StubField:
+    def view(self, rect):
+        return np.zeros(1)
+
+
+class TestBindingMemoLRU:
+    def _executor(self):
+        import repro.runtime.executor as executor_module
+        from repro.runtime.region import RegionManager
+
+        return executor_module.TaskExecutor(RegionManager(), scaled_machine(1, 1e-4))
+
+    def test_eviction_is_bounded_and_least_recent(self, monkeypatch):
+        import repro.runtime.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "OPAQUE_BINDING_MEMO_LIMIT", 4)
+        executor = self._executor()
+        fields = [_StubField() for _ in range(6)]
+        tables = [[(None, 0)] for _ in range(6)]
+        prepared = [((0, fields[i], False, tables[i]),) for i in range(6)]
+
+        rows = [executor._opaque_binding_rows(prepared[i], 1) for i in range(4)]
+        assert len(executor._opaque_binding_memo) == 4
+        # A hit refreshes its entry (and returns the cached rows).
+        assert executor._opaque_binding_rows(prepared[0], 1) is rows[0]
+        # An insert at capacity evicts exactly one entry: the stalest.
+        executor._opaque_binding_rows(prepared[4], 1)
+        assert len(executor._opaque_binding_memo) == 4
+        # The refreshed entry survived the eviction ...
+        assert executor._opaque_binding_rows(prepared[0], 1) is rows[0]
+        # ... and the untouched oldest entry did not (it is rebuilt).
+        assert executor._opaque_binding_rows(prepared[1], 1) is not rows[1]
+        assert len(executor._opaque_binding_memo) == 4
+
+    def test_memo_never_exceeds_limit(self, monkeypatch):
+        import repro.runtime.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "OPAQUE_BINDING_MEMO_LIMIT", 3)
+        executor = self._executor()
+        for _ in range(10):
+            prepared = ((0, _StubField(), False, [(None, 0)]),)
+            executor._opaque_binding_rows(prepared, 1)
+            assert len(executor._opaque_binding_memo) <= 3
+
+
+# ----------------------------------------------------------------------
+# The worker pool's unknown-operator error path.
+# ----------------------------------------------------------------------
+class TestOpaqueChunkProtocol:
+    def test_unknown_operator_raises_and_pool_survives(self, monkeypatch):
+        import repro.runtime.procpool as procpool
+
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        monkeypatch.setenv("REPRO_POINT_WORKERS", "1")
+        config.reload_flags()
+        pool = procpool.ProcessWorkerPool(1)
+        try:
+            request = procpool.OpaqueChunkRequest(
+                op="not-a-registered-operator",
+                module=None,
+                scalars=(),
+                buffers=(),
+                start=0,
+                stop=0,
+                machine=None,
+            )
+            # The worker's error is re-raised type-preserving in the
+            # parent, with the worker traceback appended.
+            with pytest.raises(KeyError, match="not-a-registered-operator"):
+                pool.run_opaque_chunks([request])
+            # The pipe protocol stayed in sync: the worker still answers.
+            with pytest.raises(KeyError, match="not-a-registered-operator"):
+                pool.run_opaque_chunks([request])
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity: chunked vs per-rank, the differential hammer.
+# ----------------------------------------------------------------------
+BACKENDS = ("thread", "process")
+COMBOS = [(1, 1), (4, 1), (1, 4), (4, 4)]
+
+
+def _run_app(
+    app_name, backend, point_workers, workers, chunks, monkeypatch, iterations, **kwargs
+):
+    monkeypatch.setenv("REPRO_DISPATCH_BACKEND", backend)
+    monkeypatch.setenv("REPRO_POINT_WORKERS", str(point_workers))
+    monkeypatch.setenv("REPRO_WORKERS", str(workers))
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "differential")
+    monkeypatch.setenv("REPRO_OPAQUE_CHUNKS", "1" if chunks else "0")
+    config.reload_flags()
+    context = RuntimeContext(num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4))
+    set_context(context)
+    try:
+        app = build_application(app_name, context=context, **kwargs)
+        app.run(iterations)
+        checksum = app.checksum()
+        state = {
+            name: value.to_numpy()
+            for name, value in vars(app).items()
+            if isinstance(value, cn_ndarray)
+        }
+    finally:
+        set_context(None)
+    return context, state, checksum
+
+
+class TestChunkedParity:
+    """Chunked vs per-rank opaque execution across the dispatch matrix.
+
+    The two-mat-vec recurrence (opaque GEMV on a width-2 DAG) and GMG
+    (SpMV plus both multigrid transfer operators interleaved with
+    fusible chains) must be bit-identical — buffers, checksums and
+    simulated seconds — to the per-rank thread/1/1 baseline for every
+    chunked combination, with both kernel backends cross-checked on
+    every invocation by the differential executor.  Together the two
+    apps execute every registered chunk implementation.
+    """
+
+    APPS = [
+        ("two-matvec", dict(rows_per_gpu=16), 5),
+        ("gmg", dict(grid_points_per_gpu=8), 3),
+    ]
+
+    @pytest.mark.parametrize("app_name,kwargs,iterations", APPS, ids=[a[0] for a in APPS])
+    def test_matrix_bit_identical(self, app_name, kwargs, iterations, monkeypatch):
+        ctx_base, state_base, checksum_base = _run_app(
+            app_name, "thread", 1, 1, False, monkeypatch, iterations, **kwargs
+        )
+        assert ctx_base.profiler.opaque_rank_calls > 0
+        assert ctx_base.profiler.opaque_chunk_calls == 0
+        for backend in BACKENDS:
+            for point_workers, workers in COMBOS:
+                ctx, state, checksum = _run_app(
+                    app_name, backend, point_workers, workers,
+                    True, monkeypatch, iterations, **kwargs,
+                )
+                label = f"{backend} point={point_workers} workers={workers}"
+                assert checksum == checksum_base, label
+                assert set(state) == set(state_base), label
+                for name in state_base:
+                    assert np.array_equal(state[name], state_base[name]), (label, name)
+                assert (
+                    ctx.profiler.iteration_seconds()
+                    == ctx_base.profiler.iteration_seconds()
+                ), label
+                assert (
+                    ctx.legion.simulated_seconds == ctx_base.legion.simulated_seconds
+                ), label
+                assert ctx.profiler.opaque_chunk_calls > 0, label
+                if backend == "process" and point_workers > 1:
+                    # Opaque chunks rode the worker-process substrate.
+                    assert ctx.profiler.opaque_process_chunks > 0, label
+        shutdown_process_pool()
+
+
+# ----------------------------------------------------------------------
+# Fallback and degrade regressions.
+# ----------------------------------------------------------------------
+class TestFallbacks:
+    def _swap_gemv(self, replacement):
+        registry = default_opaque_registry()
+        original = registry.get("gemv")
+        registry.register(replacement(original))
+        return registry, original
+
+    def test_unshippable_operator_stays_on_threads(self, monkeypatch):
+        """Hand-built impls (``module=None``) never cross the pipe.
+
+        The executor's shippability guard must keep their chunks on the
+        thread substrate — still chunk-level, still bit-identical —
+        instead of shipping an unresolvable name to the workers.
+        """
+        ctx_base, state_base, checksum_base = _run_app(
+            "two-matvec", "thread", 1, 1, False, monkeypatch, 4, rows_per_gpu=16
+        )
+        registry, original = self._swap_gemv(
+            lambda orig: OpaqueTaskImpl(
+                name=orig.name,
+                execute=orig.execute,
+                cost_seconds=orig.cost_seconds,
+                chunk=orig.chunk,
+                module=None,
+            )
+        )
+        try:
+            ctx, state, checksum = _run_app(
+                "two-matvec", "process", 4, 4, True, monkeypatch, 4, rows_per_gpu=16
+            )
+            assert checksum == checksum_base
+            for name in state_base:
+                assert np.array_equal(state[name], state_base[name]), name
+            assert ctx.profiler.opaque_chunk_calls > 0
+            assert ctx.profiler.opaque_process_chunks == 0
+        finally:
+            registry.register(original)
+        shutdown_process_pool()
+
+    def test_chunkless_operator_falls_back_to_per_rank(self, monkeypatch):
+        """Operators without a chunk impl run the per-rank loop unchanged."""
+        ctx_base, state_base, checksum_base = _run_app(
+            "two-matvec", "thread", 1, 1, False, monkeypatch, 4, rows_per_gpu=16
+        )
+        registry, original = self._swap_gemv(
+            lambda orig: OpaqueTaskImpl(
+                name=orig.name,
+                execute=orig.execute,
+                cost_seconds=orig.cost_seconds,
+                chunk=None,
+                module=orig.module,
+            )
+        )
+        try:
+            ctx, state, checksum = _run_app(
+                "two-matvec", "process", 4, 4, True, monkeypatch, 4, rows_per_gpu=16
+            )
+            assert checksum == checksum_base
+            for name in state_base:
+                assert np.array_equal(state[name], state_base[name]), name
+            assert ctx.profiler.opaque_rank_calls > 0
+            assert ctx.profiler.opaque_chunk_calls == 0
+        finally:
+            registry.register(original)
+        shutdown_process_pool()
+
+    def test_dead_workers_degrade_mid_run(self, monkeypatch):
+        """Killing the pool mid-run degrades gracefully, bit-identically."""
+        import repro.runtime.procpool as procpool
+
+        monkeypatch.setenv("REPRO_DISPATCH_BACKEND", "process")
+        monkeypatch.setenv("REPRO_POINT_WORKERS", "4")
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "differential")
+        monkeypatch.setenv("REPRO_OPAQUE_CHUNKS", "1")
+        config.reload_flags()
+        context = RuntimeContext(num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4))
+        set_context(context)
+        try:
+            app = build_application("two-matvec", context=context, rows_per_gpu=16)
+            app.run(1)
+            pool = procpool.process_pool()
+            for process in pool._processes:
+                process.terminate()
+            for process in pool._processes:
+                process.join(timeout=5.0)
+            # The next dispatch surfaces the broken pool; execution must
+            # degrade (thread chunks or a rebuilt pool) without error and
+            # stay bit-identical to the uninterrupted run.
+            app.run(1)
+            checksum = app.checksum()
+        finally:
+            set_context(None)
+        # Re-run the same split schedule on the thread baseline.
+        monkeypatch.setenv("REPRO_DISPATCH_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_POINT_WORKERS", "1")
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        config.reload_flags()
+        context_base = RuntimeContext(
+            num_gpus=4, fusion=True, machine=scaled_machine(4, 1e-4)
+        )
+        set_context(context_base)
+        try:
+            baseline_app = build_application(
+                "two-matvec", context=context_base, rows_per_gpu=16
+            )
+            baseline_app.run(1)
+            baseline_app.run(1)
+            checksum_base = baseline_app.checksum()
+        finally:
+            set_context(None)
+        assert checksum == checksum_base
+        assert (
+            context.legion.simulated_seconds == context_base.legion.simulated_seconds
+        )
+        shutdown_process_pool()

@@ -416,10 +416,10 @@ class TestProcessParity:
                 ), label
                 if backend == "process" and point_workers > 1:
                     assert ctx.profiler.point_launches > 0, label
-                    if app_name != "jacobi":
-                        # Compiled chunks rode the process substrate
-                        # (Jacobi's GEMV is opaque and stays threaded).
-                        assert ctx.profiler.point_process_chunks > 0, label
+                    # Compiled chunks — and, since the chunk-level
+                    # operator registry, Jacobi's chunked opaque GEMV —
+                    # ride the process substrate.
+                    assert ctx.profiler.point_process_chunks > 0, label
         shutdown_process_pool()
 
     def test_fields_allocated_before_flip_fall_back_to_threads(self, monkeypatch):
