@@ -4,8 +4,9 @@
 Unlike the ``benchmarks/test_*`` suite — which reproduces the paper's
 *simulated* figures — this harness measures the reproduction's own
 **real wall-clock** execution speed, establishing the perf trajectory of
-the repository.  It runs CG, Jacobi and Black-Scholes end-to-end (fusion
-enabled) under five configurations:
+the repository.  It runs CG, Jacobi, Black-Scholes, two-mat-vec, GMG,
+BiCGSTAB, CFD and TorchSWE (natural and manually-vectorised)
+end-to-end (fusion enabled) under these configurations:
 
 ``baseline``
     ``REPRO_KERNEL_BACKEND=interpreter`` + ``REPRO_HOTPATH_CACHE=0`` +
@@ -98,6 +99,18 @@ operator execution on the two-mat-vec GEMV app at 8 ranks — the two
 legs differ only in ``REPRO_OPAQUE_CHUNKS`` — and enforces a >= 4x
 drop in opaque operator calls per steady epoch on the deterministic
 profiler counters (full mode, regardless of core count).
+The wide-dispatch gate (PR-9) runs torchswe-manual — whose three
+independent opaque update operators form width-3 dependence levels —
+on the full stack under both dispatch substrates: the thread leg's
+nested-dispatch guard forces every step of a wide level onto serial
+thread chunks, the process leg ships all in-flight steps' chunks to
+the worker-process pool concurrently.  ``plan_width_max >= 2``, a
+width>=2 entry in the level-width histogram and nonzero
+process-substrate chunk counts are deterministic and enforced in every
+mode; the >= 1.2x paired process-over-thread wall-clock threshold is
+enforced on multi-core hosts in full mode.  The sweep itself also
+fails if a promoted wide app records ``plan_width_max < 2`` in
+scheduler mode (the silent-width blind spot).
 ``--gates-only`` runs just the gate measurements at full scale (the CI
 gate job).
 
@@ -158,6 +171,16 @@ APP_CONFIGS = {
     # implementation end to end.  No perf gate yet: the V-cycle's task
     # mix is too varied for a stable paired ratio at smoke scale.
     "gmg": dict(num_gpus=8, iterations=12, warmup=2, app_kwargs={"grid_points_per_gpu": 16}),
+    # Promoted first-class perf citizens (PR-9): the three remaining
+    # paper apps.  BiCGSTAB is a two-SpMV Krylov chain; CFD interleaves
+    # one opaque stencil with a long fusible pressure/velocity stream;
+    # torchswe-manual's three independent opaque update operators give
+    # the sweep its genuinely *wide* (width-3) dependence levels — the
+    # regime the wide-dispatch gate below measures.
+    "bicgstab": dict(num_gpus=8, iterations=24, warmup=2, app_kwargs={"grid_points_per_gpu": 24}),
+    "cfd": dict(num_gpus=4, iterations=12, warmup=2, app_kwargs={"points_per_gpu": 48, "pressure_iterations": 4}),
+    "torchswe": dict(num_gpus=4, iterations=12, warmup=2, app_kwargs={"points_per_gpu": 48}),
+    "torchswe-manual": dict(num_gpus=4, iterations=12, warmup=2, app_kwargs={"points_per_gpu": 64}),
 }
 
 SMOKE_CONFIGS = {
@@ -166,7 +189,22 @@ SMOKE_CONFIGS = {
     "black-scholes": dict(num_gpus=4, iterations=10, warmup=2, app_kwargs={"elements_per_gpu": 512}),
     "two-matvec": dict(num_gpus=4, iterations=8, warmup=2, app_kwargs={"rows_per_gpu": 32}),
     "gmg": dict(num_gpus=4, iterations=4, warmup=2, app_kwargs={"grid_points_per_gpu": 12}),
+    "bicgstab": dict(num_gpus=4, iterations=6, warmup=2, app_kwargs={"grid_points_per_gpu": 24}),
+    "cfd": dict(num_gpus=4, iterations=4, warmup=2, app_kwargs={"points_per_gpu": 24, "pressure_iterations": 2}),
+    "torchswe": dict(num_gpus=4, iterations=4, warmup=2, app_kwargs={"points_per_gpu": 24}),
+    # The smoke size keeps the interior exactly at the dispatch-volume
+    # floor (64^2 * 4 ranks -> a 128^2 interior = 16384 elements), so
+    # the wide levels still *dispatch* — and therefore still exercise
+    # the process substrate — in CI.
+    "torchswe-manual": dict(num_gpus=4, iterations=4, warmup=2, app_kwargs={"points_per_gpu": 64}),
 }
+
+#: Promoted wide-plan apps whose scheduler-mode run must record
+#: width >= 2 dependence levels (``plan_width_max``): the wide-dispatch
+#: machinery only engages on such levels, so a width-1 record means the
+#: config silently stopped exercising it.  Deterministic (the captured
+#: schedule's shape), so this is enforced in smoke and full mode alike.
+WIDTH_REQUIRED_APPS = ("torchswe-manual",)
 
 MODES = {
     "baseline": {
@@ -298,6 +336,37 @@ MODES = {
         "REPRO_SUPERKERNEL": "0",
         "REPRO_RESIDENT_PLANS": "1",
         "REPRO_OPAQUE_CHUNKS": "0",
+    },
+    # The wide-dispatch gate's two legs (PR-9): the full stack — trace,
+    # scheduler, point dispatch, resident plans, opaque chunks — on the
+    # two dispatch substrates.  Only ``REPRO_DISPATCH_BACKEND`` differs
+    # (resident plans and the wide-level guard lift are no-ops under the
+    # thread backend), so the paired ratio isolates what shipping the
+    # chunks of width>1 levels to the worker-process pool buys over the
+    # serial thread chunks the nested-dispatch guard forces.
+    "wide-thread": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "4",
+        "REPRO_NORMALIZE": "1",
+        "REPRO_DISPATCH_BACKEND": "thread",
+        "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "1",
+        "REPRO_OPAQUE_CHUNKS": "1",
+    },
+    "wide-process": {
+        "REPRO_KERNEL_BACKEND": "codegen",
+        "REPRO_HOTPATH_CACHE": "1",
+        "REPRO_TRACE": "1",
+        "REPRO_WORKERS": "4",
+        "REPRO_POINT_WORKERS": "4",
+        "REPRO_NORMALIZE": "1",
+        "REPRO_DISPATCH_BACKEND": "process",
+        "REPRO_SUPERKERNEL": "0",
+        "REPRO_RESIDENT_PLANS": "1",
+        "REPRO_OPAQUE_CHUNKS": "1",
     },
     # The process gate compares the two dispatch substrates on an
     # interpreter-heavy, small-tile configuration: the tree-walking
@@ -490,6 +559,26 @@ OPAQUE_GATE_SMOKE_CONFIG = dict(
     num_gpus=8, iterations=4, warmup=2, app_kwargs={"rows_per_gpu": 32}
 )
 OPAQUE_CALL_DROP_THRESHOLD = 4.0
+
+#: Wide-dispatch gate (PR-9): torchswe-manual's three independent
+#: opaque Lax-Friedrichs updates form a width-3 dependence level whose
+#: steps each carry a dispatchable rank fan-out.  Under the thread
+#: backend the nested-dispatch guard forces every such step onto serial
+#: thread chunks; under the process backend the lifted guard ships the
+#: chunks of all in-flight steps to the worker-process pool
+#: concurrently over the multiplexed pipe protocol.  The two legs
+#: differ only in ``REPRO_DISPATCH_BACKEND``, so the paired ratio
+#: isolates exactly that.  Width and process-chunk usage are
+#: deterministic counters (enforced everywhere, smoke included); the
+#: wall-clock threshold needs real cores (multi-core hosts, full mode).
+WIDE_GATE_APP = "torchswe-manual"
+WIDE_GATE_CONFIG = dict(
+    num_gpus=4, iterations=12, warmup=2, app_kwargs={"points_per_gpu": 96}
+)
+WIDE_GATE_SMOKE_CONFIG = dict(
+    num_gpus=4, iterations=4, warmup=2, app_kwargs={"points_per_gpu": 64}
+)
+WIDE_SPEEDUP_THRESHOLD = 1.2
 
 
 def _host_cpus() -> int:
@@ -689,6 +778,12 @@ def run_harness(
                 "two-matvec: captured plans never reached width 2 (the wide "
                 "dependence levels the app exists to exercise)"
             )
+        if app in WIDTH_REQUIRED_APPS and scheduler.plan_width_max < 2:
+            failures.append(
+                f"{app}: promoted wide app recorded plan_width_max "
+                f"{scheduler.plan_width_max} < 2 — the wide-dispatch "
+                "machinery was silently unexercised"
+            )
 
         speedup = baseline_seconds / trace_seconds if trace_seconds > 0 else float("inf")
         codegen_speedup = (
@@ -778,6 +873,13 @@ def run_harness(
             "plan_replays": scheduler.plan_replays,
             "plan_width_max": scheduler.plan_width_max,
             "plan_average_width": round(scheduler.plan_average_width, 3),
+            # Level-width histogram of the scheduler-mode run (level step
+            # count -> levels replayed at that width): the silent-width
+            # blind spot this records is what WIDTH_REQUIRED_APPS gates.
+            "plan_level_widths": {
+                str(width): count
+                for width, count in sorted(scheduler.plan_level_widths.items())
+            },
             "worker_utilization": round(scheduler.worker_utilization, 4),
             "point_dispatch_width": point.point_dispatch_width,
             "point_launches": point.point_launches,
@@ -1296,6 +1398,109 @@ def run_harness(
                 f"the {OPAQUE_CALL_DROP_THRESHOLD}x acceptance threshold"
             )
 
+    # ------------------------------------------------------------------
+    # Wide-dispatch gate: the PR-9 wide-level process routing vs the
+    # serial thread chunks the nested-dispatch guard forces — the two
+    # legs differ only in ``REPRO_DISPATCH_BACKEND`` on the full stack
+    # (resident plans + opaque chunks on).  Width and process-substrate
+    # usage are deterministic counters, enforced in smoke and full mode
+    # alike; the paired wall-clock threshold follows the dispatch-gate
+    # rule (multi-core hosts, full mode).
+    # ------------------------------------------------------------------
+    wide_gate_spec = WIDE_GATE_SMOKE_CONFIG if smoke else WIDE_GATE_CONFIG
+    wide_gate_report = None
+    if apps is None or WIDE_GATE_APP in (apps or []):
+        app = WIDE_GATE_APP
+        print(
+            f"[wide-gate] timing {app} {wide_gate_spec['app_kwargs']} "
+            "(width-3 opaque levels, thread chunks vs process pool) ...",
+            flush=True,
+        )
+        (
+            gate_thread_seconds,
+            gate_thread,
+            gate_wide_seconds,
+            gate_wide,
+            wide_gate_speedup,
+        ) = _measure_pair(app, wide_gate_spec, "wide-thread", "wide-process", gate_repeats)
+        if gate_thread.checksum != gate_wide.checksum:
+            failures.append(
+                f"wide-gate: checksum mismatch (thread {gate_thread.checksum!r} "
+                f"vs process {gate_wide.checksum!r})"
+            )
+        if gate_wide.plan_width_max < 2:
+            failures.append(
+                f"wide-gate: plan_width_max {gate_wide.plan_width_max} < 2 — "
+                "the promoted config captured no wide dependence levels"
+            )
+        wide_levels = sum(
+            count
+            for width, count in gate_wide.plan_level_widths.items()
+            if width >= 2
+        )
+        if wide_levels == 0:
+            failures.append(
+                "wide-gate: the level-width histogram recorded no width>=2 "
+                "levels (silent-width blind spot)"
+            )
+        if gate_wide.opaque_process_chunks == 0:
+            failures.append(
+                "wide-gate: the process leg never shipped opaque chunks of "
+                "the wide levels to the worker-process pool"
+            )
+        if gate_wide.point_process_chunks == 0:
+            failures.append(
+                "wide-gate: the process leg recorded zero process-substrate "
+                "point chunks"
+            )
+        enforced = not smoke and host_cpus >= 2
+        wide_gate_report = {
+            "app": app,
+            "config": {
+                "num_gpus": wide_gate_spec["num_gpus"],
+                "iterations": wide_gate_spec["iterations"],
+                "warmup_iterations": wide_gate_spec["warmup"],
+                **wide_gate_spec["app_kwargs"],
+            },
+            "thread_seconds": round(gate_thread_seconds, 6),
+            "process_seconds": round(gate_wide_seconds, 6),
+            "process_vs_thread": round(wide_gate_speedup, 3),
+            "threshold": WIDE_SPEEDUP_THRESHOLD,
+            "host_cpus": host_cpus,
+            "enforced": enforced,
+            "plan_width_max": gate_wide.plan_width_max,
+            "plan_level_widths": {
+                str(width): count
+                for width, count in sorted(gate_wide.plan_level_widths.items())
+            },
+            "wide_levels_replayed": wide_levels,
+            "process_chunks": gate_wide.point_process_chunks,
+            "thread_fallback_chunks": gate_wide.point_thread_chunks,
+            "opaque_process_chunks": gate_wide.opaque_process_chunks,
+            "checksums_equal": gate_thread.checksum == gate_wide.checksum,
+        }
+        print(
+            f"[wide-gate] thread {gate_thread_seconds:.4f}s  process "
+            f"{gate_wide_seconds:.4f}s ({wide_gate_speedup:.2f}x, width "
+            f"{gate_wide.plan_width_max}, {wide_levels} wide levels, "
+            f"{gate_wide.opaque_process_chunks} opaque process chunks, "
+            f"host cpus {host_cpus}, "
+            f"{'enforced' if enforced else 'not enforced'})",
+            flush=True,
+        )
+        if enforced and wide_gate_speedup < WIDE_SPEEDUP_THRESHOLD:
+            failures.append(
+                f"wide-gate: {wide_gate_speedup:.3f}x below the "
+                f"{WIDE_SPEEDUP_THRESHOLD}x acceptance threshold"
+            )
+        elif not smoke and not enforced:
+            print(
+                "[wide-gate] single-core host: wall-clock threshold recorded "
+                "but not enforceable (the width and process-chunk checks "
+                "were still enforced)",
+                flush=True,
+            )
+
     if not smoke:
         for app, threshold in SPEEDUP_THRESHOLDS.items():
             if app in report and report[app]["speedup"] < threshold:
@@ -1322,6 +1527,7 @@ def run_harness(
         "superkernel_gate": superkernel_gate_report,
         "resident_gate": resident_gate_report,
         "opaque_gate": opaque_gate_report,
+        "wide_gate": wide_gate_report,
         "failures": failures,
     }
     with open(output, "w") as handle:

@@ -25,7 +25,98 @@ import numpy as np
 
 import repro.frontend.cunumeric as cn
 from repro.apps.base import Application, register_application
+from repro.frontend.cunumeric.array import ndarray
 from repro.frontend.legate.context import RuntimeContext
+from repro.ir.privilege import Privilege
+from repro.ir.task import IndexTask, StoreArg
+from repro.runtime.machine import MachineConfig
+from repro.runtime.opaque import register_opaque_task
+
+
+# ----------------------------------------------------------------------
+# Opaque pressure-RHS stencil (the paper's "library" task of this app).
+# Argument order: u (Replication, READ), v (Replication, READ), rhs
+# output (natural tiling, WRITE).  Scalars: dx, dy, dt, rho.
+#
+# The operator is *block-invariant*: every output element is a fixed
+# gather of its global 5-point neighbourhood from the replicated inputs,
+# so computing any sub-block — one rank's tile or a chunk's merged tiles
+# — performs the exact per-element float operations of the full-grid
+# expression.  That is what licenses the chunk-level implementation
+# below (``REPRO_OPAQUE_CHUNKS``): one vectorised call per rank tile of
+# the chunk, no reduction partials to fold.
+# ----------------------------------------------------------------------
+def _rhs_block(u, v, out, lo, hi, scalars) -> None:
+    """Write the Poisson RHS for output block ``[lo, hi)`` into ``out``.
+
+    Output index ``(i, j)`` corresponds to interior grid point
+    ``(i + 1, j + 1)`` of the full fields.
+    """
+    dx, dy, dt, rho = scalars
+    r0, c0 = lo[0], lo[1]
+    r1, c1 = hi[0], hi[1]
+    un = u[r0 + 2:r1 + 2, c0 + 1:c1 + 1]
+    us = u[r0:r1, c0 + 1:c1 + 1]
+    ue = u[r0 + 1:r1 + 1, c0 + 2:c1 + 2]
+    uw = u[r0 + 1:r1 + 1, c0:c1]
+    vn = v[r0 + 2:r1 + 2, c0 + 1:c1 + 1]
+    vs = v[r0:r1, c0 + 1:c1 + 1]
+    ve = v[r0 + 1:r1 + 1, c0 + 2:c1 + 2]
+    vw = v[r0 + 1:r1 + 1, c0:c1]
+    dudx = (ue - uw) / (2.0 * dx)
+    dvdy = (vn - vs) / (2.0 * dy)
+    dudy = (un - us) / (2.0 * dy)
+    dvdx = (ve - vw) / (2.0 * dx)
+    out[...] = rho * (
+        (dudx + dvdy) / dt - dudx * dudx - 2.0 * (dudy * dvdx) - dvdy * dvdy
+    )
+
+
+def _rhs_execute(task: IndexTask, point, buffers):
+    u, v, out = buffers[0], buffers[1], buffers[2]
+    if out is None:
+        return None
+    rect = task.args[2].partition.sub_store_rect(point, task.args[2].store.shape)
+    _rhs_block(u, v, out, tuple(rect.lo), tuple(rect.hi), task.scalar_args)
+    return None
+
+
+def _rhs_cost(task: IndexTask, point, buffers, machine: MachineConfig) -> float:
+    out = buffers[2]
+    elements = 0 if out is None else out.size
+    # Eight neighbour gathers plus one write per output element.
+    bytes_moved = 9.0 * elements * 8.0
+    return machine.kernel_launch_latency + bytes_moved / machine.gpu_memory_bandwidth
+
+
+def _rhs_chunk_execute(bases, rects, scalars):
+    """One vectorised stencil call per rank tile of the chunk."""
+    u, v, out = bases[0], bases[1], bases[2]
+    for lo, hi in rects[2]:
+        _rhs_block(u, v, out[lo[0]:hi[0], lo[1]:hi[1]], lo, hi, scalars)
+    return None
+
+
+def _rhs_chunk_cost(bases, rects, scalars, machine: MachineConfig):
+    """Per-rank modelled seconds of an RHS chunk (mirrors ``_rhs_cost``)."""
+    seconds = []
+    for lo, hi in rects[2]:
+        elements = max(0, hi[0] - lo[0]) * max(0, hi[1] - lo[1])
+        bytes_moved = 9.0 * elements * 8.0
+        seconds.append(
+            machine.kernel_launch_latency
+            + bytes_moved / machine.gpu_memory_bandwidth
+        )
+    return seconds
+
+
+register_opaque_task(
+    "cfd_rhs_stencil",
+    _rhs_execute,
+    _rhs_cost,
+    chunk_execute=_rhs_chunk_execute,
+    chunk_cost_seconds=_rhs_chunk_cost,
+)
 
 
 @register_application("cfd")
@@ -71,17 +162,29 @@ class ChannelFlow(Application):
         return center, north, south, east, west
 
     def _build_rhs(self):
-        """The source term of the pressure Poisson equation."""
-        dx, dy, dt, rho = self.dx, self.dy, self.dt, self.rho
-        uc, un, us, ue, uw = self._views(self.u)
-        vc, vn, vs, ve, vw = self._views(self.v)
-        dudx = (ue - uw) / (2.0 * dx)
-        dvdy = (vn - vs) / (2.0 * dy)
-        dudy = (un - us) / (2.0 * dy)
-        dvdx = (ve - vw) / (2.0 * dx)
-        return rho * (
-            (dudx + dvdy) / dt - dudx * dudx - 2.0 * (dudy * dvdx) - dvdy * dvdy
+        """The source term of the pressure Poisson equation.
+
+        Submitted as the opaque ``cfd_rhs_stencil`` library task (the
+        paper's CUDA task variant without an MLIR generator): one gather
+        over the replicated velocity fields into a fresh interior-shaped
+        store.  The rest of the step remains a fusible element-wise
+        stream.
+        """
+        out_store = self.context.create_store(
+            (self.ny - 2, self.nx - 2), name="cfd_rhs"
         )
+        out = ndarray(out_store, context=self.context)
+        self.context.submit(
+            "cfd_rhs_stencil",
+            out.launch_domain(),
+            [
+                StoreArg(self.u.store, self.context.replication(), Privilege.READ),
+                StoreArg(self.v.store, self.context.replication(), Privilege.READ),
+                out.write_arg(),
+            ],
+            scalar_args=(self.dx, self.dy, self.dt, self.rho),
+        )
+        return out
 
     def _pressure_poisson(self, rhs) -> None:
         dx2, dy2 = self.dx * self.dx, self.dy * self.dy

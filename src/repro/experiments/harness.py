@@ -114,6 +114,12 @@ class RunResult:
     plan_width_max: int = 0
     plan_average_width: float = 0.0
     worker_utilization: float = 0.0
+    #: Level-width histogram of every replayed schedule: step count of a
+    #: dependence level -> number of levels replayed at that width.  The
+    #: wide-dispatch machinery only engages on widths >= 2; a promoted
+    #: wide app whose histogram holds only width 1 is silently
+    #: unexercised, which the bench width gate rejects.
+    plan_level_widths: Dict[int, int] = field(default_factory=dict)
     #: Intra-launch point-dispatch counters (zero when
     #: ``REPRO_POINT_WORKERS=1``).
     point_dispatch_width: int = 1
@@ -258,6 +264,7 @@ def run_application_experiment(
         plan_width_max=profiler.plan_width_max,
         plan_average_width=profiler.plan_average_width,
         worker_utilization=profiler.worker_utilization,
+        plan_level_widths=dict(profiler.plan_level_widths),
         point_dispatch_width=repro_config.point_worker_count(),
         point_launches=profiler.point_launches,
         point_chunks=profiler.point_chunks,

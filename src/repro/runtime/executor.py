@@ -202,13 +202,20 @@ class TaskExecutor:
         """Rank chunks of one launch under the point-dispatch config.
 
         A single ``(0, num_points)`` chunk means the serial per-rank
-        loop.  Dispatch is suppressed on pool worker threads (nested
-        dispatch would block the pool on its own queue) and for launches
-        whose total touched volume is below
-        :data:`MIN_POINT_DISPATCH_VOLUME`.
+        loop.  Dispatch is suppressed for launches whose total touched
+        volume is below :data:`MIN_POINT_DISPATCH_VOLUME`, and — under
+        the *thread* backend only — on pool worker threads, where nested
+        dispatch would block the pool on its own queue.  The process
+        substrate cannot deadlock the thread pool (its chunks queue on
+        the worker pipes), so steps running on pool workers still chunk
+        there and ship to the process pool; if a launch then degrades to
+        threads, :meth:`_dispatch_chunks` runs its chunks serially
+        inline instead of re-entering the pool.
         """
         width = config.point_worker_count()
-        if width <= 1 or num_points <= 1 or in_pool_worker():
+        if width <= 1 or num_points <= 1:
+            return [(0, num_points)]
+        if in_pool_worker() and config.dispatch_backend() != "process":
             return [(0, num_points)]
         total = 0
         for entry in prepared:
@@ -223,7 +230,15 @@ class TaskExecutor:
         chunks: Sequence[Tuple[int, int]],
         run: Callable[[int, int], object],
     ) -> List[object]:
-        """Run chunk closures across the shared pool in rank order."""
+        """Run chunk closures across the shared pool in rank order.
+
+        On a pool worker thread (a launch that chunked for the process
+        substrate but degraded to threads) the chunks run serially
+        inline — submitting from a worker back to its own pool could
+        deadlock it.  Results are bit-identical either way.
+        """
+        if in_pool_worker():
+            return [run(start, stop) for start, stop in chunks]
         return dispatch_chunks(worker_pool(), list(chunks), run)
 
     def _record_point_dispatch(
@@ -335,7 +350,7 @@ class TaskExecutor:
                 )
             )
         pool = procpool.process_pool()
-        wire_bytes, wire_requests = pool.wire_bytes, pool.wire_requests
+        pool.begin_call_meter()
         try:
             return pool.run_chunks(kernel_id, spec, requests)
         except procpool.ProcessPoolBrokenError:
@@ -345,17 +360,19 @@ class TaskExecutor:
             # rebuild a fresh pool.
             return None
         finally:
-            self._record_wire_traffic(pool, wire_bytes, wire_requests)
+            self._record_wire_traffic(pool)
 
-    def _record_wire_traffic(
-        self, pool, bytes_before: int, requests_before: int
-    ) -> None:
-        """Report a dispatch's pipe traffic delta to the profiler."""
+    def _record_wire_traffic(self, pool) -> None:
+        """Report a dispatch's pipe traffic to the profiler.
+
+        Reads the pool's thread-local call meter (armed before the
+        dispatch), so concurrent dispatches from several threads — wide
+        levels ship steps to the pool simultaneously — each report
+        exactly their own traffic.
+        """
+        wire_bytes, wire_requests = pool.end_call_meter()
         if self.profiler is not None:
-            self.profiler.record_wire_traffic(
-                pool.wire_bytes - bytes_before,
-                pool.wire_requests - requests_before,
-            )
+            self.profiler.record_wire_traffic(wire_bytes, wire_requests)
 
     def _wire_chunk_rects(self, table, start: int, stop: int) -> Tuple[Optional[int], list]:
         """The pipe form of ranks ``[start, stop)`` of a rect table.
@@ -468,7 +485,7 @@ class TaskExecutor:
             descriptors.append(descriptor)
         values = tuple(scalars[name] for name in template.scalar_names)
         pool = procpool.process_pool()
-        wire_bytes, wire_requests = pool.wire_bytes, pool.wire_requests
+        pool.begin_call_meter()
         try:
             return pool.run_resident_chunks(
                 resident, step_index, values, tuple(descriptors), chunks
@@ -476,7 +493,7 @@ class TaskExecutor:
         except procpool.ProcessPoolBrokenError:
             return None
         finally:
-            self._record_wire_traffic(pool, wire_bytes, wire_requests)
+            self._record_wire_traffic(pool)
 
     # ------------------------------------------------------------------
     # Compiled (KIR) execution.
@@ -1023,13 +1040,13 @@ class TaskExecutor:
                 )
             )
         pool = procpool.process_pool()
-        wire_bytes, wire_requests = pool.wire_bytes, pool.wire_requests
+        pool.begin_call_meter()
         try:
             return pool.run_opaque_chunks(requests)
         except procpool.ProcessPoolBrokenError:
             return None
         finally:
-            self._record_wire_traffic(pool, wire_bytes, wire_requests)
+            self._record_wire_traffic(pool)
 
     def resident_opaque_template(
         self,
@@ -1116,7 +1133,7 @@ class TaskExecutor:
         except (TypeError, ValueError):
             return None
         pool = procpool.process_pool()
-        wire_bytes, wire_requests = pool.wire_bytes, pool.wire_requests
+        pool.begin_call_meter()
         try:
             return pool.run_resident_chunks(
                 resident, step_index, values, tuple(descriptors), chunks
@@ -1124,7 +1141,7 @@ class TaskExecutor:
         except procpool.ProcessPoolBrokenError:
             return None
         finally:
-            self._record_wire_traffic(pool, wire_bytes, wire_requests)
+            self._record_wire_traffic(pool)
 
     def apply_deferred_reductions(
         self, task: IndexTask, totals: Dict[int, List[ReductionPartial]]

@@ -8,9 +8,18 @@ backend only scales when NumPy releases the GIL on large tiles).
 Protocol
 --------
 Each worker owns one duplex pipe and serves requests strictly in FIFO
-order, so the parent can stream several chunk requests to one worker and
-read the replies back in submission order without any reply matching.
-A :class:`ChunkRequest` carries everything a chunk needs:
+order.  Every request carries a parent-assigned **request id** and every
+reply echoes it back: a per-worker reader thread funnels all replies
+into one scheduler-side completion map keyed by request id, so any
+number of dispatching threads can have chunks in flight on the same
+worker pipes concurrently — the wide-level process dispatch of
+``runtime/scheduler.py`` ships several steps of one dependence level at
+once.  Send-side state that *does* depend on FIFO order (the shipped
+kernel/table/plan sets and the descriptor interning below) is mutated
+under a per-worker send lock held across the state update and the
+``send_bytes`` call, so the per-worker send order still matches the
+state both sides agreed on.  A :class:`ChunkRequest` carries everything
+a chunk needs:
 
 * a **kernel spec** — the KIR function, a stripped parameter binding and
   the backend name (``codegen``/``interpreter``/``differential``,
@@ -30,8 +39,9 @@ A :class:`ChunkRequest` carries everything a chunk needs:
   model so the worker returns the per-rank modelled seconds alongside
   the reduction partials.
 
-Replies come back in rank order; the parent folds partials and per-GPU
-seconds at the launch join exactly like the thread backend, so buffers
+Replies are matched by request id and reassembled in rank order; the
+parent folds partials and per-GPU seconds at the launch join exactly
+like the thread backend, so buffers
 and simulated time are bit-identical between ``thread`` and ``process``
 for every ``REPRO_WORKERS`` × ``REPRO_POINT_WORKERS`` combination.
 Exceptions (including ``BackendDivergenceError`` from a differential
@@ -65,9 +75,9 @@ convention of every shippable compiled step — and ships it to each
 worker at most once, keyed by a parent-assigned plan id.  Chunk i of a
 resident step always lands on worker ``i % size``, so each worker's
 rank ranges are baked into its copy of the plan at ship time and never
-travel again.  Every later dispatch sends one lean ``("r", plan id,
-step index, scalar values, descriptor sync)`` message per engaged
-worker and gets the per-chunk results back in one reply; once the sync
+travel again.  Every later dispatch sends one lean ``("r", request id,
+plan id, step index, scalar values, descriptor sync)`` message per
+engaged worker and gets the per-chunk results back in one reply; once the sync
 is all-integer (the steady state) the message travels as a fixed
 binary frame (:func:`_pack_run_message`) a fraction the size of its
 pickled form and byte-stable across Python versions.  Frontends bind
@@ -178,6 +188,9 @@ class ChunkRequest:
     #: with ``buffers`` (``merged`` = one contiguous span view,
     #: ``ranked`` = the chunk's per-rank view list).
     modes: Optional[Tuple[str, ...]] = None
+    #: Parent-assigned request id, echoed back in the reply so the
+    #: completion map can match it to its waiter (filled in by the pool).
+    req_id: int = 0
 
 
 #: Reply payload: per-rank reduction partials and per-rank seconds
@@ -212,6 +225,8 @@ class OpaqueChunkRequest:
     start: int
     stop: int
     machine: Optional[object] = None
+    #: Parent-assigned request id (see :class:`ChunkRequest`).
+    req_id: int = 0
 
 
 @dataclass
@@ -331,7 +346,7 @@ _RUN_FRAME_MAGIC = 0x01
 
 
 def _pack_run_message(
-    plan_id: int, step_index: int, values: tuple, sync: tuple
+    request_id: int, plan_id: int, step_index: int, values: tuple, sync: tuple
 ) -> Optional[bytes]:
     """Binary frame of a steady-state resident run message.
 
@@ -340,11 +355,11 @@ def _pack_run_message(
     a handful of scalars — packing it with :mod:`struct` instead of
     pickle roughly halves the bytes *and* makes the wire-gate counters
     byte-stable across Python versions (pickle framing is not).  Layout:
-    magic u8, plan id u32, step index u16, value count u8 + f64 values,
-    sync count u8 + i16 entries (``-1`` ⇒ ``None``).  Returns ``None``
-    when the message does not fit the frame (a first-sighting descriptor
-    in the sync, a non-float scalar, an id beyond i16) — the caller
-    falls back to the pickled tuple framing.
+    magic u8, request id u32, plan id u32, step index u16, value count
+    u8 + f64 values, sync count u8 + i16 entries (``-1`` ⇒ ``None``).
+    Returns ``None`` when the message does not fit the frame (a
+    first-sighting descriptor in the sync, a non-float scalar, an id
+    beyond i16) — the caller falls back to the pickled tuple framing.
     """
     if len(values) > 255 or len(sync) > 255:
         return None
@@ -361,8 +376,9 @@ def _pack_run_message(
             return None
     try:
         return struct.pack(
-            f"<BIHB{len(values)}dB{len(entries)}h",
+            f"<BIIHB{len(values)}dB{len(entries)}h",
             _RUN_FRAME_MAGIC,
+            request_id,
             plan_id,
             step_index,
             len(values),
@@ -370,21 +386,23 @@ def _pack_run_message(
             len(entries),
             *entries,
         )
-    except struct.error:  # pragma: no cover - plan id beyond u32
+    except struct.error:  # pragma: no cover - id beyond u32
         return None
 
 
 def _unpack_run_message(data: bytes) -> tuple:
     """Decode a binary run frame back to the pickled-tuple shape."""
-    plan_id, step_index, value_count = struct.unpack_from("<IHB", data, 1)
-    offset = 8
+    request_id, plan_id, step_index, value_count = struct.unpack_from(
+        "<IIHB", data, 1
+    )
+    offset = 12
     values = struct.unpack_from(f"<{value_count}d", data, offset)
     offset += 8 * value_count
     (sync_count,) = struct.unpack_from("<B", data, offset)
     offset += 1
     entries = struct.unpack_from(f"<{sync_count}h", data, offset)
     sync = tuple(None if entry == -1 else entry for entry in entries)
-    return ("r", plan_id, step_index, values, sync)
+    return ("r", request_id, plan_id, step_index, values, sync)
 
 
 # ----------------------------------------------------------------------
@@ -575,7 +593,7 @@ def _execute_resident(
     (captured seconds are charged parent-side in recorded order), so
     seconds come back empty.
     """
-    _tag, plan_id, step_index, values, sync = message
+    _tag, _request_id, plan_id, step_index, values, sync = message
     # Intern sync descriptors *before* anything can fail: the parent
     # assigned their ids at send time, so the worker must record them
     # even when the run itself errors, or both sides' id tables desync.
@@ -674,6 +692,10 @@ def _worker_main(connection) -> None:
                 except Exception:  # pragma: no cover - malformed ship
                     pass
                 continue
+            if type(message) is tuple:
+                request_id = message[1]
+            else:
+                request_id = message.req_id
             try:
                 if type(message) is tuple and message[0] == "r":
                     reply = _execute_resident(
@@ -685,14 +707,21 @@ def _worker_main(connection) -> None:
                 else:
                     _intern_request_tables(message, tables)
                     reply = _execute_chunk(message, executors)
-                connection.send(("ok", reply))
+                connection.send(("ok", request_id, reply))
             except BaseException as error:  # noqa: BLE001 - shipped to parent
                 try:
-                    connection.send(("err", error, traceback.format_exc()))
+                    connection.send(
+                        ("err", request_id, error, traceback.format_exc())
+                    )
                 except Exception:
                     # Unpicklable exception: degrade to a plain repr.
                     connection.send(
-                        ("err", RuntimeError(repr(error)), traceback.format_exc())
+                        (
+                            "err",
+                            request_id,
+                            RuntimeError(repr(error)),
+                            traceback.format_exc(),
+                        )
                     )
     finally:
         close_attachments()
@@ -728,11 +757,32 @@ class ProcessWorkerPool:
         self._descriptor_ids: List[Dict[BlockDescriptor, int]] = []
         #: Request traffic actually written to the pipes, measured on the
         #: pickled payloads (``wire_requests`` counts messages).  The
-        #: executor snapshots deltas around each dispatch and reports
-        #: them to the profiler.
+        #: executor brackets each dispatch with a thread-local call meter
+        #: (:meth:`begin_call_meter`/:meth:`end_call_meter`) and reports
+        #: the per-call figures to the profiler — concurrent dispatches
+        #: would double-count under the old snapshot-delta scheme.
         self.wire_bytes = 0
         self.wire_requests = 0
+        #: Guards teardown only; request traffic no longer serialises on
+        #: a whole-cycle lock (see the per-worker send locks below).
         self._lock = threading.Lock()
+        self._meter_lock = threading.Lock()
+        self._assign_lock = threading.Lock()
+        #: One lock per worker pipe, held across every (per-worker state
+        #: mutation, ``send_bytes``) pair: the shipped kernel/table/plan
+        #: sets and the descriptor interning assume the worker receives
+        #: messages in exactly the order the parent mutated its
+        #: bookkeeping, so state update and send must be atomic per pipe.
+        self._send_locks: List[threading.Lock] = []
+        #: Completion map: request id -> raw reply tuple.  Per-worker
+        #: reader threads fill it; dispatching threads wait on the
+        #: condition until their ids resolve.  Also guards request-id
+        #: allocation and the ``closed`` flag's broken-pool transitions.
+        self._done = threading.Condition()
+        self._completions: Dict[int, tuple] = {}
+        self._next_request_id = 0
+        self._local = threading.local()
+        self._readers: List[threading.Thread] = []
         self._next_worker = 0
         self.closed = False
         self._torn_down = False
@@ -749,6 +799,140 @@ class ProcessWorkerPool:
             self._tables_shipped.append(set())
             self._plans_shipped.append(set())
             self._descriptor_ids.append({})
+            self._send_locks.append(threading.Lock())
+        # Readers start only after every fork: forking with reader
+        # threads already running risks cloning a held lock into a child.
+        for worker in range(self.size):
+            reader = threading.Thread(
+                target=self._drain_replies,
+                args=(self._connections[worker],),
+                daemon=True,
+                name=f"procpool-reader-{worker}",
+            )
+            reader.start()
+            self._readers.append(reader)
+
+    # ------------------------------------------------------------------
+    # Reply plumbing: reader threads and the completion map.
+    # ------------------------------------------------------------------
+    def _drain_replies(self, connection) -> None:
+        """Funnel one worker's replies into the shared completion map.
+
+        Runs for the pool's lifetime on a daemon thread.  Transport
+        failure (EOF from a dead worker, a closed connection at
+        teardown) ends the loop; outside an orderly shutdown it marks
+        the pool broken and wakes every waiter so in-flight dispatches
+        raise :class:`ProcessPoolBrokenError` instead of blocking.
+        """
+        while True:
+            try:
+                reply = connection.recv()
+            except (EOFError, OSError):
+                break
+            except Exception:  # pragma: no cover - undecodable reply
+                break
+            with self._done:
+                self._completions[reply[1]] = reply
+                self._done.notify_all()
+        with self._done:
+            if not self._torn_down:
+                self.closed = True
+            self._done.notify_all()
+
+    def _new_request_id(self) -> int:
+        """A fresh pool-lifetime request id (u32-packable, never reused)."""
+        with self._done:
+            self._next_request_id += 1
+            return self._next_request_id
+
+    def _assign_worker(self) -> int:
+        """Next round-robin worker index (thread-safe)."""
+        with self._assign_lock:
+            worker = self._next_worker
+            self._next_worker = (worker + 1) % self.size
+            return worker
+
+    def _collect(self, request_ids: Sequence[int]) -> List[tuple]:
+        """Wait until every id resolves; replies in ``request_ids`` order.
+
+        Raises :class:`ProcessPoolBrokenError` (after dropping this
+        call's entries) when the pool breaks with ids still outstanding
+        — a reply whose request died with its worker will never come.
+        """
+        with self._done:
+            while True:
+                if all(rid in self._completions for rid in request_ids):
+                    return [self._completions.pop(rid) for rid in request_ids]
+                if self.closed:
+                    for rid in request_ids:
+                        self._completions.pop(rid, None)
+                    raise ProcessPoolBrokenError(
+                        "process-pool worker died mid-chunk (transport closed)"
+                    )
+                self._done.wait()
+
+    def _transport_failed(self, failure: BaseException) -> None:
+        """Send-side transport error: break the pool and raise."""
+        with self._done:
+            self.closed = True
+            self._done.notify_all()
+        self.shutdown()
+        raise ProcessPoolBrokenError(
+            f"process-pool worker died mid-chunk: {failure!r}"
+        ) from failure
+
+    def _unwrap(
+        self,
+        replies: Sequence[tuple],
+        kernel_id: Optional[int] = None,
+        assignments: Sequence[int] = (),
+    ) -> List[ChunkResult]:
+        """Extract payloads, re-raising the first worker error in order."""
+        for reply in replies:
+            if reply[0] == "err":
+                _tag, _request_id, error, worker_traceback = reply
+                if kernel_id is not None:
+                    # The failing worker's executor install may not have
+                    # landed: forget the kernel on every assigned worker
+                    # so the next dispatch re-ships the spec (harmless
+                    # when the install did land — workers consult a spec
+                    # only when they hold no executor for the id).
+                    for assigned in set(assignments):
+                        self._shipped[assigned].discard(kernel_id)
+                message = (
+                    f"{error} (in process-pool worker)\n"
+                    f"--- worker traceback ---\n{worker_traceback}"
+                )
+                try:
+                    raised = type(error)(message)
+                except Exception:  # pragma: no cover - exotic ctor
+                    raised = RuntimeError(message)
+                raise raised from error
+        return [reply[2] for reply in replies]
+
+    # ------------------------------------------------------------------
+    # Wire metering.
+    # ------------------------------------------------------------------
+    def _meter(self, nbytes: int) -> None:
+        with self._meter_lock:
+            self.wire_bytes += nbytes
+            self.wire_requests += 1
+        counters = getattr(self._local, "counters", None)
+        if counters is not None:
+            counters[0] += nbytes
+            counters[1] += 1
+
+    def begin_call_meter(self) -> None:
+        """Start metering this thread's wire traffic (one dispatch)."""
+        self._local.counters = [0, 0]
+
+    def end_call_meter(self) -> Tuple[int, int]:
+        """Stop metering; returns this thread's ``(bytes, requests)``."""
+        counters = getattr(self._local, "counters", None)
+        self._local.counters = None
+        if counters is None:
+            return 0, 0
+        return counters[0], counters[1]
 
     def _send(self, worker: int, message) -> None:
         """Pickle, meter and write one request message to a worker.
@@ -756,16 +940,15 @@ class ProcessWorkerPool:
         ``Connection.send(obj)`` is ``send_bytes(ForkingPickler.dumps
         (obj))``; doing the two halves explicitly makes the measured
         byte count the exact serialized payload with no double pickling.
+        Callers hold the worker's send lock.
         """
         payload = ForkingPickler.dumps(message)
-        self.wire_bytes += len(payload)
-        self.wire_requests += 1
+        self._meter(len(payload))
         self._connections[worker].send_bytes(payload)
 
     def _send_raw(self, worker: int, payload: bytes) -> None:
         """Meter and write one pre-framed (non-pickle) request payload."""
-        self.wire_bytes += len(payload)
-        self.wire_requests += 1
+        self._meter(len(payload))
         self._connections[worker].send_bytes(payload)
 
     def _filter_shipped_tables(self, worker: int, buffers: tuple) -> tuple:
@@ -793,19 +976,21 @@ class ProcessWorkerPool:
         """Execute chunk requests across the workers, results in order.
 
         Requests are assigned round-robin, all sent before any reply is
-        awaited (workers overlap), and replies are collected in request
-        order so join-point folds see rank order exactly like the thread
-        backend.  Serialised with a lock: chunks are dispatched from the
-        scheduling thread only, the lock just makes misuse safe.
+        awaited (workers overlap), and replies are matched by request id
+        and returned in request order so join-point folds see rank order
+        exactly like the thread backend.  Concurrency-safe: any number
+        of threads may dispatch simultaneously — sends serialise per
+        worker pipe, replies resolve through the completion map.
         """
-        with self._lock:
-            if self.closed:
-                raise ProcessPoolBrokenError("process pool is closed")
-            try:
-                assignments: List[int] = []
-                for request in requests:
-                    worker = self._next_worker
-                    self._next_worker = (self._next_worker + 1) % self.size
+        if self.closed:
+            raise ProcessPoolBrokenError("process pool is closed")
+        assignments: List[int] = []
+        request_ids: List[int] = []
+        try:
+            for request in requests:
+                worker = self._assign_worker()
+                with self._send_locks[worker]:
+                    request.req_id = self._new_request_id()
                     request.spec = (
                         spec if kernel_id not in self._shipped[worker] else None
                     )
@@ -814,45 +999,19 @@ class ProcessWorkerPool:
                         worker, request.buffers
                     )
                     self._send(worker, request)
-                    assignments.append(worker)
-                results: List[ChunkResult] = []
-                # Per-worker FIFO: replies of one worker come back in the
-                # order its requests were sent, so reading in assignment
-                # order is reading in request order.
-                for position, worker in enumerate(assignments):
-                    reply = self._connections[worker].recv()
-                    if reply[0] == "err":
-                        _tag, error, worker_traceback = reply
-                        # Drain the remaining replies so the pipes stay
-                        # in sync, and forget the kernel on every
-                        # assigned worker (its executor install may not
-                        # have landed).
-                        for later in assignments[position + 1 :]:
-                            self._connections[later].recv()
-                        for assigned in assignments:
-                            self._shipped[assigned].discard(kernel_id)
-                        message = (
-                            f"{error} (in process-pool worker)\n"
-                            f"--- worker traceback ---\n{worker_traceback}"
-                        )
-                        try:
-                            raised = type(error)(message)
-                        except Exception:  # pragma: no cover - exotic ctor
-                            raised = RuntimeError(message)
-                        raise raised from error
-                    results.append(reply[1])
-                return results
-            except (EOFError, BrokenPipeError, OSError) as transport_error:
-                # A worker died mid-chunk (OOM kill, segfault): the pipe
-                # protocol is out of sync and the chunk's fate unknown.
-                # Mark the pool dead so callers fall back to threads and
-                # the next launch rebuilds a fresh pool.
-                self.closed = True
-                failure = transport_error
-        self.shutdown()
-        raise ProcessPoolBrokenError(
-            f"process-pool worker died mid-chunk: {failure!r}"
-        ) from failure
+                assignments.append(worker)
+                request_ids.append(request.req_id)
+        except (EOFError, BrokenPipeError, OSError) as transport_error:
+            # A worker died mid-chunk (OOM kill, segfault): the chunk's
+            # fate is unknown.  Mark the pool dead so callers fall back
+            # to threads and the next launch rebuilds a fresh pool.
+            self._transport_failed(transport_error)
+        try:
+            replies = self._collect(request_ids)
+        except ProcessPoolBrokenError:
+            self.shutdown()
+            raise
+        return self._unwrap(replies, kernel_id, assignments)
 
     # ------------------------------------------------------------------
     def run_opaque_chunks(
@@ -865,44 +1024,27 @@ class ProcessWorkerPool:
         registry, so a failed request leaves no half-installed executor
         state behind.
         """
-        with self._lock:
-            if self.closed:
-                raise ProcessPoolBrokenError("process pool is closed")
-            try:
-                assignments: List[int] = []
-                for request in requests:
-                    worker = self._next_worker
-                    self._next_worker = (self._next_worker + 1) % self.size
+        if self.closed:
+            raise ProcessPoolBrokenError("process pool is closed")
+        request_ids: List[int] = []
+        try:
+            for request in requests:
+                worker = self._assign_worker()
+                with self._send_locks[worker]:
+                    request.req_id = self._new_request_id()
                     request.buffers = self._filter_shipped_tables(
                         worker, request.buffers
                     )
                     self._send(worker, request)
-                    assignments.append(worker)
-                results: List[ChunkResult] = []
-                for position, worker in enumerate(assignments):
-                    reply = self._connections[worker].recv()
-                    if reply[0] == "err":
-                        _tag, error, worker_traceback = reply
-                        for later in assignments[position + 1 :]:
-                            self._connections[later].recv()
-                        message = (
-                            f"{error} (in process-pool worker)\n"
-                            f"--- worker traceback ---\n{worker_traceback}"
-                        )
-                        try:
-                            raised = type(error)(message)
-                        except Exception:  # pragma: no cover - exotic ctor
-                            raised = RuntimeError(message)
-                        raise raised from error
-                    results.append(reply[1])
-                return results
-            except (EOFError, BrokenPipeError, OSError) as transport_error:
-                self.closed = True
-                failure = transport_error
-        self.shutdown()
-        raise ProcessPoolBrokenError(
-            f"process-pool worker died mid-chunk: {failure!r}"
-        ) from failure
+                request_ids.append(request.req_id)
+        except (EOFError, BrokenPipeError, OSError) as transport_error:
+            self._transport_failed(transport_error)
+        try:
+            replies = self._collect(request_ids)
+        except ProcessPoolBrokenError:
+            self.shutdown()
+            raise
+        return self._unwrap(replies)
 
     # ------------------------------------------------------------------
     def _plan_ship_message(self, plan: ResidentPlan, worker: int) -> tuple:
@@ -967,16 +1109,25 @@ class ProcessWorkerPool:
         rides as a small int id.  Arena offsets cycle through a bounded
         set in steady replay, so the table saturates after a few epochs
         and the steady run message is a few dozen bytes.
+
+        Concurrency-safe like :meth:`run_chunks`: plan shipping and
+        descriptor interning happen under the worker's send lock (their
+        id assignment relies on per-pipe send order), and replies are
+        matched by request id.  Unlike per-chunk kernel ships, a worker
+        error forgets nothing: templates re-carry their spec on every
+        run, so a failed executor install simply retries from the
+        resident template next time.
         """
-        with self._lock:
-            if self.closed:
-                raise ProcessPoolBrokenError("process pool is closed")
-            try:
-                order: List[int] = [
-                    position % self.size for position in range(len(chunks))
-                ]
-                engaged = sorted(set(order))
-                for worker in engaged:
+        if self.closed:
+            raise ProcessPoolBrokenError("process pool is closed")
+        order: List[int] = [
+            position % self.size for position in range(len(chunks))
+        ]
+        engaged = sorted(set(order))
+        request_ids: List[int] = []
+        try:
+            for worker in engaged:
+                with self._send_locks[worker]:
                     if plan.plan_id not in self._plans_shipped[worker]:
                         self._send(worker, self._plan_ship_message(plan, worker))
                         self._plans_shipped[worker].add(plan.plan_id)
@@ -992,59 +1143,54 @@ class ProcessWorkerPool:
                             sync.append(descriptor)
                         else:
                             sync.append(known)
+                    request_id = self._new_request_id()
                     packed = _pack_run_message(
-                        plan.plan_id, step_index, values, tuple(sync)
+                        request_id, plan.plan_id, step_index, values, tuple(sync)
                     )
                     if packed is not None:
                         self._send_raw(worker, packed)
                     else:
                         self._send(
                             worker,
-                            ("r", plan.plan_id, step_index, values, tuple(sync)),
+                            (
+                                "r",
+                                request_id,
+                                plan.plan_id,
+                                step_index,
+                                values,
+                                tuple(sync),
+                            ),
                         )
-                replies: Dict[int, List[ChunkResult]] = {}
-                for position, worker in enumerate(engaged):
-                    reply = self._connections[worker].recv()
-                    if reply[0] == "err":
-                        _tag, error, worker_traceback = reply
-                        for later in engaged[position + 1 :]:
-                            self._connections[later].recv()
-                        # Unlike per-chunk kernel ships, nothing needs
-                        # forgetting: templates re-carry their spec on
-                        # every run, so a failed executor install simply
-                        # retries from the resident template next time.
-                        message = (
-                            f"{error} (in process-pool worker)\n"
-                            f"--- worker traceback ---\n{worker_traceback}"
-                        )
-                        try:
-                            raised = type(error)(message)
-                        except Exception:  # pragma: no cover - exotic ctor
-                            raised = RuntimeError(message)
-                        raise raised from error
-                    replies[worker] = list(reply[1])
-                results: List[ChunkResult] = []
-                for worker in order:
-                    results.append(replies[worker].pop(0))
-                return results
-            except (EOFError, BrokenPipeError, OSError) as transport_error:
-                self.closed = True
-                failure = transport_error
-        self.shutdown()
-        raise ProcessPoolBrokenError(
-            f"process-pool worker died mid-chunk: {failure!r}"
-        ) from failure
+                request_ids.append(request_id)
+        except (EOFError, BrokenPipeError, OSError) as transport_error:
+            self._transport_failed(transport_error)
+        try:
+            replies = self._collect(request_ids)
+        except ProcessPoolBrokenError:
+            self.shutdown()
+            raise
+        chunk_lists = self._unwrap(replies)
+        per_worker: Dict[int, List[ChunkResult]] = {
+            worker: list(result) for worker, result in zip(engaged, chunk_lists)
+        }
+        return [per_worker[worker].pop(0) for worker in order]
 
     def shutdown(self) -> None:
-        """Stop every worker (idempotent)."""
+        """Stop every worker and reader thread (idempotent)."""
         with self._lock:
             if self._torn_down:
                 return
-            self._torn_down = True
-            self.closed = True
-            for connection in self._connections:
+            with self._done:
+                # Waiters must not block on replies that will never
+                # come; ``closed`` before the sentinels means any
+                # dispatch racing the teardown raises broken.
+                self._torn_down = True
+                self.closed = True
+                self._done.notify_all()
+            for worker, connection in enumerate(self._connections):
                 try:
-                    connection.send(None)
+                    with self._send_locks[worker]:
+                        connection.send(None)
                 except (BrokenPipeError, OSError):
                     pass
             for process in self._processes:
@@ -1057,6 +1203,10 @@ class ProcessWorkerPool:
                     connection.close()
                 except OSError:  # pragma: no cover
                     pass
+            for reader in self._readers:
+                if reader is not threading.current_thread():
+                    reader.join(timeout=1.0)
+            self._readers = []
             self._connections = []
             self._processes = []
             self._shipped = []

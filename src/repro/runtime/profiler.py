@@ -10,8 +10,9 @@ throughput numbers of every weak-scaling figure.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -69,6 +70,13 @@ class Profiler:
         self.plan_levels: int = 0
         self.plan_width_max: int = 0
         self.plan_dispatched_steps: int = 0
+        #: Level-width histogram over every scheduled replay: width
+        #: (steps per dependence level) -> number of levels executed at
+        #: that width.  The long tail of this histogram is the paper's
+        #: wide-stencil story; a flagship app whose histogram never
+        #: leaves ``{1: n}`` is running the scheduler's horizontal
+        #: parallelism machinery without ever exercising it.
+        self.plan_level_widths: Dict[int, int] = {}
         #: Intra-launch point-dispatch counters: launches whose per-rank
         #: point tasks were chunked across the worker pool, the total
         #: chunks and ranks they covered, the widest single launch, and
@@ -116,6 +124,13 @@ class Profiler:
         self.wire_bytes: int = 0
         self.wire_requests: int = 0
         self._current_iteration: Optional[IterationRecord] = None
+        #: Serialises the counter updates that can arrive from pool
+        #: worker threads (point dispatch, opaque calls, wire traffic):
+        #: wide levels dispatch steps concurrently, and unsynchronised
+        #: ``+=`` would drop increments and de-determinise the counter
+        #: gates.  Integer sums are order-independent, so locked updates
+        #: keep every counter deterministic for any interleaving.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Iteration markers (driven by the applications).
@@ -191,13 +206,24 @@ class Profiler:
         levels: int,
         width: int,
         dispatched: int,
+        level_widths: Sequence[int] = (),
     ) -> None:
-        """Record one plan replay executed by the dependence scheduler."""
+        """Record one plan replay executed by the dependence scheduler.
+
+        ``level_widths`` lists the step count of every dependence level
+        of the replayed schedule, in level order; it accumulates into
+        :attr:`plan_level_widths` so runs can report not just the widest
+        level ever seen but the full width distribution.
+        """
         self.plan_replays += 1
         self.plan_steps += steps
         self.plan_levels += levels
         self.plan_width_max = max(self.plan_width_max, width)
         self.plan_dispatched_steps += dispatched
+        for level_width in level_widths:
+            self.plan_level_widths[level_width] = (
+                self.plan_level_widths.get(level_width, 0) + 1
+            )
 
     def record_point_dispatch(
         self, ranks: int, chunks: int, width: int, backend: str = "thread"
@@ -206,22 +232,25 @@ class Profiler:
 
         ``backend`` names the dispatch substrate that ran the chunks
         (``thread`` or ``process``), so runs report how much of the
-        point-parallel work each substrate carried.
+        point-parallel work each substrate carried.  Thread-safe: wide
+        levels report from concurrent pool worker threads.
         """
-        self.point_launches += 1
-        self.point_chunks += chunks
-        self.point_ranks += ranks
-        self.point_width_max = max(self.point_width_max, chunks)
-        self.point_width_budget += max(1, width)
-        if backend == "process":
-            self.point_process_chunks += chunks
-        else:
-            self.point_thread_chunks += chunks
+        with self._lock:
+            self.point_launches += 1
+            self.point_chunks += chunks
+            self.point_ranks += ranks
+            self.point_width_max = max(self.point_width_max, chunks)
+            self.point_width_budget += max(1, width)
+            if backend == "process":
+                self.point_process_chunks += chunks
+            else:
+                self.point_thread_chunks += chunks
 
     def record_elementwise_batch(self, calls: int) -> None:
         """Record one element-wise launch executed as merged chunk calls."""
-        self.batched_launches += 1
-        self.batched_calls += calls
+        with self._lock:
+            self.batched_launches += 1
+            self.batched_calls += calls
 
     def record_opaque_execution(
         self, rank_calls: int = 0, chunk_calls: int = 0, process_chunks: int = 0
@@ -230,11 +259,13 @@ class Profiler:
 
         A launch reports either per-rank calls (chunking off or not
         applicable) or chunk-level calls; ``process_chunks`` counts the
-        subset of chunk calls executed by worker processes.
+        subset of chunk calls executed by worker processes.  Thread-safe
+        like :meth:`record_point_dispatch`.
         """
-        self.opaque_rank_calls += rank_calls
-        self.opaque_chunk_calls += chunk_calls
-        self.opaque_process_chunks += process_chunks
+        with self._lock:
+            self.opaque_rank_calls += rank_calls
+            self.opaque_chunk_calls += chunk_calls
+            self.opaque_process_chunks += process_chunks
 
     def record_scalar_pattern_flip(self) -> None:
         """Record a trace re-record forced by a scalar-pattern flip."""
@@ -254,9 +285,14 @@ class Profiler:
         self.replay_closure_calls += calls
 
     def record_wire_traffic(self, bytes_sent: int, requests: int) -> None:
-        """Record pickled bytes / messages sent to the worker-process pool."""
-        self.wire_bytes += bytes_sent
-        self.wire_requests += requests
+        """Record pickled bytes / messages sent to the worker-process pool.
+
+        Thread-safe: concurrent wide-level dispatches report their own
+        (call-metered) traffic from pool worker threads.
+        """
+        with self._lock:
+            self.wire_bytes += bytes_sent
+            self.wire_requests += requests
 
     @property
     def wire_bytes_per_epoch(self) -> float:
@@ -386,6 +422,7 @@ class Profiler:
         self.plan_levels = 0
         self.plan_width_max = 0
         self.plan_dispatched_steps = 0
+        self.plan_level_widths.clear()
         self.point_launches = 0
         self.point_chunks = 0
         self.point_ranks = 0

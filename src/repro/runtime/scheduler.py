@@ -39,8 +39,22 @@ oversubscribe the pool.  Chunk results are concatenated in rank order at
 the step's join, so buffers and simulated seconds stay bit-identical for
 every ``REPRO_POINT_WORKERS`` × ``REPRO_WORKERS`` combination.  Opaque
 steps point-dispatch inside :meth:`TaskExecutor.execute_opaque_deferred`
-when they execute inline; when handed to a pool worker the nested-
-dispatch guard (``runtime/pool.py``) keeps them serial.
+when they execute inline; when handed to a pool worker under the
+*thread* backend the nested-dispatch guard (``runtime/pool.py``) keeps
+them serial.
+
+Under ``REPRO_DISPATCH_BACKEND=process`` the guard is lifted: a step
+dispatched into a wide level still chunks at its step width, and its
+chunks ship to the worker-*process* pool from the pool worker thread —
+the process substrate queues on per-worker pipes and cannot deadlock
+the thread pool.  Several in-flight steps of one level multiplex their
+chunk requests over the same pipes concurrently (parent-assigned
+request ids; see ``runtime/procpool.py``), which is where wide plans
+earn their speedup: every rank chunk of every step of the level runs
+GIL-free at once.  A step that cannot ship (non-shm fields, broken
+pool) degrades to running its chunks serially inline on its worker
+thread — never back onto the thread pool — so results stay
+bit-identical in every degradation.
 
 Under ``REPRO_DISPATCH_BACKEND=process`` with ``REPRO_RESIDENT_PLANS=1``
 (the default) the scheduler additionally registers each replayed plan
@@ -580,6 +594,7 @@ class PlanScheduler:
                 levels=schedule.level_count,
                 width=schedule.width,
                 dispatched=0,
+                level_widths=tuple(len(level) for level in schedule.levels),
             )
             _execute_plan_serial(plan, engine, slot_stores, tasks)
             return
@@ -674,20 +689,92 @@ class PlanScheduler:
                     # by value or a worker could run a *later* step's
                     # runner over this step's rank range.
                     if index in dispatchable:
-                        futures = [
-                            submit_guarded(
-                                pool, lambda s=start, e=stop, rc=run_chunk: rc(s, e)
-                            )
-                            for start, stop in chunks
-                        ]
-                        pending.append((index, futures, _merge_chunk_totals))
-                        dispatched += 1
-                        if len(chunks) > 1:
-                            profiler.record_point_dispatch(
+                        if len(chunks) > 1 and config.dispatch_backend() == "process":
+                            # Wide-level process routing: one future per
+                            # step.  The worker thread ships the step's
+                            # rank chunks to the worker-process pool —
+                            # over the resident protocol when the
+                            # workers hold this step's template — so
+                            # several steps of the level keep chunks in
+                            # flight concurrently on the multiplexed
+                            # pipes.  An unshippable step runs its
+                            # chunks serially inline on its worker
+                            # thread, never back onto the thread pool.
+                            def process_step(
+                                idx=index,
+                                step=entry.step,
+                                prepared=prepared,
+                                scalars=scalars,
+                                step_chunks=chunks,
+                                rc=run_chunk,
+                            ):
+                                proc_results = None
+                                if resident is not None and idx in resident.steps:
+                                    proc_results = executor._process_chunks_resident(
+                                        resident, idx, prepared, scalars, step_chunks
+                                    )
+                                if proc_results is None:
+                                    proc_results = executor._process_chunks_compiled(
+                                        step.kernel,
+                                        prepared,
+                                        scalars,
+                                        step_chunks,
+                                        step.elementwise,
+                                        with_cost=False,
+                                    )
+                                if proc_results is not None:
+                                    return (
+                                        "process",
+                                        _merge_process_totals(step, proc_results),
+                                    )
+                                return (
+                                    "thread",
+                                    _merge_chunk_totals(
+                                        [rc(s, e) for s, e in step_chunks]
+                                    ),
+                                )
+
+                            def assemble_process(
+                                replies,
                                 ranks=entry.num_points,
-                                chunks=len(chunks),
-                                width=width,
+                                chunk_count=len(chunks),
+                                step_point_width=width,
+                            ):
+                                backend, totals = replies[0]
+                                # Recorded at the join on the scheduling
+                                # thread, with the substrate the step
+                                # actually took.
+                                profiler.record_point_dispatch(
+                                    ranks=ranks,
+                                    chunks=chunk_count,
+                                    width=step_point_width,
+                                    backend=backend,
+                                )
+                                return totals
+
+                            pending.append(
+                                (
+                                    index,
+                                    [submit_guarded(pool, process_step)],
+                                    assemble_process,
+                                )
                             )
+                        else:
+                            futures = [
+                                submit_guarded(
+                                    pool,
+                                    lambda s=start, e=stop, rc=run_chunk: rc(s, e),
+                                )
+                                for start, stop in chunks
+                            ]
+                            pending.append((index, futures, _merge_chunk_totals))
+                            if len(chunks) > 1:
+                                profiler.record_point_dispatch(
+                                    ranks=entry.num_points,
+                                    chunks=len(chunks),
+                                    width=width,
+                                )
+                        dispatched += 1
                     elif len(chunks) > 1 and pool is not None:
                         totals = None
                         chunk_backend = "thread"
@@ -745,9 +832,13 @@ class PlanScheduler:
                         entry, slot_stores, tasks, resident, index
                     )
                     if index in dispatchable:
-                        # Whole-step handoff; the nested-dispatch guard
-                        # keeps the executor's point dispatcher serial
-                        # on the worker.
+                        # Whole-step handoff.  Under the thread backend
+                        # the nested-dispatch guard keeps the executor's
+                        # point dispatcher serial on the worker; under
+                        # the process backend the step still chunks at
+                        # its width and ships to the worker-process pool
+                        # from the worker thread (thread degradation
+                        # runs the chunks serially inline there).
                         pending.append(
                             (index, [submit_guarded(pool, work)], lambda rs: rs[0])
                         )
@@ -783,6 +874,7 @@ class PlanScheduler:
             levels=schedule.level_count,
             width=schedule.width,
             dispatched=dispatched,
+            level_widths=tuple(len(level) for level in schedule.levels),
         )
 
     def _ensure_resident_plan(
@@ -800,7 +892,13 @@ class PlanScheduler:
         that can both chunk (multi-rank, above the dispatch-volume
         floor) and ship (all non-reduction fields shared-memory backed;
         opaque operators additionally resolvable by name), assigns a
-        parent-assigned plan id, and caches the result on the plan.  The
+        parent-assigned plan id, and caches the result on the plan.
+        Compiled templates bake the chunk plan of the width their
+        dispatch site will use — including the partial step width of
+        steps dispatched into wide levels — so wide levels ride the
+        fixed binary resident frame instead of degrading to the
+        per-chunk protocol; opaque templates bake the full point width
+        (``point_chunk_plan`` chunks them at full width on the worker).  The
         pool ships the whole template set to each worker at most once;
         :func:`procpool.resident_generation` bumps (descriptor swaps,
         store releases, flag reloads) retire the cache so the next
@@ -817,6 +915,38 @@ class PlanScheduler:
         executor = self.runtime.executor
         templates: Dict[int, object] = {}
         point_width = config.point_worker_count()
+        pool_size = shared_pool_size()
+        workers = config.worker_count()
+        # Replicate the dispatch site's per-level width computation (the
+        # same deterministic inputs: schedule shape, volumes, flags) so
+        # every compiled template bakes the exact chunk plan its
+        # dispatch will use — dispatched steps of wide levels chunk at
+        # the level's step width, inline steps at the full point width,
+        # inline-beside-dispatched steps at width 1 (those never
+        # process-route, so they get no template).  The dispatch site
+        # still degrades to the per-chunk protocol if its chunks ever
+        # disagree with the baked plan.
+        widths: Dict[int, int] = {}
+        for level in schedule.levels:
+            dispatchable = set()
+            if pool_size > 1 and workers > 1 and len(level) > 1:
+                dispatchable = {
+                    i
+                    for i in level
+                    if schedule.steps[i].volume >= MIN_DISPATCH_VOLUME
+                }
+            step_width = point_width
+            if dispatchable:
+                step_width = max(
+                    1, min(point_width, pool_size // len(dispatchable))
+                )
+            for i in level:
+                if i in dispatchable:
+                    widths[i] = step_width
+                elif not dispatchable:
+                    widths[i] = point_width
+                else:
+                    widths[i] = 1
         for index, entry in enumerate(schedule.steps):
             if entry.num_points <= 1:
                 continue
@@ -845,16 +975,21 @@ class PlanScheduler:
                 if template is not None:
                     templates[index] = template
                 continue
+            width = widths.get(index, point_width)
+            if width <= 1:
+                # Inline-beside-dispatched steps run serially (width 1)
+                # and never reach the process pool — no template.
+                continue
             step = entry.step
             prepared = _prepare_compiled_bindings(step, regions, slot_stores)
             scalar_names = tuple(name for name, _index in step.scalar_order or ())
-            # The chunk plan the resident dispatch will use: resident
-            # routing only happens on inline steps owning the full point
-            # width, so this mirrors ``_compiled_point_work`` with
-            # ``width=point_width`` exactly.  The dispatch site degrades
-            # to the per-chunk protocol if its chunks ever disagree.
+            # The chunk plan the resident dispatch will use: this
+            # mirrors ``_compiled_point_work`` with the same width the
+            # dispatch site computes for this step — the full point
+            # width for inline steps, the level's step width for steps
+            # dispatched into wide levels.
             chunks = point_chunks(
-                entry.num_points, point_width, config.point_min_ranks()
+                entry.num_points, width, config.point_min_ranks()
             )
             template = executor.resident_step_template(
                 step.kernel,

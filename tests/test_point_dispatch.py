@@ -335,13 +335,19 @@ class TestSerialRegression:
         assert executor.point_chunk_plan(8, ()) == [(0, 8)]
 
     def test_nested_dispatch_is_suppressed(self, monkeypatch):
-        """Pool workers never re-dispatch (the deadlock guard)."""
+        """Thread-backend pool workers never re-chunk (the deadlock guard).
+
+        The guard applies to the thread substrate only; the process
+        backend lifts it (see tests/test_wide_dispatch.py) because
+        process chunks cannot deadlock the thread pool.
+        """
         from repro.runtime.executor import TaskExecutor
         from repro.runtime.machine import MachineConfig
         from repro.runtime.pool import submit_guarded, worker_pool
         from repro.runtime.region import RegionManager
 
         monkeypatch.setenv("REPRO_POINT_WORKERS", "4")
+        monkeypatch.setenv("REPRO_DISPATCH_BACKEND", "thread")
         config.reload_flags()
         executor = TaskExecutor(RegionManager(), MachineConfig(num_gpus=4))
         # On the caller thread the plan chunks...

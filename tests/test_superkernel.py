@@ -213,6 +213,9 @@ def _run_chain(monkeypatch, superkernel, iterations=6):
     monkeypatch.setenv("REPRO_WORKERS", "1")
     monkeypatch.setenv("REPRO_POINT_WORKERS", "1")
     monkeypatch.setenv("REPRO_TRACE", "1")
+    # Folding rides the hot-path capture; pin the cache flag so the
+    # seed-path CI leg (REPRO_HOTPATH_CACHE=0) doesn't leak in.
+    monkeypatch.setenv("REPRO_HOTPATH_CACHE", "1")
     monkeypatch.setenv("REPRO_KERNEL_BACKEND", "codegen")
     config.reload_flags()
     context = RuntimeContext(
