@@ -661,11 +661,54 @@ def _measure_pair(app: str, spec: dict, mode_a: str, mode_b: str, repeats: int):
     )
 
 
+#: The run every ``--trace-out`` export uses: a short steady-replay CG
+#: configuration, big enough that capture, replay, scheduling, point
+#: dispatch and (on the process modes) the wire protocol all appear in
+#: the exported timeline.
+TRACE_EXPORT_CONFIG = dict(
+    num_gpus=8, iterations=12, warmup=2, app_kwargs={"grid_points_per_gpu": 24}
+)
+TRACE_EXPORT_SMOKE_CONFIG = dict(
+    num_gpus=4, iterations=6, warmup=2, app_kwargs={"grid_points_per_gpu": 16}
+)
+
+
+def _export_traces(trace_dir: str, smoke: bool) -> List[str]:
+    """One Perfetto-loadable Chrome trace per mode in ``trace_dir``.
+
+    Each mode's environment is applied as in the timed sweeps, with the
+    telemetry flight recorder armed on top; the ring is reset between
+    modes so every file covers exactly one CG run.
+    """
+    from repro.runtime import telemetry
+
+    os.makedirs(trace_dir, exist_ok=True)
+    spec = TRACE_EXPORT_SMOKE_CONFIG if smoke else TRACE_EXPORT_CONFIG
+    written: List[str] = []
+    for mode in MODES:
+        _set_mode(mode)
+        os.environ["REPRO_TELEMETRY"] = "1"
+        config.reload_flags()
+        telemetry.reset()
+        _run_once("cg", spec)
+        path = os.path.join(trace_dir, f"{mode}.trace.json")
+        trace = telemetry.write_chrome_trace(path)
+        written.append(path)
+        print(
+            f"[trace] wrote {path} ({len(trace['traceEvents'])} events)",
+            flush=True,
+        )
+    os.environ["REPRO_TELEMETRY"] = "0"
+    config.reload_flags()
+    return written
+
+
 def run_harness(
     smoke: bool,
     output: str,
     apps: Optional[List[str]] = None,
     gates_only: bool = False,
+    trace_out: Optional[str] = None,
 ) -> int:
     configs = SMOKE_CONFIGS if smoke else APP_CONFIGS
     if apps:
@@ -1509,6 +1552,10 @@ def run_harness(
                     f"{threshold}x acceptance threshold"
                 )
 
+    trace_files: List[str] = []
+    if trace_out:
+        trace_files = _export_traces(trace_out, smoke)
+
     payload = {
         "benchmark": (
             "wall-clock: seed interpreter vs codegen JIT vs trace replay "
@@ -1528,6 +1575,7 @@ def run_harness(
         "resident_gate": resident_gate_report,
         "opaque_gate": opaque_gate_report,
         "wide_gate": wide_gate_report,
+        "trace_files": trace_files,
         "failures": failures,
     }
     with open(output, "w") as handle:
@@ -1569,12 +1617,22 @@ def main() -> int:
             "on multi-core hosts"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "additionally export one Perfetto-loadable Chrome trace per "
+            "mode (a short CG run with REPRO_TELEMETRY=1) into DIR"
+        ),
+    )
     args = parser.parse_args()
     return run_harness(
         smoke=args.smoke and not args.gates_only,
         output=os.path.abspath(args.output),
         apps=args.apps,
         gates_only=args.gates_only,
+        trace_out=args.trace_out,
     )
 
 

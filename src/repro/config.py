@@ -126,6 +126,23 @@ can flip them between runs in one process:
     buffers and simulated time are bit-identical to the per-rank path.
     ``0`` restores the one-call-per-rank execution of every opaque
     launch.
+
+``REPRO_TELEMETRY``
+    ``1`` enables the span/event flight recorder
+    (``repro.runtime.telemetry``): epoch capture/replay, scheduler
+    levels and steps, point chunks, super-kernel and opaque chunk
+    calls, wire traffic and shared-memory arena activity are recorded
+    as begin/end spans into a preallocated ring buffer, exportable as
+    Chrome trace-event JSON (``python -m repro.tools.tracedump``).
+    Process-pool workers record into their own recorder and ship spans
+    back piggybacked on reply frames.  ``0`` (default) leaves every
+    instrumentation site on a module-level no-op fast path; buffers and
+    simulated seconds are bit-identical either way.
+
+``REPRO_TELEMETRY_EVENTS``
+    Capacity (number of events) of the telemetry ring buffer (default
+    65536).  When a run records more events than fit, the oldest are
+    overwritten and the export reports the drop count.
 """
 
 from __future__ import annotations
@@ -180,6 +197,15 @@ RESIDENT_PLANS_ENV_VAR = "REPRO_RESIDENT_PLANS"
 
 #: Environment variable gating chunk-level opaque operator execution.
 OPAQUE_CHUNKS_ENV_VAR = "REPRO_OPAQUE_CHUNKS"
+
+#: Environment variable gating the span/event flight recorder.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+#: Environment variable sizing the telemetry ring buffer (events).
+TELEMETRY_EVENTS_ENV_VAR = "REPRO_TELEMETRY_EVENTS"
+
+#: Default telemetry ring-buffer capacity (events).
+DEFAULT_TELEMETRY_EVENTS = 65536
 
 #: Upper bound on the default worker count (explicit settings may exceed it).
 MAX_DEFAULT_WORKERS = 8
@@ -412,6 +438,47 @@ def opaque_chunks_enabled() -> bool:
     return _opaque_chunks_flag
 
 
+_telemetry_flag: bool | None = None
+
+
+def telemetry_enabled() -> bool:
+    """True when ``REPRO_TELEMETRY`` enables the span flight recorder.
+
+    Off by default — the instrumentation sites then reduce to one
+    module-global read in ``repro.runtime.telemetry``.  Memoized like
+    the other flags — call :func:`reload_flags` after changing the
+    variable inside a running process.
+    """
+    global _telemetry_flag
+    if _telemetry_flag is None:
+        _telemetry_flag = os.environ.get(
+            TELEMETRY_ENV_VAR, "0"
+        ).strip().lower() in ("1", "on", "true")
+    return _telemetry_flag
+
+
+_telemetry_events: int | None = None
+
+
+def telemetry_event_capacity() -> int:
+    """Telemetry ring-buffer capacity (``REPRO_TELEMETRY_EVENTS``).
+
+    Junk or non-positive values degrade to the default; a floor of 16
+    keeps the ring usable for at least a handful of nested spans.
+    """
+    global _telemetry_events
+    if _telemetry_events is None:
+        raw = os.environ.get(TELEMETRY_EVENTS_ENV_VAR, "").strip()
+        try:
+            value = int(raw) if raw else DEFAULT_TELEMETRY_EVENTS
+        except ValueError:
+            value = DEFAULT_TELEMETRY_EVENTS
+        if value <= 0:
+            value = DEFAULT_TELEMETRY_EVENTS
+        _telemetry_events = max(16, value)
+    return _telemetry_events
+
+
 #: Callbacks invoked by :func:`reload_flags` after the memoized flags are
 #: reset.  The worker pools register themselves here so a flag flip
 #: (worker counts, dispatch backend) retires a now-stale pool singleton
@@ -439,6 +506,9 @@ def reload_flags() -> None:
     global _point_worker_count, _point_min_ranks
     global _dispatch_backend, _shm_segment_bytes, _superkernel_flag
     global _resident_plans_flag, _opaque_chunks_flag
+    global _telemetry_flag, _telemetry_events
+    _telemetry_flag = None
+    _telemetry_events = None
     _superkernel_flag = None
     _resident_plans_flag = None
     _opaque_chunks_flag = None

@@ -74,6 +74,7 @@ from repro.ir.privilege import Privilege, ReductionOp, numpy_ufunc_for
 from repro.ir.task import IndexTask, StoreArg
 from repro.kernel.compiler import CompiledKernel
 from repro.kernel.lowering import ReductionPartial
+from repro.runtime import telemetry
 from repro.runtime.machine import MachineConfig
 from repro.runtime.opaque import OpaqueTaskImpl, default_opaque_registry
 from repro.runtime.pool import (
@@ -237,6 +238,13 @@ class TaskExecutor:
         inline — submitting from a worker back to its own pool could
         deadlock it.  Results are bit-identical either way.
         """
+        if telemetry.enabled():
+            inner = run
+
+            def run(start: int, stop: int, _inner=inner):
+                with telemetry.span("point.chunk", f"ranks=[{start}:{stop})"):
+                    return _inner(start, stop)
+
         if in_pool_worker():
             return [run(start, stop) for start, stop in chunks]
         return dispatch_chunks(worker_pool(), list(chunks), run)
@@ -351,16 +359,19 @@ class TaskExecutor:
             )
         pool = procpool.process_pool()
         pool.begin_call_meter()
-        try:
-            return pool.run_chunks(kernel_id, spec, requests)
-        except procpool.ProcessPoolBrokenError:
-            # A worker died (not a kernel error — those re-raise with
-            # their own type): the pool tore itself down; degrade this
-            # launch to the thread substrate and let the next launch
-            # rebuild a fresh pool.
-            return None
-        finally:
-            self._record_wire_traffic(pool)
+        with telemetry.span(
+            "wire.roundtrip", f"kernel={kernel_id} chunks={len(requests)}"
+        ):
+            try:
+                return pool.run_chunks(kernel_id, spec, requests)
+            except procpool.ProcessPoolBrokenError:
+                # A worker died (not a kernel error — those re-raise with
+                # their own type): the pool tore itself down; degrade this
+                # launch to the thread substrate and let the next launch
+                # rebuild a fresh pool.
+                return None
+            finally:
+                self._record_wire_traffic(pool)
 
     def _record_wire_traffic(self, pool) -> None:
         """Report a dispatch's pipe traffic to the profiler.
@@ -486,14 +497,18 @@ class TaskExecutor:
         values = tuple(scalars[name] for name in template.scalar_names)
         pool = procpool.process_pool()
         pool.begin_call_meter()
-        try:
-            return pool.run_resident_chunks(
-                resident, step_index, values, tuple(descriptors), chunks
-            )
-        except procpool.ProcessPoolBrokenError:
-            return None
-        finally:
-            self._record_wire_traffic(pool)
+        with telemetry.span(
+            "wire.roundtrip",
+            f"resident plan={resident.plan_id} step={step_index}",
+        ):
+            try:
+                return pool.run_resident_chunks(
+                    resident, step_index, values, tuple(descriptors), chunks
+                )
+            except procpool.ProcessPoolBrokenError:
+                return None
+            finally:
+                self._record_wire_traffic(pool)
 
     # ------------------------------------------------------------------
     # Compiled (KIR) execution.
@@ -980,7 +995,10 @@ class TaskExecutor:
             bases[index] = None if is_reduction else field.data
             _table_id, wire = self._wire_chunk_rects(rect_table, start, stop)
             rects[index] = wire
-        partials = impl.chunk.execute(bases, rects, scalars)
+        with telemetry.span(
+            "opaque.chunk", f"op={impl.name} ranks=[{start}:{stop})"
+        ):
+            partials = impl.chunk.execute(bases, rects, scalars)
         seconds = impl.chunk.cost_seconds(bases, rects, scalars, self.machine)
         if partials is None:
             partials = [None] * (stop - start)
@@ -1041,12 +1059,15 @@ class TaskExecutor:
             )
         pool = procpool.process_pool()
         pool.begin_call_meter()
-        try:
-            return pool.run_opaque_chunks(requests)
-        except procpool.ProcessPoolBrokenError:
-            return None
-        finally:
-            self._record_wire_traffic(pool)
+        with telemetry.span(
+            "wire.roundtrip", f"opaque op={impl.name} chunks={len(requests)}"
+        ):
+            try:
+                return pool.run_opaque_chunks(requests)
+            except procpool.ProcessPoolBrokenError:
+                return None
+            finally:
+                self._record_wire_traffic(pool)
 
     def resident_opaque_template(
         self,
@@ -1134,14 +1155,18 @@ class TaskExecutor:
             return None
         pool = procpool.process_pool()
         pool.begin_call_meter()
-        try:
-            return pool.run_resident_chunks(
-                resident, step_index, values, tuple(descriptors), chunks
-            )
-        except procpool.ProcessPoolBrokenError:
-            return None
-        finally:
-            self._record_wire_traffic(pool)
+        with telemetry.span(
+            "wire.roundtrip",
+            f"resident opaque plan={resident.plan_id} step={step_index}",
+        ):
+            try:
+                return pool.run_resident_chunks(
+                    resident, step_index, values, tuple(descriptors), chunks
+                )
+            except procpool.ProcessPoolBrokenError:
+                return None
+            finally:
+                self._record_wire_traffic(pool)
 
     def apply_deferred_reductions(
         self, task: IndexTask, totals: Dict[int, List[ReductionPartial]]

@@ -60,6 +60,7 @@ import numpy as np
 from repro.ir.domain import Point
 from repro.ir.task import IndexTask
 from repro.kernel.lowering import ReductionPartial
+from repro.runtime import telemetry
 from repro.runtime.machine import MachineConfig
 
 #: Buffers handed to an opaque implementation: argument index -> NumPy view
@@ -189,5 +190,6 @@ def resolve_opaque_impl(
     """
     registry = registry or _DEFAULT
     if not registry.has(name) and module:
-        importlib.import_module(module)
+        with telemetry.span("opaque.resolve", f"op={name} module={module}"):
+            importlib.import_module(module)
     return registry.get(name)

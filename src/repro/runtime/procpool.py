@@ -118,9 +118,11 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
 import pickle
 import struct
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 from multiprocessing.reduction import ForkingPickler
@@ -129,6 +131,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import config
+from repro.runtime import telemetry
 from repro.runtime.shm import BlockDescriptor, attach_view, close_attachments
 
 #: Rank rectangle as shipped to workers: ``(lo, hi)`` integer tuples
@@ -692,22 +695,55 @@ def _worker_main(connection) -> None:
                 except Exception:  # pragma: no cover - malformed ship
                     pass
                 continue
+            if type(message) is tuple and message[0] == "telemetry":
+                # Recorder install: the spawn handshake (wants a reply
+                # carrying this worker's clock and pid so the parent can
+                # align timelines) or a fire-and-forget reset after a
+                # flag reload.  Forked children inherit the parent's
+                # recorder object, so both variants replace it outright.
+                _tag, wants_reply, armed, capacity = message
+                telemetry.install_worker_recorder(armed, capacity)
+                if wants_reply:
+                    connection.send(
+                        ("telemetry", time.perf_counter(), os.getpid())
+                    )
+                continue
             if type(message) is tuple:
                 request_id = message[1]
             else:
                 request_id = message.req_id
             try:
                 if type(message) is tuple and message[0] == "r":
-                    reply = _execute_resident(
-                        message, plans, executors, descriptors
-                    )
+                    with telemetry.span(
+                        "worker.resident",
+                        f"plan={message[2]} step={message[3]}",
+                    ):
+                        reply = _execute_resident(
+                            message, plans, executors, descriptors
+                        )
                 elif isinstance(message, OpaqueChunkRequest):
                     _intern_request_tables(message, tables)
-                    reply = _execute_opaque_chunk(message)
+                    with telemetry.span(
+                        "worker.opaque_chunk",
+                        f"op={message.op} ranks=[{message.start}:{message.stop})",
+                    ):
+                        reply = _execute_opaque_chunk(message)
                 else:
                     _intern_request_tables(message, tables)
-                    reply = _execute_chunk(message, executors)
-                connection.send(("ok", request_id, reply))
+                    with telemetry.span(
+                        "worker.chunk",
+                        f"kernel={message.kernel_id} "
+                        f"ranks=[{message.start}:{message.stop})",
+                    ):
+                        reply = _execute_chunk(message, executors)
+                spans = telemetry.drain_events()
+                if spans is None:
+                    connection.send(("ok", request_id, reply))
+                else:
+                    # Piggyback the drained spans as a 4th element; the
+                    # parent's reader strips them before the completion
+                    # map, so waiters see the classic 3-tuple.
+                    connection.send(("ok", request_id, reply, spans))
             except BaseException as error:  # noqa: BLE001 - shipped to parent
                 try:
                     connection.send(
@@ -800,12 +836,39 @@ class ProcessWorkerPool:
             self._plans_shipped.append(set())
             self._descriptor_ids.append({})
             self._send_locks.append(threading.Lock())
+        #: Telemetry snapshot the workers were armed under (the reload
+        #: hook retires a pool whose snapshot went stale), plus the
+        #: per-worker pids and clock offsets from the spawn handshake.
+        self._telemetry_state = telemetry.worker_state()
+        self._worker_pids: List[int] = [
+            process.pid or 0 for process in self._processes
+        ]
+        self._telemetry_offsets: List[float] = [0.0] * self.size
+        armed, capacity = self._telemetry_state
+        if armed:
+            # Handshake before the readers start, so the replies can be
+            # read directly off each pipe.  The midpoint of the parent's
+            # send/receive clock bracket estimates the worker's offset;
+            # the sends bypass the wire meter, so telemetry leaves the
+            # profiler's wire counters untouched.
+            for worker, connection in enumerate(self._connections):
+                clock_before = time.perf_counter()
+                connection.send(("telemetry", True, armed, capacity))
+                try:
+                    _tag, worker_clock, worker_pid = connection.recv()
+                except (EOFError, OSError):  # pragma: no cover - dead worker
+                    continue
+                clock_after = time.perf_counter()
+                self._telemetry_offsets[worker] = (
+                    (clock_before + clock_after) / 2.0 - worker_clock
+                )
+                self._worker_pids[worker] = worker_pid
         # Readers start only after every fork: forking with reader
         # threads already running risks cloning a held lock into a child.
         for worker in range(self.size):
             reader = threading.Thread(
                 target=self._drain_replies,
-                args=(self._connections[worker],),
+                args=(worker, self._connections[worker]),
                 daemon=True,
                 name=f"procpool-reader-{worker}",
             )
@@ -815,7 +878,7 @@ class ProcessWorkerPool:
     # ------------------------------------------------------------------
     # Reply plumbing: reader threads and the completion map.
     # ------------------------------------------------------------------
-    def _drain_replies(self, connection) -> None:
+    def _drain_replies(self, worker: int, connection) -> None:
         """Funnel one worker's replies into the shared completion map.
 
         Runs for the pool's lifetime on a daemon thread.  Transport
@@ -823,6 +886,9 @@ class ProcessWorkerPool:
         teardown) ends the loop; outside an orderly shutdown it marks
         the pool broken and wakes every waiter so in-flight dispatches
         raise :class:`ProcessPoolBrokenError` instead of blocking.
+        Telemetry spans piggybacked on an ``ok`` reply are merged into
+        the parent-side trace here (clock-shifted by the worker's
+        handshake offset) and stripped before the completion map.
         """
         while True:
             try:
@@ -831,6 +897,16 @@ class ProcessWorkerPool:
                 break
             except Exception:  # pragma: no cover - undecodable reply
                 break
+            if telemetry.enabled():
+                telemetry.instant("wire.recv", f"worker={worker}")
+                if reply[0] == "ok" and len(reply) == 4:
+                    telemetry.ingest_worker_events(
+                        self._worker_pids[worker],
+                        worker,
+                        self._telemetry_offsets[worker],
+                        reply[3],
+                    )
+                    reply = reply[:3]
             with self._done:
                 self._completions[reply[1]] = reply
                 self._done.notify_all()
@@ -944,12 +1020,35 @@ class ProcessWorkerPool:
         """
         payload = ForkingPickler.dumps(message)
         self._meter(len(payload))
+        if telemetry.enabled():
+            telemetry.instant(
+                "wire.send", f"worker={worker} bytes={len(payload)}"
+            )
         self._connections[worker].send_bytes(payload)
 
     def _send_raw(self, worker: int, payload: bytes) -> None:
         """Meter and write one pre-framed (non-pickle) request payload."""
         self._meter(len(payload))
+        if telemetry.enabled():
+            telemetry.instant(
+                "wire.send", f"worker={worker} bytes={len(payload)}"
+            )
         self._connections[worker].send_bytes(payload)
+
+    def reset_worker_telemetry(self) -> None:
+        """Clear every worker's recorder (fire-and-forget, unmetered).
+
+        Sent by the reload hook when the pool survives a flag reload
+        with telemetry still armed: pending worker events recorded
+        under the old configuration must not leak into the next trace.
+        """
+        armed, capacity = self._telemetry_state
+        for worker, connection in enumerate(self._connections):
+            try:
+                with self._send_locks[worker]:
+                    connection.send(("telemetry", False, armed, capacity))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
 
     def _filter_shipped_tables(self, worker: int, buffers: tuple) -> tuple:
         """Null out rect lists the worker already interned (by table id)."""
@@ -1312,8 +1411,17 @@ def _reload_process_pool() -> None:
         pool = _POOL
     if pool is None:
         return
-    if config.dispatch_backend() != "process" or pool.size != shared_pool_size():
+    if (
+        config.dispatch_backend() != "process"
+        or pool.size != shared_pool_size()
+        or pool._telemetry_state != telemetry.worker_state()
+    ):
+        # A stale telemetry snapshot retires the pool too: workers were
+        # armed (or not) by the spawn handshake, so a flag flip needs a
+        # fresh pool to re-handshake under the new state.
         shutdown_process_pool()
+    elif pool._telemetry_state[0]:
+        pool.reset_worker_telemetry()
 
 
 def kernel_spec_id(kernel) -> int:

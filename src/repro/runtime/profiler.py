@@ -408,6 +408,63 @@ class Profiler:
             return 0.0
         return len(seconds) / sum(seconds)
 
+    def snapshot(self) -> Dict[str, object]:
+        """A structured dict of every counter plus the derived figures.
+
+        Taken under the profiler lock so concurrent pool-worker updates
+        never produce a torn view.  The dict is JSON-serialisable: plain
+        ints/floats plus the level-width histogram as a ``{width: count}``
+        dict — the shape exported next to Chrome traces by
+        ``repro.tools.tracedump``.
+        """
+        with self._lock:
+            counters: Dict[str, object] = {
+                "total_index_tasks": len(self.records),
+                "total_constituent_tasks": sum(
+                    record.constituents for record in self.records
+                ),
+                "iterations": len(self.iterations),
+                "compile_seconds": self.compile_seconds,
+                "analysis_seconds": self.analysis_seconds,
+                "trace_hits": self.trace_hits,
+                "trace_misses": self.trace_misses,
+                "trace_replayed_tasks": self.trace_replayed_tasks,
+                "plan_replays": self.plan_replays,
+                "plan_steps": self.plan_steps,
+                "plan_levels": self.plan_levels,
+                "plan_width_max": self.plan_width_max,
+                "plan_dispatched_steps": self.plan_dispatched_steps,
+                "plan_level_widths": dict(self.plan_level_widths),
+                "point_launches": self.point_launches,
+                "point_chunks": self.point_chunks,
+                "point_ranks": self.point_ranks,
+                "point_width_max": self.point_width_max,
+                "point_width_budget": self.point_width_budget,
+                "point_thread_chunks": self.point_thread_chunks,
+                "point_process_chunks": self.point_process_chunks,
+                "batched_launches": self.batched_launches,
+                "batched_calls": self.batched_calls,
+                "opaque_rank_calls": self.opaque_rank_calls,
+                "opaque_chunk_calls": self.opaque_chunk_calls,
+                "opaque_process_chunks": self.opaque_process_chunks,
+                "scalar_pattern_flips": self.scalar_pattern_flips,
+                "superkernel_fusions": self.superkernel_fusions,
+                "superkernel_fused_steps": self.superkernel_fused_steps,
+                "superkernel_calls": self.superkernel_calls,
+                "replay_closure_calls": self.replay_closure_calls,
+                "wire_bytes": self.wire_bytes,
+                "wire_requests": self.wire_requests,
+            }
+        counters["trace_hit_rate"] = self.trace_hit_rate
+        counters["plan_average_width"] = self.plan_average_width
+        counters["worker_utilization"] = self.worker_utilization
+        counters["point_chunks_per_launch"] = self.point_chunks_per_launch
+        counters["point_utilization"] = self.point_utilization
+        counters["wire_bytes_per_epoch"] = self.wire_bytes_per_epoch
+        counters["wire_requests_per_epoch"] = self.wire_requests_per_epoch
+        counters["closure_calls_per_epoch"] = self.closure_calls_per_epoch
+        return counters
+
     def reset(self) -> None:
         """Clear all recorded state."""
         self.records.clear()

@@ -19,6 +19,7 @@ from repro.ir.store import Store
 from repro.ir.task import IndexTask
 from repro.kernel.compiler import CompiledKernel, JITCompiler
 from repro.kernel.generators import GeneratorRegistry, default_registry
+from repro.runtime import telemetry
 from repro.runtime.coherence import CoherenceTracker
 from repro.runtime.executor import TaskExecutor
 from repro.runtime.machine import MachineConfig
@@ -117,12 +118,19 @@ class LegionRuntime:
     def execute_resolved(self, launch: ResolvedLaunch) -> float:
         """Execute a resolved launch; returns the simulated seconds it took."""
         task = launch.task
-        if launch.kernel is not None:
-            kernel_seconds = self.executor.execute_compiled(task, launch.kernel)
-            launches = launch.kernel.launches
-        else:
-            kernel_seconds = self.executor.execute_opaque(task, launch.opaque_impl)
-            launches = 1
+        with telemetry.span(
+            "task.execute",
+            f"{task.task_name} points={task.launch_domain.volume}"
+            if telemetry.enabled()
+            else "",
+            sim=self.simulated_seconds,
+        ):
+            if launch.kernel is not None:
+                kernel_seconds = self.executor.execute_compiled(task, launch.kernel)
+                launches = launch.kernel.launches
+            else:
+                kernel_seconds = self.executor.execute_opaque(task, launch.opaque_impl)
+                launches = 1
 
         overhead = self.machine.task_launch_overhead
         overlap = config.overlap_model_enabled()

@@ -87,6 +87,7 @@ from repro import config
 from repro.ir.store import Store
 from repro.ir.task import IndexTask, StoreArg
 from repro.runtime import executor as executor_module
+from repro.runtime import telemetry
 from repro.runtime.pool import (
     dispatch_chunks,
     guarded,
@@ -267,6 +268,23 @@ def _step_volume(step: object, slot_stores: Sequence[Store]) -> int:
     return total
 
 
+def _traced_chunk_runner(run_chunk: Callable) -> Callable:
+    """Wrap a chunk runner in a point-chunk span (identity when off).
+
+    Returned unchanged with telemetry disabled, so thread-dispatched
+    chunks pay nothing; armed, each chunk executes inside a
+    ``point.chunk`` span recorded on the worker thread that ran it.
+    """
+    if not telemetry.enabled():
+        return run_chunk
+
+    def traced(start: int, stop: int):
+        with telemetry.span("point.chunk", f"ranks=[{start}:{stop})"):
+            return run_chunk(start, stop)
+
+    return traced
+
+
 # ----------------------------------------------------------------------
 # The serial replay path (PR-2 semantics, kept verbatim).
 # ----------------------------------------------------------------------
@@ -290,7 +308,12 @@ def _execute_plan_serial(
             continue
         if isinstance(step, SuperKernelStep):
             scalars = _bind_scalars(step, tasks)
-            totals = _run_compiled(step, regions, slot_stores, scalars)
+            with telemetry.span(
+                "plan.step",
+                f"{step.task_name} ranks={step.num_points}",
+                sim=runtime.simulated_seconds,
+            ):
+                totals = _run_compiled(step, regions, slot_stores, scalars)
             _fold_compiled(step, executor, slot_stores, totals)
             profiler.record_superkernel_calls(1)
             profiler.add_replay_closure_calls(1)
@@ -301,7 +324,12 @@ def _execute_plan_serial(
                 1 if step.elementwise else step.num_points
             )
             scalars = _bind_scalars(step, tasks)
-            totals = _run_compiled(step, regions, slot_stores, scalars)
+            with telemetry.span(
+                "plan.step",
+                f"{step.task_name} ranks={step.num_points}",
+                sim=runtime.simulated_seconds,
+            ):
+                totals = _run_compiled(step, regions, slot_stores, scalars)
             _fold_compiled(step, executor, slot_stores, totals)
             if step.elementwise and step.num_points > 1:
                 profiler.record_elementwise_batch(1)
@@ -317,7 +345,12 @@ def _execute_plan_serial(
             )
         else:
             task = _rebuild_opaque_task(step, slot_stores, tasks)
-            kernel_seconds = executor.execute_opaque(task, step.impl)
+            with telemetry.span(
+                "plan.step",
+                f"{step.task_name} (opaque)",
+                sim=runtime.simulated_seconds,
+            ):
+                kernel_seconds = executor.execute_opaque(task, step.impl)
             record = profiler.record_task(
                 name=step.task_name,
                 constituents=1,
@@ -639,7 +672,19 @@ class PlanScheduler:
         dispatched = 0
         pool = worker_pool(pool_size) if pool_size > 1 else None
 
-        for level in schedule.levels:
+        for level_index, level in enumerate(schedule.levels):
+            # Level spans are recorded as manual begin/end pairs (the
+            # body below is the whole level); a replay failure unwinds
+            # past the end record, but it also tears down the run, so
+            # exported traces only ever hold completed levels.
+            telemetry_recorder = telemetry.active()
+            if telemetry_recorder is not None:
+                telemetry_recorder.record(
+                    "B",
+                    "plan.level",
+                    f"level={level_index} width={len(level)}",
+                    runtime.simulated_seconds,
+                )
             # Steps big enough for whole-step dispatch; only meaningful
             # when the level has independent steps and step workers are
             # enabled.
@@ -708,31 +753,36 @@ class PlanScheduler:
                                 step_chunks=chunks,
                                 rc=run_chunk,
                             ):
-                                proc_results = None
-                                if resident is not None and idx in resident.steps:
-                                    proc_results = executor._process_chunks_resident(
-                                        resident, idx, prepared, scalars, step_chunks
-                                    )
-                                if proc_results is None:
-                                    proc_results = executor._process_chunks_compiled(
-                                        step.kernel,
-                                        prepared,
-                                        scalars,
-                                        step_chunks,
-                                        step.elementwise,
-                                        with_cost=False,
-                                    )
-                                if proc_results is not None:
+                                with telemetry.span(
+                                    "plan.step",
+                                    f"{step.task_name} step={idx} "
+                                    f"chunks={len(step_chunks)}",
+                                ):
+                                    proc_results = None
+                                    if resident is not None and idx in resident.steps:
+                                        proc_results = executor._process_chunks_resident(
+                                            resident, idx, prepared, scalars, step_chunks
+                                        )
+                                    if proc_results is None:
+                                        proc_results = executor._process_chunks_compiled(
+                                            step.kernel,
+                                            prepared,
+                                            scalars,
+                                            step_chunks,
+                                            step.elementwise,
+                                            with_cost=False,
+                                        )
+                                    if proc_results is not None:
+                                        return (
+                                            "process",
+                                            _merge_process_totals(step, proc_results),
+                                        )
                                     return (
-                                        "process",
-                                        _merge_process_totals(step, proc_results),
+                                        "thread",
+                                        _merge_chunk_totals(
+                                            [rc(s, e) for s, e in step_chunks]
+                                        ),
                                     )
-                                return (
-                                    "thread",
-                                    _merge_chunk_totals(
-                                        [rc(s, e) for s, e in step_chunks]
-                                    ),
-                                )
 
                             def assemble_process(
                                 replies,
@@ -760,10 +810,11 @@ class PlanScheduler:
                                 )
                             )
                         else:
+                            traced_run = _traced_chunk_runner(run_chunk)
                             futures = [
                                 submit_guarded(
                                     pool,
-                                    lambda s=start, e=stop, rc=run_chunk: rc(s, e),
+                                    lambda s=start, e=stop, rc=traced_run: rc(s, e),
                                 )
                                 for start, stop in chunks
                             ]
@@ -814,7 +865,9 @@ class PlanScheduler:
                                 chunk_backend = "process"
                         if totals is None:
                             totals = _merge_chunk_totals(
-                                dispatch_chunks(pool, chunks, run_chunk)
+                                dispatch_chunks(
+                                    pool, chunks, _traced_chunk_runner(run_chunk)
+                                )
                             )
                         results[index] = totals
                         profiler.record_point_dispatch(
@@ -824,7 +877,12 @@ class PlanScheduler:
                             backend=chunk_backend,
                         )
                     else:
-                        results[index] = run_chunk(*chunks[0])
+                        with telemetry.span(
+                            "plan.step",
+                            f"{entry.step.task_name} ranks={entry.num_points}",
+                            sim=runtime.simulated_seconds,
+                        ):
+                            results[index] = run_chunk(*chunks[0])
                     if entry.step.elementwise and entry.num_points > 1:
                         profiler.record_elementwise_batch(len(chunks))
                 else:
@@ -866,6 +924,13 @@ class PlanScheduler:
                 else:
                     task, _seconds, totals = results[index]
                     executor.apply_deferred_reductions(task, totals)
+            if telemetry_recorder is not None:
+                telemetry_recorder.record(
+                    "E",
+                    "plan.level",
+                    f"level={level_index} width={len(level)}",
+                    runtime.simulated_seconds,
+                )
 
         self._account(plan, schedule, results, runtime, profiler, overlap)
         _apply_plan_epilogue(plan, engine, slot_stores)

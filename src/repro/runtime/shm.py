@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import config
+from repro.runtime import telemetry
 
 #: Block alignment inside a segment (one cache line, and a multiple of
 #: every NumPy itemsize in use).
@@ -100,6 +101,10 @@ class SharedArena:
         descriptor = BlockDescriptor(
             segment=name, offset=offset, shape=tuple(shape), dtype=dtype.str
         )
+        if telemetry.enabled():
+            telemetry.instant(
+                "shm.alloc", f"segment={name} offset={offset} bytes={size}"
+            )
         array = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=offset)
         # Segments are recycled: a reused hole still holds the previous
         # block's bytes, and region fields are defined to start zeroed.
@@ -136,6 +141,12 @@ class SharedArena:
         dtype = np.dtype(descriptor.dtype)
         nbytes = max(1, int(np.prod(descriptor.shape, dtype=np.int64))) * dtype.itemsize
         size = _align(nbytes)
+        if telemetry.enabled():
+            telemetry.instant(
+                "shm.reclaim",
+                f"segment={descriptor.segment} offset={descriptor.offset} "
+                f"bytes={size}",
+            )
         with self._lock:
             holes = self._free.get(descriptor.segment)
             if holes is None or self.closed:

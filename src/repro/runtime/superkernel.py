@@ -59,6 +59,7 @@ from repro.kernel import codegen
 from repro.kernel.codegen import SuperKernelSection, generate_superkernel_source
 from repro.kernel.kir import assignment_loads_buffers, sole_buffer_assignment
 from repro.kernel.lowering import BackendDivergenceError
+from repro.runtime import telemetry
 from repro.runtime.pool import merged_table_span
 from repro.runtime.trace import AnalysisCharge, CompiledStep, ExecutionPlan
 
@@ -575,7 +576,10 @@ def run_superkernel_ranks(
             buffers[name] = resolved.view(merged_table_span(table, start, stop))
         else:
             buffers[name] = resolved.data[payload]
-    partials = step.kernel.executor(buffers, scalars)
+    with telemetry.span(
+        "superkernel.call", f"{step.task_name} ranks=[{start}:{stop})"
+    ):
+        partials = step.kernel.executor(buffers, scalars)
     totals: Dict[str, list] = {}
     reductions = step.reductions
     for name, partial_list in partials.items():

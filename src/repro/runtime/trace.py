@@ -53,6 +53,7 @@ from repro.ir.partition import Partition
 from repro.ir.privilege import Privilege, ReductionOp
 from repro.ir.store import Store
 from repro.ir.task import FusedTask, IndexTask, stream_scalar_pattern
+from repro.runtime import telemetry
 
 #: Upper bound on the deferred epoch buffer.  An application that never
 #: synchronises still gets deterministic segmentation: the buffer is
@@ -571,13 +572,18 @@ class TraceController:
         if plan is not None:
             profiler.record_trace_hit(len(tasks))
             self.replayed_epochs += 1
-            try:
-                engine.runtime.plan_scheduler.execute(
-                    plan, engine, stream.slot_stores, tasks
-                )
-            finally:
-                self._release(tasks, 0)
-            self._reclaim_dead_fields(tasks)
+            with telemetry.span(
+                "epoch.replay",
+                f"epoch={self.replayed_epochs} tasks={len(tasks)}",
+                sim=engine.runtime.simulated_seconds,
+            ):
+                try:
+                    engine.runtime.plan_scheduler.execute(
+                        plan, engine, stream.slot_stores, tasks
+                    )
+                finally:
+                    self._release(tasks, 0)
+                self._reclaim_dead_fields(tasks)
             return
 
         profiler.record_trace_miss()
@@ -589,19 +595,24 @@ class TraceController:
             stats.fused_constituents,
             stats.temporaries_eliminated,
         )
-        engine.begin_capture(recorder)
-        fed = 0
-        try:
-            for task in tasks:
-                for arg in task.args:
-                    arg.store.remove_pending_stream_reference()
-                fed += 1
-                engine.window_submit(task)
-            engine.drain_window()
-        finally:
-            engine.end_capture()
-            self._release(tasks, fed)
-        self._reclaim_dead_fields(tasks)
+        with telemetry.span(
+            "epoch.capture",
+            f"tasks={len(tasks)}",
+            sim=engine.runtime.simulated_seconds,
+        ):
+            engine.begin_capture(recorder)
+            fed = 0
+            try:
+                for task in tasks:
+                    for arg in task.args:
+                        arg.store.remove_pending_stream_reference()
+                    fed += 1
+                    engine.window_submit(task)
+                engine.drain_window()
+            finally:
+                engine.end_capture()
+                self._release(tasks, fed)
+            self._reclaim_dead_fields(tasks)
 
         captured_launches = any(
             not isinstance(step, AnalysisCharge) for step in recorder.steps

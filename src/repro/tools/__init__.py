@@ -1,0 +1,1 @@
+"""Developer tools: trace export and other observability CLIs."""

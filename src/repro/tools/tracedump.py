@@ -1,0 +1,205 @@
+"""Export a Perfetto-loadable Chrome trace of one application run.
+
+Runs one application end to end with the telemetry flight recorder
+forced on (``REPRO_TELEMETRY=1``) and writes the merged span timeline —
+parent scheduling threads and worker processes side by side — as Chrome
+trace-event JSON, loadable at https://ui.perfetto.dev or
+``chrome://tracing``.  The profiler's structured metrics snapshot
+(:meth:`repro.runtime.profiler.Profiler.snapshot`) rides along in the
+trace's ``otherData`` block, and can additionally be written to its own
+JSON file with ``--metrics-output``.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.tracedump --app cg --smoke \
+        --output TRACE_cg.json
+
+By default the run uses the full replay stack on the worker-process
+substrate (trace capture, plan scheduler, point dispatch,
+``REPRO_DISPATCH_BACKEND=process``), so the exported timeline shows the
+epoch replay spans of the parent next to the chunk-execution spans of
+every pool worker.  ``--backend thread`` confines the run to one
+process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Dict, Optional
+
+from repro import config
+from repro.apps.base import build_application
+from repro.experiments.harness import (
+    default_scale_for,
+    scaled_machine,
+)
+from repro.frontend.legate.context import RuntimeContext, set_context
+from repro.runtime import telemetry
+
+#: Per-app problem-size overrides at trace scale: big enough that every
+#: subsystem (capture, replay, point dispatch, wire protocol) appears in
+#: the timeline, small enough that the export stays a quick local run.
+_TRACE_KWARGS: Dict[str, Dict[str, int]] = {
+    "cg": {"grid_points_per_gpu": 24},
+    "jacobi": {"rows_per_gpu": 96},
+    "black-scholes": {"elements_per_gpu": 2048},
+    "two-matvec": {"rows_per_gpu": 48},
+    "bicgstab": {"grid_points_per_gpu": 24},
+}
+
+_SMOKE_KWARGS: Dict[str, Dict[str, int]] = {
+    "cg": {"grid_points_per_gpu": 16},
+    "jacobi": {"rows_per_gpu": 48},
+    "black-scholes": {"elements_per_gpu": 512},
+    "two-matvec": {"rows_per_gpu": 32},
+    "bicgstab": {"grid_points_per_gpu": 16},
+}
+
+#: Environment the traced run executes under (beyond the CLI-controlled
+#: workers/backend): the full codegen + trace-replay stack, with the
+#: flight recorder armed.
+_TRACE_ENV = {
+    "REPRO_TELEMETRY": "1",
+    "REPRO_KERNEL_BACKEND": "codegen",
+    "REPRO_HOTPATH_CACHE": "1",
+    "REPRO_TRACE": "1",
+    "REPRO_NORMALIZE": "1",
+}
+
+
+def run_traced_experiment(
+    app: str,
+    num_gpus: int,
+    iterations: int,
+    warmup: int,
+    app_kwargs: Optional[Dict] = None,
+) -> Dict[str, object]:
+    """Run ``app`` with telemetry armed; return the profiler snapshot.
+
+    The caller is responsible for having set the environment flags and
+    called :func:`repro.config.reload_flags` first; the telemetry ring
+    (parent and, via pool retirement, workers) is reset before the run so
+    the exported timeline covers exactly this experiment.
+    """
+    telemetry.reset()
+    scale = default_scale_for(app)
+    kwargs = dict(scale.app_kwargs)
+    if app_kwargs:
+        kwargs.update(app_kwargs)
+    machine = scaled_machine(num_gpus, scale.bandwidth_scale)
+    context = RuntimeContext(num_gpus=num_gpus, fusion=True, machine=machine)
+    set_context(context)
+    try:
+        application = build_application(app, context=context, **kwargs)
+        application.run(warmup)
+        application.run(iterations)
+        checksum = application.checksum()
+        snapshot = context.profiler.snapshot()
+    finally:
+        set_context(None)
+    snapshot["checksum"] = checksum
+    snapshot["app"] = app
+    snapshot["num_gpus"] = num_gpus
+    return snapshot
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--app",
+        default="cg",
+        choices=sorted(_TRACE_KWARGS),
+        help="application to trace (default: cg)",
+    )
+    parser.add_argument("--num-gpus", type=int, default=8)
+    parser.add_argument("--iterations", type=int, default=12)
+    parser.add_argument("--warmup", type=int, default=2)
+    parser.add_argument(
+        "--backend",
+        default="process",
+        choices=("thread", "process"),
+        help="dispatch substrate for the traced run (default: process)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="plan-scheduler worker count (REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--point-workers",
+        type=int,
+        default=4,
+        help="intra-launch point-dispatch width (REPRO_POINT_WORKERS)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the run for CI (fewer iterations, smaller problem)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="trace JSON path (default: TRACE_<app>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--metrics-output",
+        default=None,
+        help="optionally also write the profiler snapshot to this path",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.num_gpus = min(args.num_gpus, 4)
+        args.iterations = min(args.iterations, 6)
+        app_kwargs = _SMOKE_KWARGS[args.app]
+    else:
+        app_kwargs = _TRACE_KWARGS[args.app]
+    output = args.output or f"TRACE_{args.app}.json"
+
+    os.environ.update(_TRACE_ENV)
+    os.environ["REPRO_DISPATCH_BACKEND"] = args.backend
+    os.environ["REPRO_WORKERS"] = str(args.workers)
+    os.environ["REPRO_POINT_WORKERS"] = str(args.point_workers)
+    config.reload_flags()
+
+    snapshot = run_traced_experiment(
+        args.app,
+        num_gpus=args.num_gpus,
+        iterations=args.iterations,
+        warmup=args.warmup,
+        app_kwargs=app_kwargs,
+    )
+
+    trace = telemetry.export_chrome_trace()
+    trace["otherData"]["profiler"] = snapshot
+    with open(output, "w") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+    if args.metrics_output:
+        with open(args.metrics_output, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+            handle.write("\n")
+
+    events = trace["traceEvents"]
+    pids = {event["pid"] for event in events if event.get("ph") != "M"}
+    print(
+        f"wrote {output}: {len(events)} trace events from "
+        f"{len(pids)} process(es), dropped {trace['otherData']['dropped_events']}"
+    )
+    if args.metrics_output:
+        print(f"wrote {args.metrics_output}")
+
+    # Deterministic teardown (the atexit hooks would cover it anyway).
+    from repro.runtime.pool import shutdown_shared_pool
+    from repro.runtime.procpool import shutdown_process_pool
+
+    shutdown_process_pool()
+    shutdown_shared_pool()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
